@@ -1,0 +1,308 @@
+package nonortho
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the experiment end-to-end on the simulated testbed
+// (short windows, single seed) and reports the headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` doubles as a regeneration
+// harness:
+//
+//	BenchmarkFig19  ...  dcn-pkt/s  zigbee-pkt/s  improvement-%
+//
+// Absolute packets/s are not expected to match the authors' motes — the
+// substrate is a simulator — but the shapes (orderings, gain bands,
+// crossovers) are asserted by the integration tests in
+// internal/experiments and visible in these metrics.
+
+import (
+	"testing"
+	"time"
+
+	"nonortho/internal/experiments"
+)
+
+// benchOpts keeps each iteration cheap while preserving the shapes: one
+// seed, 2 s warmup (the DCN Initializing Phase needs >1 s), 2 s measured.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 1, Seeds: 1, Warmup: 2 * time.Second, Measure: 2 * time.Second}
+}
+
+func BenchmarkFig1ChannelDistanceSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig1(benchOpts())
+		last := res.Rows[len(res.Rows)-1]
+		best := 0.0
+		for _, r := range res.Rows {
+			if r.Total > best {
+				best = r.Total
+			}
+		}
+		b.ReportMetric(best, "best-pkt/s")
+		b.ReportMetric(last.Total, "cfd2-pkt/s")
+	}
+}
+
+func BenchmarkFig2OverlapContrast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig2(benchOpts())
+		b.ReportMetric(res.Rows[1].Norm80211, "wifi-1ch-norm")
+		b.ReportMetric(res.Rows[1].Norm802154, "wpan-1ch-norm")
+	}
+}
+
+func BenchmarkFig4CPRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig4(benchOpts())
+		for _, r := range res.Rows {
+			if r.CFD == 3 {
+				b.ReportMetric(100*r.NormalCPRR, "cprr3MHz-%")
+			}
+			if r.CFD == 1 {
+				b.ReportMetric(100*r.NormalCPRR, "cprr1MHz-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6LinkSweepNoCoChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig6(benchOpts())
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Received, "relaxed-pkt/s")
+	}
+}
+
+func BenchmarkFig7OverallSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig7(benchOpts())
+		b.ReportMetric(res.Rows[len(res.Rows)-1].Overall, "relaxed-overall-pkt/s")
+	}
+}
+
+func BenchmarkFig8LinkSweepWithCoChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig8(benchOpts())
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Sent-last.Received, "cochannel-loss-pkt/s")
+	}
+}
+
+func BenchmarkFig9and10PowerSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, _ := experiments.Fig9and10(benchOpts())
+		for _, r := range res.Rows {
+			if r.Power == -22 && r.Threshold == -20 {
+				b.ReportMetric(100*r.PRR, "prr22dBm-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig14and15DCNOnOneNetwork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, _ := experiments.Fig14and15(benchOpts())
+		for _, r := range res.Rows {
+			if r.CFD == 3 {
+				b.ReportMetric(100*(r.N0With/r.N0Without-1), "n0-gain-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig16AllNetworksCFD2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig16(benchOpts())
+		var wo, wi float64
+		for _, r := range res.Rows {
+			wo += r.Without
+			wi += r.With
+		}
+		b.ReportMetric(100*(wi/wo-1), "gain-%")
+	}
+}
+
+func BenchmarkFig17AllNetworksCFD3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig17(benchOpts())
+		var wo, wi float64
+		for _, r := range res.Rows {
+			wo += r.Without
+			wi += r.With
+		}
+		b.ReportMetric(100*(wi/wo-1), "gain-%")
+	}
+}
+
+func BenchmarkFig18CFDSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig18(benchOpts())
+		var cfd2, cfd3 float64
+		for _, r := range res.Rows {
+			if r.CFD == 2 {
+				cfd2 = r.With
+			}
+			if r.CFD == 3 {
+				cfd3 = r.With
+			}
+		}
+		b.ReportMetric(cfd3/cfd2, "cfd3/cfd2-ratio")
+	}
+}
+
+func BenchmarkFig19Headline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig19(benchOpts())
+		b.ReportMetric(res.DCNTotal, "dcn-pkt/s")
+		b.ReportMetric(res.ZigBeeTotal, "zigbee-pkt/s")
+		b.ReportMetric(100*res.Improvement, "improvement-%")
+	}
+}
+
+func BenchmarkFig20and21PowerImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, _ := experiments.Fig20and21(benchOpts())
+		lo, hi := res.Rows[0], res.Rows[len(res.Rows)-1]
+		b.ReportMetric(hi.N0-lo.N0, "n0-power-gain-pkt/s")
+	}
+}
+
+func BenchmarkTableIFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.TableI(benchOpts())
+		b.ReportMetric(100*res.Spread, "spread-%")
+		b.ReportMetric(res.Jain, "jain")
+	}
+}
+
+func BenchmarkFig25CaseI(b *testing.B) {
+	benchmarkCase(b, experiments.Fig25)
+}
+
+func BenchmarkFig26CaseII(b *testing.B) {
+	benchmarkCase(b, experiments.Fig26)
+}
+
+func BenchmarkFig27CaseIII(b *testing.B) {
+	benchmarkCase(b, experiments.Fig27)
+}
+
+func benchmarkCase(b *testing.B, f func(experiments.Options) (experiments.CaseResult, *experiments.Table)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, _ := f(benchOpts())
+		b.ReportMetric(100*res.GainOverWithout, "gain-vs-wo-%")
+		b.ReportMetric(100*res.GainOverZigBee, "gain-vs-zigbee-%")
+	}
+}
+
+func BenchmarkFig28Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig28(benchOpts())
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Recoverable-last.Received, "recovered-pkt/s")
+	}
+}
+
+func BenchmarkFig29ErrorBitCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig29(benchOpts())
+		b.ReportMetric(100*res.FractionWithin10Pct, "within10pct-%")
+	}
+}
+
+func BenchmarkFig30WideBand(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig30(benchOpts())
+		var wo, wi float64
+		for _, r := range res.Rows {
+			wo += r.Without
+			wi += r.With
+		}
+		b.ReportMetric(100*(wi/wo-1), "gain-%")
+	}
+}
+
+func BenchmarkBandSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.BandSweep(benchOpts())
+		b.ReportMetric(100*res.Rows[len(res.Rows)-1].Gain, "widest-gain-%")
+	}
+}
+
+func BenchmarkAblationDCN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.AblationDCN(benchOpts())
+		for _, r := range res.Rows {
+			if r.Variant == "fixed (no DCN)" {
+				b.ReportMetric(r.VsFull, "fixed-vs-full")
+			}
+		}
+	}
+}
+
+func BenchmarkCaseIIRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.CaseIIRecovery(benchOpts())
+		b.ReportMetric(res.WithCaseII, "with-pkt/s")
+		b.ReportMetric(res.WithoutCaseII, "without-pkt/s")
+	}
+}
+
+func BenchmarkEnergyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.EnergyComparison(benchOpts())
+		b.ReportMetric(res.Rows[1].MJPerDelivered, "dcn-mJ/pkt")
+		b.ReportMetric(res.Rows[0].MJPerDelivered, "zigbee-mJ/pkt")
+	}
+}
+
+func BenchmarkScarcity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Scarcity(benchOpts())
+		b.ReportMetric(100*res.DCNOverBestOrthogonal, "dcn-gain-%")
+	}
+}
+
+func BenchmarkMultihopCollection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Multihop(benchOpts())
+		b.ReportMetric(res.Rows[1].DeliveredPerSec, "dcn-readings/s")
+		b.ReportMetric(res.Rows[0].DeliveredPerSec, "zigbee-readings/s")
+	}
+}
+
+func BenchmarkUpperBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.UpperBound(benchOpts())
+		b.ReportMetric(100*res.DenseOracleOverDCN, "dense-oracle-vs-dcn-%")
+		b.ReportMetric(100*res.SparseOracleOverFixed, "sparse-oracle-vs-fixed-%")
+	}
+}
+
+func BenchmarkCoexistence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Coexistence(benchOpts())
+		b.ReportMetric(100*res.ZigBeeLoss, "zigbee-wifi-loss-%")
+		b.ReportMetric(100*res.DCNLoss, "dcn-wifi-loss-%")
+	}
+}
+
+func BenchmarkBeaconMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.BeaconMode(benchOpts())
+		b.ReportMetric(100*res.Gain, "slotted-dcn-gain-%")
+	}
+}
+
+func BenchmarkTSCH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.TSCH(benchOpts())
+		b.ReportMetric(100*res.Gain, "nonortho-gain-%")
+	}
+}
+
+func BenchmarkLPL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.LPL(benchOpts())
+		b.ReportMetric(100*res.EnergySavings, "energy-saved-%")
+	}
+}

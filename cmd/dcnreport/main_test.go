@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSectionsCoverEverything(t *testing.T) {
+	secs := sections()
+	if len(secs) != 7 {
+		t.Fatalf("sections = %d, want 7", len(secs))
+	}
+	for _, s := range secs {
+		if s.heading == "" || s.run == nil {
+			t.Errorf("malformed section %+v", s.heading)
+		}
+	}
+}
+
+func TestReportQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the whole evaluation; skipped in -short")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "report.md")
+	if err := run([]string{"-quick", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, want := range []string{
+		"# DCN evaluation report",
+		"## Motivation (Section III)",
+		"Fig 19: Overall throughput",
+		"## Extensions beyond the paper",
+		"Extension: TSCH channel hopping",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Count(report, "```") < 40 {
+		t.Errorf("report has %d code fences, want >= 40 (every table)",
+			strings.Count(report, "```"))
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-zzz"}); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestBadOutputPath(t *testing.T) {
+	if err := run([]string{"-quick", "-o", "/nonexistent-dir/x/report.md"}); err == nil {
+		t.Error("unwritable output path accepted")
+	}
+}

@@ -1,0 +1,200 @@
+// Command dcnsim regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	dcnsim -list
+//	dcnsim -exp fig19
+//	dcnsim -exp all -seeds 5 -measure 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"nonortho/internal/experiments"
+	"nonortho/internal/scenario"
+)
+
+// runner executes one experiment and prints its tables.
+type runner func(opts experiments.Options)
+
+func registry() map[string]runner {
+	print := func(tables ...*experiments.Table) {
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+	return map[string]runner{
+		"fig1": func(o experiments.Options) { _, t := experiments.Fig1(o); print(t) },
+		"fig2": func(o experiments.Options) { _, t := experiments.Fig2(o); print(t) },
+		"fig4": func(o experiments.Options) { _, t := experiments.Fig4(o); print(t) },
+		"fig6": func(o experiments.Options) { _, t := experiments.Fig6(o); print(t) },
+		"fig7": func(o experiments.Options) { _, t := experiments.Fig7(o); print(t) },
+		"fig8": func(o experiments.Options) { _, t := experiments.Fig8(o); print(t) },
+		"fig9-10": func(o experiments.Options) {
+			_, t9, t10 := experiments.Fig9and10(o)
+			print(t9, t10)
+		},
+		"fig14-15": func(o experiments.Options) {
+			_, t14, t15 := experiments.Fig14and15(o)
+			print(t14, t15)
+		},
+		"fig16": func(o experiments.Options) { _, t := experiments.Fig16(o); print(t) },
+		"fig17": func(o experiments.Options) { _, t := experiments.Fig17(o); print(t) },
+		"fig18": func(o experiments.Options) { _, t := experiments.Fig18(o); print(t) },
+		"fig19": func(o experiments.Options) { _, t := experiments.Fig19(o); print(t) },
+		"fig20-21": func(o experiments.Options) {
+			_, t20, t21 := experiments.Fig20and21(o)
+			print(t20, t21)
+		},
+		"table1": func(o experiments.Options) { _, t := experiments.TableI(o); print(t) },
+		"fig25":  func(o experiments.Options) { _, t := experiments.Fig25(o); print(t) },
+		"fig26":  func(o experiments.Options) { _, t := experiments.Fig26(o); print(t) },
+		"fig27":  func(o experiments.Options) { _, t := experiments.Fig27(o); print(t) },
+		"fig28":  func(o experiments.Options) { _, t := experiments.Fig28(o); print(t) },
+		"fig29":  func(o experiments.Options) { _, t := experiments.Fig29(o); print(t) },
+		"fig30":  func(o experiments.Options) { _, t := experiments.Fig30(o); print(t) },
+		"bands":  func(o experiments.Options) { _, t := experiments.BandSweep(o); print(t) },
+		"ablation": func(o experiments.Options) {
+			_, t := experiments.AblationDCN(o)
+			print(t)
+		},
+		"caseii-recovery": func(o experiments.Options) {
+			_, t := experiments.CaseIIRecovery(o)
+			print(t)
+		},
+		"energy": func(o experiments.Options) {
+			_, t := experiments.EnergyComparison(o)
+			print(t)
+		},
+		"scarcity": func(o experiments.Options) {
+			_, t := experiments.Scarcity(o)
+			print(t)
+		},
+		"multihop": func(o experiments.Options) {
+			_, t := experiments.Multihop(o)
+			print(t)
+		},
+		"upperbound": func(o experiments.Options) {
+			_, t := experiments.UpperBound(o)
+			print(t)
+		},
+		"coexistence": func(o experiments.Options) {
+			_, t := experiments.Coexistence(o)
+			print(t)
+		},
+		"beaconmode": func(o experiments.Options) {
+			_, t := experiments.BeaconMode(o)
+			print(t)
+		},
+		"tsch": func(o experiments.Options) {
+			_, t := experiments.TSCH(o)
+			print(t)
+		},
+		"layouts": func(o experiments.Options) {
+			_, ts := experiments.Layouts(o)
+			print(ts...)
+		},
+		"lpl": func(o experiments.Options) {
+			_, t := experiments.LPL(o)
+			print(t)
+		},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcnsim", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "", "experiment to run (see -list), or 'all'")
+		scenFile = fs.String("scenario", "", "run a custom JSON scenario file instead of a named experiment")
+		list     = fs.Bool("list", false, "list available experiments")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		seeds    = fs.Int("seeds", 3, "number of independent runs to average")
+		warmup   = fs.Duration("warmup", 3*time.Second, "virtual warmup time per run")
+		measure  = fs.Duration("measure", 8*time.Second, "virtual measurement time per run")
+		quick    = fs.Bool("quick", false, "short single-seed runs (overrides -seeds/-measure)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, n := range names {
+			fmt.Println("  " + n)
+		}
+		return nil
+	}
+	if *scenFile != "" {
+		return runScenario(*scenFile)
+	}
+	if *exp == "" {
+		return fmt.Errorf("no experiment selected; use -exp <name>, -scenario <file>, or -list")
+	}
+
+	opts := experiments.Options{Seed: *seed, Seeds: *seeds, Warmup: *warmup, Measure: *measure}
+	if *quick {
+		opts = experiments.Quick()
+		opts.Seed = *seed
+	}
+
+	if *exp == "all" {
+		for _, n := range names {
+			fmt.Printf("=== %s ===\n", n)
+			reg[n](opts)
+		}
+		return nil
+	}
+	r, ok := reg[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q; available: %s", *exp, strings.Join(names, ", "))
+	}
+	r(opts)
+	return nil
+}
+
+// runScenario loads and executes a custom JSON scenario.
+func runScenario(path string) error {
+	s, err := scenario.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	results, overall, err := s.Run()
+	if err != nil {
+		return err
+	}
+	t := &experiments.Table{
+		Title:   fmt.Sprintf("Scenario: %s", s.Name),
+		Columns: []string{"network", "freq (MHz)", "throughput (pkt/s)", "PRR", "sent", "received"},
+	}
+	for _, r := range results {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.0f", r.FreqMHz),
+			fmt.Sprintf("%.1f", r.Throughput),
+			fmt.Sprintf("%.1f%%", 100*r.PRR),
+			fmt.Sprintf("%d", r.Sent),
+			fmt.Sprintf("%d", r.Received))
+	}
+	t.AddRow("overall", "", fmt.Sprintf("%.1f", overall), "", "", "")
+	fmt.Println(t.String())
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListRunsCleanly(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	err := run([]string{"-exp", "fig999"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v, want unknown-experiment", err)
+	}
+}
+
+func TestNoSelectionRejected(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no arguments accepted")
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}
+
+func TestRegistryCoversEveryExperiment(t *testing.T) {
+	reg := registry()
+	want := []string{
+		"fig1", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9-10",
+		"fig14-15", "fig16", "fig17", "fig18", "fig19", "fig20-21",
+		"table1", "fig25", "fig26", "fig27", "fig28", "fig29", "fig30",
+		"bands", "ablation", "caseii-recovery", "energy", "scarcity",
+		"multihop", "upperbound", "coexistence", "beaconmode", "tsch",
+		"layouts", "lpl",
+	}
+	for _, name := range want {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("experiment %q missing from the registry", name)
+		}
+	}
+	if len(reg) != len(want) {
+		t.Errorf("registry has %d entries, test expects %d — keep them in sync",
+			len(reg), len(want))
+	}
+}
+
+func TestQuickExperimentEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation; skipped in -short")
+	}
+	if err := run([]string{"-exp", "layouts", "-quick"}); err != nil {
+		t.Fatalf("layouts: %v", err)
+	}
+}
+
+func TestScenarioFlow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	doc := `{"name":"t","warmupMillis":200,"measureMillis":400,"networks":[
+	  {"freqMHz":2460,"sink":{"x":1},"senders":[{"x":0}]}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path}); err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if err := run([]string{"-scenario", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("missing scenario accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.csv")
+	if err := run([]string{"-o", out, "-run", "200ms", "-networks", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time_us,kind,node,seq,value,note\n") {
+		t.Errorf("missing CSV header: %q", string(data[:40]))
+	}
+	if strings.Count(string(data), "\n") < 10 {
+		t.Error("trace suspiciously small")
+	}
+}
+
+func TestSchemes(t *testing.T) {
+	dir := t.TempDir()
+	for _, scheme := range []string{"fixed", "no-cs"} {
+		out := filepath.Join(dir, scheme+".csv")
+		if err := run([]string{"-o", out, "-run", "100ms", "-networks", "1", "-scheme", scheme}); err != nil {
+			t.Errorf("scheme %s: %v", scheme, err)
+		}
+	}
+	if err := run([]string{"-scheme", "tdma"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

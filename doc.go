@@ -1,0 +1,16 @@
+// Package nonortho is a from-scratch Go reproduction of "Design of
+// Non-orthogonal Multi-channel Sensor Networks" (Xu, Luo, Zhang —
+// ICDCS 2010): the DCN scheme (Dynamic CCA-threshold for Non-orthogonal
+// transmission) together with the full 802.15.4 PHY/MAC substrate it needs
+// — a deterministic discrete-event simulator standing in for the paper's
+// 35-mote MicaZ/CC2420 testbed.
+//
+// The library lives under internal/: sim (event kernel), phy (propagation,
+// rejection, BER), frame (802.15.4 frames), medium (shared channel), radio
+// (CC2420 model), mac (unslotted CSMA/CA), dcn (the paper's CCA-Adjustor),
+// topology, stats, recovery, net80211 (802.11b contrast model), testbed
+// (experiment harness) and experiments (one constructor per paper figure
+// and table). The cmd/dcnsim CLI and examples/ directory exercise the
+// public surface; bench_test.go regenerates every figure as a Go
+// benchmark.
+package nonortho

@@ -1,0 +1,61 @@
+// attacker reproduces the paper's concurrency probe (Section III-B,
+// Figs. 3-4): two crossed links with carrier sense disabled, one of them
+// an "attacker" blasting a packet every 3 ms so that every packet of the
+// normal sender collides. It sweeps the channel frequency distance and
+// prints the collided-packet receive rate (CPRR) of both links — the
+// evidence that non-orthogonal concurrency is feasible at CFD >= 3 MHz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/testbed"
+	"nonortho/internal/topology"
+)
+
+func main() {
+	seed := flag.Int64("seed", 3, "random seed")
+	measure := flag.Duration("measure", 8*time.Second, "virtual measurement window")
+	flag.Parse()
+	if err := run(*seed, *measure); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(seed int64, measure time.Duration) error {
+	fmt.Println("CPRR vs channel frequency distance (carrier sense disabled)")
+	fmt.Println("CFD (MHz)  normal sender  attacker")
+	for _, cfd := range []phy.MHz{5, 4, 3, 2, 1} {
+		normal, attacker := probe(seed, cfd, measure)
+		fmt.Printf("%9.0f  %12.1f%%  %7.1f%%\n", float64(cfd), 100*normal, 100*attacker)
+	}
+	fmt.Println("\npaper: ~100% at >=4 MHz, ~97% at 3 MHz, ~70% at 2 MHz, <20% at 1 MHz")
+	return nil
+}
+
+// probe builds the crossed-link geometry: each receiver is 1 m from both
+// its own sender and the foreign one, so the collider arrives at equal
+// power.
+func probe(seed int64, cfd phy.MHz, measure time.Duration) (normalCPRR, attackerCPRR float64) {
+	tb := testbed.New(testbed.Options{Seed: seed, StaticFadingSigma: -1})
+	normal := tb.AddNetwork(topology.NetworkSpec{
+		Freq:    2460,
+		Sink:    topology.NodeSpec{Pos: phy.Position{X: 0.5, Y: 0}},
+		Senders: []topology.NodeSpec{{Pos: phy.Position{X: -0.5, Y: 0}}},
+	}, testbed.NetworkConfig{Scheme: testbed.SchemeNoCarrierSense})
+	attacker := tb.AddNetwork(topology.NetworkSpec{
+		Freq:    2460 + cfd,
+		Sink:    topology.NodeSpec{Pos: phy.Position{X: -0.5, Y: 1}},
+		Senders: []topology.NodeSpec{{Pos: phy.Position{X: 0.5, Y: 1}}},
+	}, testbed.NetworkConfig{
+		Scheme:  testbed.SchemeNoCarrierSense,
+		Period:  3 * time.Millisecond,
+		Payload: 73, // ~2.9 ms airtime: near-total channel occupancy
+	})
+	tb.Run(time.Second, measure)
+	return normal.Stats().CPRR(), attacker.Stats().CPRR()
+}

@@ -1,0 +1,90 @@
+// beacon-pan demonstrates the beacon-enabled 802.15.4 mode end-to-end:
+// a coordinator beacons with BO=6/SO=3 (12.5 % duty cycle), devices join
+// through the association procedure, one receives a guaranteed time slot,
+// and the duty-cycled devices' energy is compared with an always-on node.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"nonortho/internal/beacon"
+	"nonortho/internal/frame"
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2, "random seed")
+	runFor := flag.Duration("run", 30*time.Second, "virtual run time")
+	flag.Parse()
+	if err := run(*seed, *runFor); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(seed int64, runFor time.Duration) error {
+	k := sim.NewKernel(seed)
+	m := medium.New(k)
+	sched := beacon.Schedule{BeaconOrder: 6, SuperframeOrder: 3}
+
+	mkRadio := func(addr frame.Address, x, y float64) *radio.Radio {
+		return radio.New(k, m, radio.Config{
+			Pos: phy.Position{X: x, Y: y}, Freq: 2460, TxPower: 0,
+			CCAThreshold: phy.DefaultCCAThreshold, Address: addr,
+		})
+	}
+
+	coord, err := beacon.NewCoordinator(k, mkRadio(1, 0, 0), sched)
+	if err != nil {
+		return err
+	}
+	coord.EnableAssociation(beacon.AssocConfig{FirstAddr: 0x0100})
+
+	var devices []*beacon.Device
+	for i := 0; i < 3; i++ {
+		d, err := beacon.NewDevice(k, mkRadio(frame.Address(10+i), 0.6+0.3*float64(i), 0.5), 1, sched)
+		if err != nil {
+			return err
+		}
+		d.SleepInactive = i > 0 // device 0 stays always-on for contrast
+		devices = append(devices, d)
+	}
+
+	// A guaranteed slot for device 2. GTS holders drain their queue
+	// contention-free inside their slots and here keep their static
+	// address (association for a sleeping GTS device needs the standard's
+	// indirect-transmission machinery, which is out of scope).
+	if _, err := coord.AllocateGTS(devices[2].Radio().Address(), 2); err != nil {
+		return err
+	}
+
+	coord.Start()
+	for _, d := range devices[:2] {
+		d.Associate(500 * time.Millisecond)
+	}
+	// Each device reports twice a second.
+	for _, d := range devices {
+		d := d
+		k.NewTicker(500*time.Millisecond, func() { d.Send(make([]byte, 32)) })
+	}
+	k.RunFor(runFor)
+
+	fmt.Printf("superframe: BI=%v, active=%v, duty=%.3f\n",
+		sched.BeaconInterval(), sched.ActiveDuration(), sched.DutyCycle())
+	fmt.Printf("beacons sent: %d, data received: %d\n", coord.BeaconsSent(), coord.Received())
+	for i, d := range devices {
+		e := d.EnergyReport()
+		addr := uint16(d.ShortAddr())
+		if !d.Associated() {
+			addr = uint16(d.Radio().Address()) // static addressing
+		}
+		fmt.Printf("device %d: associated=%v addr=%#04x gts=%v sleep=%v energy=%.1f mJ\n",
+			i, d.Associated(), addr, d.GTS() != nil, d.SleepInactive, e.Millijoules)
+	}
+	return nil
+}

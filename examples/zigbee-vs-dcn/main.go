@@ -1,0 +1,66 @@
+// zigbee-vs-dcn reproduces the paper's headline result on a 15 MHz band
+// (2458-2473 MHz): the default ZigBee multi-channel design (4 channels at
+// CFD = 5 MHz, fixed -77 dBm CCA threshold) against the non-orthogonal
+// design (6 channels at CFD = 3 MHz) with the DCN CCA-Adjustor running on
+// every node. Expect roughly a 40-55 % overall throughput improvement —
+// the paper measured 38.4-55.7 % across configurations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+	"nonortho/internal/testbed"
+	"nonortho/internal/topology"
+)
+
+func main() {
+	seed := flag.Int64("seed", 7, "random seed")
+	measure := flag.Duration("measure", 10*time.Second, "virtual measurement window")
+	flag.Parse()
+	if err := run(*seed, *measure); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(seed int64, measure time.Duration) error {
+	zigbee, err := design(seed, 4, 5, testbed.SchemeFixed, measure)
+	if err != nil {
+		return err
+	}
+	dcn, err := design(seed, 6, 3, testbed.SchemeDCN, measure)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("15 MHz band (2458-2473 MHz), colocated networks, 0 dBm")
+	fmt.Printf("  ZigBee design  (4 ch, CFD=5, fixed -77 dBm): %7.1f pkt/s\n", zigbee)
+	fmt.Printf("  DCN design     (6 ch, CFD=3, CCA-Adjustor):  %7.1f pkt/s\n", dcn)
+	fmt.Printf("  improvement: %.1f%%  (paper: 38.4%% - 55.7%%)\n", 100*(dcn/zigbee-1))
+	return nil
+}
+
+func design(seed int64, channels int, cfd phy.MHz, scheme testbed.Scheme, measure time.Duration) (float64, error) {
+	centers := make([]phy.MHz, channels)
+	for i := range centers {
+		centers[i] = 2458 + phy.MHz(i)*cfd
+	}
+	rng := sim.NewRNG(seed)
+	nets, err := topology.Generate(topology.Config{
+		Plan:   phy.ChannelPlan{Centers: centers, CFD: cfd},
+		Layout: topology.LayoutColocated,
+	}, rng)
+	if err != nil {
+		return 0, err
+	}
+	tb := testbed.New(testbed.Options{Seed: seed})
+	for _, spec := range nets {
+		tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
+	}
+	tb.Run(3*time.Second, measure)
+	return tb.OverallThroughput(), nil
+}

@@ -1,0 +1,3 @@
+module nonortho
+
+go 1.22

@@ -1,0 +1,152 @@
+// Package assign implements orthogonal channel-assignment baselines in the
+// spirit of the related work the paper positions against (Section II):
+// TMCP-style greedy assignment that minimises the interference coupling of
+// networks forced to share a channel, and MMSN-style round-robin
+// frequency spreading. When there are more networks than orthogonal
+// channels — the paper's core scarcity argument — some networks must
+// share, and the quality of the assignment decides how much that costs.
+package assign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/topology"
+)
+
+// CouplingMatrix holds pairwise interference weights between networks:
+// entry (i, j) estimates how much network i's transmitters are heard by
+// network j's receivers (linear milliwatts, symmetrised).
+type CouplingMatrix [][]float64
+
+// Coupling estimates the pairwise coupling of the given networks under a
+// propagation model: for each ordered pair, the summed linear received
+// power of every sender of one network at the sink and senders of the
+// other. Shadowing is not included — assignment happens before
+// deployment measurements exist.
+func Coupling(nets []topology.NetworkSpec, model phy.PathLossModel) CouplingMatrix {
+	n := len(nets)
+	m := make(CouplingMatrix, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := pairCoupling(nets[i], nets[j], model) + pairCoupling(nets[j], nets[i], model)
+			m[i][j] = w
+			m[j][i] = w
+		}
+	}
+	return m
+}
+
+// pairCoupling sums the power of a's senders arriving at b's nodes.
+func pairCoupling(a, b topology.NetworkSpec, model phy.PathLossModel) float64 {
+	total := 0.0
+	for _, s := range a.Senders {
+		rx := phy.ReceivedPower(model, s.TxPower, s.Pos, b.Sink.Pos)
+		total += rx.Milliwatts()
+		for _, t := range b.Senders {
+			total += phy.ReceivedPower(model, s.TxPower, s.Pos, t.Pos).Milliwatts()
+		}
+	}
+	return total
+}
+
+// Assignment maps network index to a channel index in [0, K).
+type Assignment []int
+
+// Cost is the summed coupling between networks that share a channel — the
+// quantity the greedy assignment minimises.
+func (a Assignment) Cost(m CouplingMatrix) float64 {
+	total := 0.0
+	for i := range a {
+		for j := i + 1; j < len(a); j++ {
+			if a[i] == a[j] {
+				total += m[i][j]
+			}
+		}
+	}
+	return total
+}
+
+// Validate checks the assignment's structure.
+func (a Assignment) Validate(channels int) error {
+	for i, c := range a {
+		if c < 0 || c >= channels {
+			return fmt.Errorf("assign: network %d on channel %d, want [0, %d)", i, c, channels)
+		}
+	}
+	return nil
+}
+
+// Greedy assigns channels TMCP-style: networks are considered in
+// descending order of their total coupling (the hardest first), and each
+// takes the channel where it adds the least coupling to the networks
+// already placed there. With channels >= networks this is an exact
+// zero-cost assignment; with fewer channels it packs the least-coupled
+// networks together.
+func Greedy(m CouplingMatrix, channels int) Assignment {
+	n := len(m)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	totals := make([]float64, n)
+	for i := range m {
+		for j := range m[i] {
+			totals[i] += m[i][j]
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return totals[order[a]] > totals[order[b]] })
+
+	out := make(Assignment, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for _, net := range order {
+		best, bestCost := 0, math.Inf(1)
+		for c := 0; c < channels; c++ {
+			cost := 0.0
+			for other, ch := range out {
+				if ch == c {
+					cost += m[net][other]
+				}
+			}
+			if cost < bestCost {
+				best, bestCost = c, cost
+			}
+		}
+		out[net] = best
+	}
+	return out
+}
+
+// RoundRobin spreads networks across channels MMSN-style (even selection
+// by index), ignoring geometry.
+func RoundRobin(n, channels int) Assignment {
+	out := make(Assignment, n)
+	for i := range out {
+		out[i] = i % channels
+	}
+	return out
+}
+
+// Apply rewrites each network's frequency according to the assignment and
+// the channel table, returning a copy.
+func Apply(nets []topology.NetworkSpec, a Assignment, channels []phy.MHz) ([]topology.NetworkSpec, error) {
+	if len(a) != len(nets) {
+		return nil, fmt.Errorf("assign: %d assignments for %d networks", len(a), len(nets))
+	}
+	if err := a.Validate(len(channels)); err != nil {
+		return nil, err
+	}
+	out := make([]topology.NetworkSpec, len(nets))
+	for i, spec := range nets {
+		out[i] = spec
+		out[i].Freq = channels[a[i]]
+	}
+	return out, nil
+}

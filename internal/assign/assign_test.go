@@ -1,0 +1,180 @@
+package assign
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+	"nonortho/internal/topology"
+)
+
+// pairsAt builds n single-sender networks along the X axis at the given
+// positions.
+func pairsAt(xs ...float64) []topology.NetworkSpec {
+	out := make([]topology.NetworkSpec, len(xs))
+	for i, x := range xs {
+		out[i] = topology.NetworkSpec{
+			Freq:    2460,
+			Sink:    topology.NodeSpec{Pos: phy.Position{X: x}},
+			Senders: []topology.NodeSpec{{Pos: phy.Position{X: x + 0.5}}},
+		}
+	}
+	return out
+}
+
+func TestCouplingSymmetricAndDistanceMonotone(t *testing.T) {
+	nets := pairsAt(0, 2, 10)
+	m := Coupling(nets, phy.DefaultPathLoss())
+	if m[0][1] != m[1][0] || m[0][2] != m[2][0] {
+		t.Error("coupling not symmetric")
+	}
+	if !(m[0][1] > m[0][2]) {
+		t.Errorf("closer pair not more coupled: near %v far %v", m[0][1], m[0][2])
+	}
+	if m[0][0] != 0 {
+		t.Errorf("self-coupling = %v, want 0", m[0][0])
+	}
+}
+
+func TestGreedyIsZeroCostWhenChannelsSuffice(t *testing.T) {
+	nets := pairsAt(0, 1, 2, 3)
+	m := Coupling(nets, phy.DefaultPathLoss())
+	a := Greedy(m, 4)
+	if err := a.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Cost(m); got != 0 {
+		t.Errorf("cost with enough channels = %v, want 0", got)
+	}
+	// All channels distinct.
+	seen := map[int]bool{}
+	for _, c := range a {
+		if seen[c] {
+			t.Fatalf("channel reused despite surplus: %v", a)
+		}
+		seen[c] = true
+	}
+}
+
+func TestGreedyPairsTheFarthestNetworks(t *testing.T) {
+	// Four networks, two channels: the cheap pairs to co-locate on a
+	// channel are (0,3) and (1,2)? No — 0 and 3 are farthest apart, and
+	// 1,2 are adjacent... the greedy must avoid pairing neighbours.
+	nets := pairsAt(0, 2, 20, 22)
+	m := Coupling(nets, phy.DefaultPathLoss())
+	a := Greedy(m, 2)
+	if err := a.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: {0,2} and {1,3} (or {0,3},{1,2}) — never {0,1} or {2,3},
+	// the adjacent pairs.
+	if a[0] == a[1] || a[2] == a[3] {
+		t.Errorf("greedy paired adjacent networks: %v (cost %v)", a, a.Cost(m))
+	}
+	// And the cost must beat naive round-robin... round-robin gives
+	// {0,2},{1,3}, which here is actually optimal too; compare against
+	// the worst pairing instead.
+	worst := Assignment{0, 0, 1, 1}
+	if a.Cost(m) >= worst.Cost(m) {
+		t.Errorf("greedy cost %v not below worst pairing %v", a.Cost(m), worst.Cost(m))
+	}
+}
+
+func TestGreedyNeverWorseThanSingleChannelProperty(t *testing.T) {
+	// Hard property: the greedy assignment never costs more than piling
+	// every network onto one channel (greedy is a heuristic, so it can
+	// occasionally lose to a lucky round-robin, but never to the trivial
+	// worst case).
+	f := func(seed int64, nRaw, chRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		channels := int(chRaw%3) + 1
+		rng := sim.NewRNG(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.UniformRange(0, 20)
+		}
+		nets := pairsAt(xs...)
+		m := Coupling(nets, phy.DefaultPathLoss())
+		g := Greedy(m, channels)
+		if err := g.Validate(channels); err != nil {
+			return false
+		}
+		single := make(Assignment, n) // all zeros: one shared channel
+		return g.Cost(m) <= single.Cost(m)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyBeatsRoundRobinOnAverage(t *testing.T) {
+	// Statistical property: over many random placements, geometry-aware
+	// greedy packing costs less than geometry-blind round-robin.
+	var greedyTotal, rrTotal float64
+	for seed := int64(0); seed < 150; seed++ {
+		rng := sim.NewRNG(seed)
+		xs := make([]float64, 6)
+		for i := range xs {
+			xs[i] = rng.UniformRange(0, 20)
+		}
+		nets := pairsAt(xs...)
+		m := Coupling(nets, phy.DefaultPathLoss())
+		greedyTotal += Greedy(m, 3).Cost(m)
+		rrTotal += RoundRobin(6, 3).Cost(m)
+	}
+	if greedyTotal >= rrTotal {
+		t.Errorf("greedy mean cost %v not below round-robin %v", greedyTotal/150, rrTotal/150)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	a := RoundRobin(5, 2)
+	want := Assignment{0, 1, 0, 1, 0}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("RoundRobin = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestApplyRewritesFrequencies(t *testing.T) {
+	nets := pairsAt(0, 5)
+	channels := []phy.MHz{2458, 2473}
+	out, err := Apply(nets, Assignment{1, 0}, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Freq != 2473 || out[1].Freq != 2458 {
+		t.Errorf("frequencies = %v/%v", out[0].Freq, out[1].Freq)
+	}
+	// Input untouched.
+	if nets[0].Freq != 2460 {
+		t.Error("Apply mutated its input")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	nets := pairsAt(0, 5)
+	if _, err := Apply(nets, Assignment{0}, []phy.MHz{2458}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Apply(nets, Assignment{0, 5}, []phy.MHz{2458}); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+}
+
+func TestAssignmentCost(t *testing.T) {
+	m := CouplingMatrix{
+		{0, 1, 2},
+		{1, 0, 4},
+		{2, 4, 0},
+	}
+	// Networks 1 and 2 share: cost = m[1][2] = 4.
+	if got := (Assignment{0, 1, 1}).Cost(m); got != 4 {
+		t.Errorf("Cost = %v, want 4", got)
+	}
+	if got := (Assignment{0, 1, 2}).Cost(m); got != 0 {
+		t.Errorf("distinct channels cost = %v, want 0", got)
+	}
+}

@@ -1,0 +1,146 @@
+package beacon
+
+import (
+	"time"
+
+	"nonortho/internal/frame"
+)
+
+// Association per IEEE 802.15.4 §7.5.3, simplified: a synced device sends
+// an association-request command through the CAP; the coordinator assigns
+// a short address from its pool and answers with an association-response
+// command. (The standard parks the response in the coordinator's indirect
+// queue until the device polls; here the coordinator answers directly
+// after a turnaround, which changes timing but not the address-assignment
+// logic.) Devices boot with a provisional address and adopt the assigned
+// one on success.
+
+// MAC command identifiers (§7.3).
+const (
+	cmdAssociationRequest  = 0x01
+	cmdAssociationResponse = 0x02
+)
+
+// Association response status codes.
+const (
+	assocStatusSuccess    = 0x00
+	assocStatusAtCapacity = 0x01
+)
+
+// AssocConfig tunes the coordinator's association behaviour.
+type AssocConfig struct {
+	// FirstAddr is the first short address handed out (default 0x0100).
+	FirstAddr frame.Address
+	// MaxDevices caps the PAN size (default 64).
+	MaxDevices int
+}
+
+func (c AssocConfig) withDefaults() AssocConfig {
+	if c.FirstAddr == 0 {
+		c.FirstAddr = 0x0100
+	}
+	if c.MaxDevices == 0 {
+		c.MaxDevices = 64
+	}
+	return c
+}
+
+// EnableAssociation switches the coordinator into accepting association
+// requests.
+func (c *Coordinator) EnableAssociation(cfg AssocConfig) {
+	c.assoc = cfg.withDefaults()
+	c.assocEnabled = true
+	if c.members == nil {
+		c.members = make(map[frame.Address]frame.Address)
+	}
+}
+
+// Members returns provisional→assigned address pairs of associated devices.
+func (c *Coordinator) Members() map[frame.Address]frame.Address {
+	out := make(map[frame.Address]frame.Address, len(c.members))
+	for k, v := range c.members {
+		out[k] = v
+	}
+	return out
+}
+
+// handleCommand processes MAC command frames at the coordinator.
+func (c *Coordinator) handleCommand(f *frame.Frame) {
+	if !c.assocEnabled || len(f.Payload) == 0 || f.Payload[0] != cmdAssociationRequest {
+		return
+	}
+	provisional := f.Src
+	assigned, ok := c.members[provisional]
+	status := byte(assocStatusSuccess)
+	if !ok {
+		if len(c.members) >= c.assoc.MaxDevices {
+			status = assocStatusAtCapacity
+		} else {
+			assigned = c.assoc.FirstAddr + frame.Address(len(c.members))
+			c.members[provisional] = assigned
+		}
+	}
+	resp := &frame.Frame{
+		Type: frame.TypeCommand,
+		Src:  c.radio.Address(),
+		Dst:  provisional,
+		Payload: []byte{
+			cmdAssociationResponse, status,
+			byte(assigned), byte(assigned >> 8),
+		},
+	}
+	// Direct response after a radio turnaround (see package note).
+	c.kernel.After(frame.TurnaroundTime, func() {
+		_, _ = c.radio.Transmit(resp)
+	})
+}
+
+// Associate begins the association procedure once the device is synced;
+// requests are retried every retry interval until a response arrives.
+func (d *Device) Associate(retry time.Duration) {
+	if retry <= 0 {
+		retry = 500 * time.Millisecond
+	}
+	d.assocRetry = retry
+	d.associating = true
+	d.tryAssociate()
+}
+
+// Associated reports whether a short address has been assigned.
+func (d *Device) Associated() bool { return d.associated }
+
+// ShortAddr returns the PAN-assigned address (valid once Associated).
+func (d *Device) ShortAddr() frame.Address { return d.shortAddr }
+
+func (d *Device) tryAssociate() {
+	if !d.associating || d.associated {
+		return
+	}
+	if d.synced {
+		req := &frame.Frame{
+			Type:    frame.TypeCommand,
+			Src:     d.radio.Address(),
+			Dst:     d.coord,
+			Payload: []byte{cmdAssociationRequest},
+		}
+		d.queue = append(d.queue, req)
+		d.kick()
+	}
+	d.kernel.After(d.assocRetry, d.tryAssociate)
+}
+
+// handleAssocResponse consumes the coordinator's answer.
+func (d *Device) handleAssocResponse(f *frame.Frame) {
+	if len(f.Payload) < 4 || f.Payload[0] != cmdAssociationResponse {
+		return
+	}
+	if f.Payload[1] != assocStatusSuccess {
+		d.associating = false // PAN full: stop retrying
+		return
+	}
+	d.shortAddr = frame.Address(f.Payload[2]) | frame.Address(f.Payload[3])<<8
+	d.associated = true
+	d.associating = false
+	// Adopt the assigned address for all further traffic.
+	d.radio.SetAddress(d.shortAddr)
+}

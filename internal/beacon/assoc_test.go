@@ -1,0 +1,114 @@
+package beacon
+
+import (
+	"testing"
+	"time"
+
+	"nonortho/internal/frame"
+	"nonortho/internal/radio"
+)
+
+func TestAssociationAssignsAddresses(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 3, SuperframeOrder: 3}
+	coord, devs := pan(t, k, m, sched, 3)
+	coord.EnableAssociation(AssocConfig{})
+	coord.Start()
+	for _, d := range devs {
+		d.Associate(200 * time.Millisecond)
+	}
+	k.RunFor(30 * sched.BeaconInterval())
+
+	seen := map[frame.Address]bool{}
+	for i, d := range devs {
+		if !d.Associated() {
+			t.Fatalf("device %d never associated", i)
+		}
+		a := d.ShortAddr()
+		if a < 0x0100 || a > 0x0102 {
+			t.Errorf("device %d address = %#04x, want pool-assigned", i, a)
+		}
+		if seen[a] {
+			t.Errorf("address %#04x assigned twice", a)
+		}
+		seen[a] = true
+		// The radio adopted the new address.
+		if d.Radio().Address() != a {
+			t.Errorf("device %d radio address = %v, want %v", i, d.Radio().Address(), a)
+		}
+	}
+	if got := len(coord.Members()); got != 3 {
+		t.Errorf("members = %d, want 3", got)
+	}
+}
+
+func TestAssociationCapacity(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 3, SuperframeOrder: 3}
+	coord, devs := pan(t, k, m, sched, 3)
+	coord.EnableAssociation(AssocConfig{MaxDevices: 2})
+	coord.Start()
+	for _, d := range devs {
+		d.Associate(200 * time.Millisecond)
+	}
+	k.RunFor(30 * sched.BeaconInterval())
+
+	associated := 0
+	for _, d := range devs {
+		if d.Associated() {
+			associated++
+		}
+	}
+	if associated != 2 {
+		t.Errorf("associated = %d, want 2 (PAN at capacity)", associated)
+	}
+	if got := len(coord.Members()); got != 2 {
+		t.Errorf("members = %d, want 2", got)
+	}
+	// The refused device stopped retrying (no endless spam).
+	for _, d := range devs {
+		if !d.Associated() && d.associating {
+			t.Error("refused device still retrying")
+		}
+	}
+}
+
+func TestAssociationThenDataUsesAssignedAddress(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 3, SuperframeOrder: 3}
+	coord, devs := pan(t, k, m, sched, 1)
+	coord.EnableAssociation(AssocConfig{FirstAddr: 0x0200})
+	coord.Start()
+	devs[0].Associate(200 * time.Millisecond)
+	k.RunFor(20 * sched.BeaconInterval())
+	if !devs[0].Associated() {
+		t.Fatal("not associated")
+	}
+
+	var srcs []frame.Address
+	coord.OnReceive = func(rcv radio.Reception) { srcs = append(srcs, rcv.Frame.Src) }
+	devs[0].Send(make([]byte, 16))
+	k.RunFor(20 * sched.BeaconInterval())
+
+	if len(srcs) != 1 || srcs[0] != devs[0].ShortAddr() {
+		t.Errorf("data srcs = %v, want [%v]", srcs, devs[0].ShortAddr())
+	}
+}
+
+func TestAssociationIdempotentForSameDevice(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 3, SuperframeOrder: 3}
+	coord, _ := pan(t, k, m, sched, 0)
+	coord.EnableAssociation(AssocConfig{})
+	// Simulate two requests from the same provisional address.
+	coord.handleCommand(&frame.Frame{
+		Type: frame.TypeCommand, Src: 42, Payload: []byte{cmdAssociationRequest},
+	})
+	coord.handleCommand(&frame.Frame{
+		Type: frame.TypeCommand, Src: 42, Payload: []byte{cmdAssociationRequest},
+	})
+	if got := len(coord.Members()); got != 1 {
+		t.Errorf("members = %d, want 1 (idempotent)", got)
+	}
+	_ = k
+}

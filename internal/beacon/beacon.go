@@ -1,0 +1,454 @@
+// Package beacon implements the beacon-enabled mode of IEEE 802.15.4: a
+// coordinator broadcasting periodic beacons, the superframe structure
+// (active portion of 16 slots, optional inactive period), and the slotted
+// CSMA/CA channel access of devices synchronised to the beacon — backoff
+// boundaries aligned to the superframe and two consecutive clear CCAs
+// (CW = 2) before transmitting.
+//
+// The paper's DCN operates in nonbeacon mode, but its CCA-Adjustor only
+// touches the radio's threshold register, so it plugs into slotted
+// CSMA/CA unchanged — this package makes the substrate complete enough to
+// check that. Scope notes: no GTS slots, no association procedure
+// (addresses are preconfigured), and beacon reception is assumed reliable
+// enough for sync (a lost beacon simply extends the previous schedule).
+package beacon
+
+import (
+	"fmt"
+	"time"
+
+	"nonortho/internal/frame"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+// Superframe timing constants (IEEE 802.15.4-2003 §7.5.1.1).
+const (
+	// BaseSuperframeDuration is aBaseSuperframeDuration: 960 symbols.
+	BaseSuperframeDuration = 960 * frame.SymbolPeriod
+	// NumSlots divides the active portion.
+	NumSlots = 16
+	// CW is the slotted-mode contention window: consecutive clear CCAs
+	// required before transmission.
+	CW = 2
+)
+
+// Schedule describes a superframe configuration.
+type Schedule struct {
+	// BeaconOrder and SuperframeOrder are BO and SO (0..14, SO <= BO).
+	BeaconOrder     int
+	SuperframeOrder int
+}
+
+// Validate checks the standard's constraints.
+func (s Schedule) Validate() error {
+	if s.BeaconOrder < 0 || s.BeaconOrder > 14 {
+		return fmt.Errorf("beacon: BO %d outside 0..14", s.BeaconOrder)
+	}
+	if s.SuperframeOrder < 0 || s.SuperframeOrder > s.BeaconOrder {
+		return fmt.Errorf("beacon: SO %d outside 0..BO(%d)", s.SuperframeOrder, s.BeaconOrder)
+	}
+	return nil
+}
+
+// BeaconInterval is BI = aBaseSuperframeDuration · 2^BO.
+func (s Schedule) BeaconInterval() time.Duration {
+	return BaseSuperframeDuration << uint(s.BeaconOrder)
+}
+
+// ActiveDuration is SD = aBaseSuperframeDuration · 2^SO.
+func (s Schedule) ActiveDuration() time.Duration {
+	return BaseSuperframeDuration << uint(s.SuperframeOrder)
+}
+
+// DutyCycle is the active fraction of the beacon interval.
+func (s Schedule) DutyCycle() float64 {
+	return float64(s.ActiveDuration()) / float64(s.BeaconInterval())
+}
+
+// Coordinator broadcasts beacons and receives the devices' data.
+type Coordinator struct {
+	kernel   *sim.Kernel
+	radio    *radio.Radio
+	schedule Schedule
+
+	beaconsSent int
+	received    int
+
+	// gts holds the granted guaranteed time slots (see gts.go).
+	gts []GTSDescriptor
+
+	// association state (see assoc.go)
+	assocEnabled bool
+	assoc        AssocConfig
+	members      map[frame.Address]frame.Address
+
+	// OnReceive delivers CRC-clean data frames addressed to the
+	// coordinator.
+	OnReceive func(radio.Reception)
+
+	running bool
+}
+
+// beaconPayload makes beacons recognisable and carries BO/SO.
+func (s Schedule) beaconPayload() []byte {
+	return []byte{byte(s.BeaconOrder), byte(s.SuperframeOrder)}
+}
+
+// NewCoordinator builds a PAN coordinator on the radio.
+func NewCoordinator(k *sim.Kernel, r *radio.Radio, schedule Schedule) (*Coordinator, error) {
+	if err := schedule.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{kernel: k, radio: r, schedule: schedule}
+	r.OnReceive = func(rcv radio.Reception) {
+		if !rcv.CRCOK || rcv.Frame.Dst != r.Address() {
+			return
+		}
+		switch rcv.Frame.Type {
+		case frame.TypeData:
+			c.received++
+			if c.OnReceive != nil {
+				c.OnReceive(rcv)
+			}
+		case frame.TypeCommand:
+			c.handleCommand(rcv.Frame)
+		}
+	}
+	return c, nil
+}
+
+// Start begins broadcasting beacons at the schedule's interval.
+func (c *Coordinator) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.emitBeacon()
+}
+
+// Stop halts beaconing after the current interval.
+func (c *Coordinator) Stop() { c.running = false }
+
+// BeaconsSent and Received report the coordinator's counters.
+func (c *Coordinator) BeaconsSent() int { return c.beaconsSent }
+
+// Received counts data frames accepted by the coordinator.
+func (c *Coordinator) Received() int { return c.received }
+
+func (c *Coordinator) emitBeacon() {
+	if !c.running {
+		return
+	}
+	b := &frame.Frame{
+		Type:    frame.TypeBeacon,
+		Src:     c.radio.Address(),
+		Dst:     frame.Broadcast,
+		Payload: encodeGTS(c.schedule.beaconPayload(), c.CAPSlots(), c.gts),
+	}
+	// Beacons are sent without CSMA at the scheduled instant.
+	if _, err := c.radio.Transmit(b); err == nil {
+		c.beaconsSent++
+	}
+	c.kernel.After(c.schedule.BeaconInterval(), c.emitBeacon)
+}
+
+// Device is a beacon-synchronised node running slotted CSMA/CA.
+type Device struct {
+	kernel   *sim.Kernel
+	radio    *radio.Radio
+	schedule Schedule
+	coord    frame.Address
+
+	// superframe sync state
+	synced        bool
+	frameStart    sim.Time // start of the current superframe's beacon
+	beaconAirtime sim.Time
+	capSlots      int            // CAP extent advertised by the beacon
+	gts           *GTSDescriptor // our grant, if the beacon lists one
+
+	// MAC state
+	queue    []*frame.Frame
+	inFlight bool
+	seq      uint8
+	sent     int
+	dropped  int
+
+	// SleepInactive powers the radio down between the active portion and
+	// the next beacon (BO > SO), the standard's duty-cycling.
+	SleepInactive bool
+
+	// association state (see assoc.go)
+	associating bool
+	associated  bool
+	shortAddr   frame.Address
+	assocRetry  time.Duration
+
+	// OnSent fires for every frame put on the air.
+	OnSent func(*frame.Frame)
+
+	rng *sim.RNG
+}
+
+// NewDevice builds a device that syncs to beacons from coord.
+func NewDevice(k *sim.Kernel, r *radio.Radio, coord frame.Address, schedule Schedule) (*Device, error) {
+	if err := schedule.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		kernel:   k,
+		radio:    r,
+		schedule: schedule,
+		coord:    coord,
+		capSlots: NumSlots,
+		rng:      k.Stream(fmt.Sprintf("beacon.dev.%d", r.Address())),
+	}
+	r.OnReceive = d.handleReception
+	return d, nil
+}
+
+// Radio exposes the device's radio (for DCN attachment and tests).
+func (d *Device) Radio() *radio.Radio { return d.radio }
+
+// Synced reports whether a beacon has been tracked yet.
+func (d *Device) Synced() bool { return d.synced }
+
+// Sent and Dropped report the device's MAC counters.
+func (d *Device) Sent() int { return d.sent }
+
+// Dropped counts frames abandoned after CSMA failures.
+func (d *Device) Dropped() int { return d.dropped }
+
+// Send queues a data frame to the coordinator.
+func (d *Device) Send(payload []byte) bool {
+	if len(d.queue) >= 64 {
+		return false
+	}
+	f := &frame.Frame{
+		Type:    frame.TypeData,
+		Src:     d.radio.Address(),
+		Dst:     d.coord,
+		Seq:     d.seq,
+		Payload: payload,
+	}
+	d.seq++
+	d.queue = append(d.queue, f)
+	d.kick()
+	return true
+}
+
+func (d *Device) handleReception(rcv radio.Reception) {
+	if !rcv.CRCOK {
+		return
+	}
+	switch {
+	case rcv.Frame.Type == frame.TypeBeacon && rcv.Frame.Src == d.coord:
+		d.syncTo(rcv)
+	case rcv.Frame.Type == frame.TypeCommand && rcv.Frame.Dst == d.radio.Address():
+		d.handleAssocResponse(rcv.Frame)
+	}
+}
+
+// syncTo aligns the superframe schedule to a received beacon and picks up
+// the advertised CAP extent and any GTS granted to this device.
+func (d *Device) syncTo(rcv radio.Reception) {
+	d.frameStart = rcv.Start
+	d.beaconAirtime = rcv.End - rcv.Start
+	wasSynced := d.synced
+	d.synced = true
+
+	if capSlots, grants, ok := decodeGTS(rcv.Frame.Payload); ok {
+		d.capSlots = capSlots
+		d.gts = nil
+		for i := range grants {
+			if grants[i].Device == d.radio.Address() {
+				g := grants[i]
+				d.gts = &g
+				break
+			}
+		}
+	}
+	if d.gts != nil {
+		d.serveGTS(d.frameStart)
+	}
+	if d.SleepInactive {
+		d.scheduleSleep()
+	}
+	if !wasSynced {
+		d.kick()
+	}
+}
+
+// GTS reports the device's current grant (nil when none).
+func (d *Device) GTS() *GTSDescriptor {
+	if d.gts == nil {
+		return nil
+	}
+	g := *d.gts
+	return &g
+}
+
+// capBounds returns the CAP of the superframe containing or following t:
+// from the end of the beacon to the end of the contention slots (the
+// active portion minus any GTS the beacon advertised).
+func (d *Device) capBounds(t sim.Time) (start, end sim.Time) {
+	bi := sim.FromDuration(d.schedule.BeaconInterval())
+	capEnd := sim.Time(d.capSlots) * d.schedule.slotDuration()
+	// Superframe index relative to the last synced beacon.
+	var k sim.Time
+	if t > d.frameStart {
+		k = (t - d.frameStart) / bi
+	}
+	base := d.frameStart + k*bi
+	start = base + d.beaconAirtime
+	end = base + capEnd
+	if t >= end { // past this CAP: use the next superframe
+		base += bi
+		start = base + d.beaconAirtime
+		end = base + capEnd
+	}
+	return start, end
+}
+
+// scheduleSleep powers the radio down for the inactive portion.
+func (d *Device) scheduleSleep() {
+	if d.schedule.BeaconOrder == d.schedule.SuperframeOrder {
+		return // no inactive portion
+	}
+	bi := sim.FromDuration(d.schedule.BeaconInterval())
+	sd := sim.FromDuration(d.schedule.ActiveDuration())
+	now := d.kernel.Now()
+	var k sim.Time
+	if now > d.frameStart {
+		k = (now - d.frameStart) / bi
+	}
+	sleepAt := d.frameStart + k*bi + sd
+	wakeAt := d.frameStart + (k+1)*bi - sim.FromDuration(time.Millisecond)
+	if sleepAt <= now {
+		return
+	}
+	d.kernel.At(sleepAt, func() {
+		// Do not sleep through our own transmission.
+		if d.radio.State() != radio.StateTX {
+			d.radio.SetOff()
+		}
+	})
+	d.kernel.At(wakeAt, func() { d.radio.SetOn() })
+}
+
+func (d *Device) kick() {
+	if d.inFlight || len(d.queue) == 0 || !d.synced {
+		return
+	}
+	if d.gts != nil {
+		return // GTS holders drain their queue contention-free (gts.go)
+	}
+	d.inFlight = true
+	d.slottedCSMA(0, 3, CW)
+}
+
+// nextBoundary returns the next backoff-period boundary at or after t
+// within the superframe structure.
+func (d *Device) nextBoundary(t sim.Time) sim.Time {
+	capStart, capEnd := d.capBounds(t)
+	if t < capStart {
+		t = capStart
+	}
+	period := sim.FromDuration(frame.BackoffPeriod)
+	off := (t - capStart) % period
+	if off != 0 {
+		t += period - off
+	}
+	if t >= capEnd {
+		nextStart, _ := d.capBounds(capEnd + 1)
+		return nextStart
+	}
+	return t
+}
+
+// slottedCSMA implements the slotted algorithm: random backoff counted in
+// aligned periods, then CW consecutive clear CCAs at boundaries.
+func (d *Device) slottedCSMA(nb, be, cw int) {
+	if len(d.queue) == 0 {
+		d.inFlight = false
+		return
+	}
+	f := d.queue[0]
+	slots := d.rng.Intn(1 << be)
+	period := sim.FromDuration(frame.BackoffPeriod)
+	target := d.nextBoundary(d.kernel.Now()) + sim.Time(slots)*period
+
+	var assess func(remaining int, at sim.Time)
+	assess = func(remaining int, at sim.Time) {
+		at = d.nextBoundary(at)
+		d.kernel.At(at, func() {
+			// The transmission plus turnaround must fit in the CAP.
+			_, capEnd := d.capBounds(d.kernel.Now())
+			need := sim.FromDuration(frame.TurnaroundTime + f.Airtime())
+			if d.kernel.Now()+need > capEnd {
+				// Defer to the next superframe's CAP.
+				nextStart, _ := d.capBounds(capEnd + 1)
+				d.kernel.At(nextStart, func() { d.slottedCSMA(nb, be, CW) })
+				return
+			}
+			if d.radio.CCAClear() {
+				if remaining <= 1 {
+					d.kernel.After(frame.TurnaroundTime, func() { d.transmit(f) })
+					return
+				}
+				assess(remaining-1, d.kernel.Now()+period)
+				return
+			}
+			// Busy: restart the contention window with a larger backoff.
+			if nb+1 > 4 {
+				d.queue = d.queue[1:]
+				d.dropped++
+				d.inFlight = false
+				d.kick()
+				return
+			}
+			nextBE := be + 1
+			if nextBE > 5 {
+				nextBE = 5
+			}
+			d.slottedCSMA(nb+1, nextBE, CW)
+		})
+	}
+	assess(cw, target)
+}
+
+func (d *Device) transmit(f *frame.Frame) {
+	tx, err := d.radio.Transmit(f)
+	if err != nil {
+		d.queue = d.queue[1:]
+		d.dropped++
+		d.inFlight = false
+		d.kick()
+		return
+	}
+	d.kernel.At(tx.End, func() {
+		d.sent++
+		if d.OnSent != nil {
+			d.OnSent(f)
+		}
+		d.queue = d.queue[1:]
+		d.inFlight = false
+		d.kick()
+	})
+}
+
+// ErrNotSynced is returned by operations requiring beacon sync.
+var ErrNotSynced = fmt.Errorf("beacon: device not synced")
+
+// NextCAPStart reports when the device's next contention access period
+// begins (for tests and instrumentation).
+func (d *Device) NextCAPStart() (sim.Time, error) {
+	if !d.synced {
+		return 0, ErrNotSynced
+	}
+	start, _ := d.capBounds(d.kernel.Now())
+	return start, nil
+}
+
+// EnergyReport exposes the radio's meter (duty-cycling shows up here).
+func (d *Device) EnergyReport() radio.EnergyReport { return d.radio.EnergyReport() }

@@ -1,0 +1,244 @@
+package beacon
+
+import (
+	"testing"
+	"time"
+
+	"nonortho/internal/dcn"
+	"nonortho/internal/frame"
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+func world(t *testing.T) (*sim.Kernel, *medium.Medium) {
+	t.Helper()
+	k := sim.NewKernel(17)
+	m := medium.New(k,
+		medium.WithFadingSigma(0),
+		medium.WithStaticFadingSigma(0))
+	return k, m
+}
+
+func newRadio(k *sim.Kernel, m *medium.Medium, addr frame.Address, x float64) *radio.Radio {
+	return radio.New(k, m, radio.Config{
+		Pos:          phy.Position{X: x},
+		Freq:         2460,
+		TxPower:      0,
+		CCAThreshold: phy.DefaultCCAThreshold,
+		Address:      addr,
+	})
+}
+
+func pan(t *testing.T, k *sim.Kernel, m *medium.Medium, sched Schedule, devices int) (*Coordinator, []*Device) {
+	t.Helper()
+	coord, err := NewCoordinator(k, newRadio(k, m, 1, 0), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devs []*Device
+	for i := 0; i < devices; i++ {
+		d, err := NewDevice(k, newRadio(k, m, frame.Address(10+i), 0.5+0.3*float64(i)), 1, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs = append(devs, d)
+	}
+	return coord, devs
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if err := (Schedule{BeaconOrder: 6, SuperframeOrder: 4}).Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	if err := (Schedule{BeaconOrder: 15}).Validate(); err == nil {
+		t.Error("BO=15 accepted")
+	}
+	if err := (Schedule{BeaconOrder: 3, SuperframeOrder: 4}).Validate(); err == nil {
+		t.Error("SO > BO accepted")
+	}
+	if err := (Schedule{BeaconOrder: 3, SuperframeOrder: -1}).Validate(); err == nil {
+		t.Error("negative SO accepted")
+	}
+}
+
+func TestScheduleTiming(t *testing.T) {
+	s := Schedule{BeaconOrder: 2, SuperframeOrder: 1}
+	// BI = 15.36 ms × 4 = 61.44 ms; SD = 15.36 ms × 2 = 30.72 ms.
+	if got := s.BeaconInterval(); got != 61440*time.Microsecond {
+		t.Errorf("BI = %v, want 61.44ms", got)
+	}
+	if got := s.ActiveDuration(); got != 30720*time.Microsecond {
+		t.Errorf("SD = %v, want 30.72ms", got)
+	}
+	if got := s.DutyCycle(); got != 0.5 {
+		t.Errorf("duty cycle = %v, want 0.5", got)
+	}
+}
+
+func TestBeaconCadence(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 1, SuperframeOrder: 1}
+	coord, devs := pan(t, k, m, sched, 1)
+	coord.Start()
+	k.RunFor(10 * sched.BeaconInterval())
+	// Beacons every BI: 10 intervals → 11 beacons (t=0 included).
+	if got := coord.BeaconsSent(); got < 10 || got > 11 {
+		t.Errorf("beacons sent = %d, want ≈ 10-11", got)
+	}
+	if !devs[0].Synced() {
+		t.Error("device never synced to the beacon")
+	}
+}
+
+func TestDeviceDeliversInCAP(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 2, SuperframeOrder: 2}
+	coord, devs := pan(t, k, m, sched, 1)
+	coord.Start()
+	// Queue data before sync: nothing may be sent until the beacon.
+	devs[0].Send(make([]byte, 32))
+	devs[0].Send(make([]byte, 32))
+	k.RunFor(20 * sched.BeaconInterval())
+	if coord.Received() != 2 {
+		t.Errorf("coordinator received %d, want 2", coord.Received())
+	}
+	if devs[0].Sent() != 2 {
+		t.Errorf("device sent %d, want 2", devs[0].Sent())
+	}
+}
+
+func TestSlottedContentionManyDevices(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 3, SuperframeOrder: 3}
+	coord, devs := pan(t, k, m, sched, 4)
+	coord.Start()
+	const perDevice = 20
+	for _, d := range devs {
+		for i := 0; i < perDevice; i++ {
+			if !d.Send(make([]byte, 32)) {
+				t.Fatal("queue overflow")
+			}
+		}
+	}
+	k.RunFor(time.Duration(200) * sched.BeaconInterval())
+	total := 0
+	for _, d := range devs {
+		total += d.Sent() + d.Dropped()
+	}
+	if total != 4*perDevice {
+		t.Fatalf("sent+dropped = %d, want %d", total, 4*perDevice)
+	}
+	// The slotted CW=2 procedure delivers most frames; saturated devices
+	// whose backoffs land on the same boundary still collide (slotted
+	// CSMA/CA is collision-prone under saturation, and there are no ACKs
+	// here).
+	if coord.Received() < 4*perDevice*7/10 {
+		t.Errorf("received %d of %d", coord.Received(), 4*perDevice)
+	}
+}
+
+func TestInactivePeriodSleepSavesEnergy(t *testing.T) {
+	k, m := world(t)
+	// BO=4, SO=1: duty cycle 1/8.
+	sched := Schedule{BeaconOrder: 4, SuperframeOrder: 1}
+	coord, devs := pan(t, k, m, sched, 2)
+	coord.Start()
+	devs[0].SleepInactive = true // duty-cycled
+	// devs[1] stays always-on.
+	k.RunFor(50 * sched.BeaconInterval())
+
+	sleeper := devs[0].EnergyReport()
+	alwaysOn := devs[1].EnergyReport()
+	if sleeper.OffSeconds == 0 {
+		t.Fatal("duty-cycled device never slept")
+	}
+	if sleeper.Millijoules > 0.5*alwaysOn.Millijoules {
+		t.Errorf("duty-cycling saved too little: %.1f vs %.1f mJ",
+			sleeper.Millijoules, alwaysOn.Millijoules)
+	}
+	// And it still hears beacons (wakes before each one).
+	if !devs[0].Synced() {
+		t.Error("sleeper lost sync")
+	}
+}
+
+func TestSleeperStillDelivers(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 3, SuperframeOrder: 1}
+	coord, devs := pan(t, k, m, sched, 1)
+	devs[0].SleepInactive = true
+	coord.Start()
+	k.RunFor(2 * sched.BeaconInterval()) // get synced first
+	for i := 0; i < 5; i++ {
+		devs[0].Send(make([]byte, 16))
+	}
+	k.RunFor(40 * sched.BeaconInterval())
+	if coord.Received() != 5 {
+		t.Errorf("received %d, want 5 (sleep must not eat transmissions)", coord.Received())
+	}
+}
+
+func TestDCNPlugsIntoSlottedMAC(t *testing.T) {
+	// The CCA-Adjustor only touches the radio's threshold register, so it
+	// composes with slotted CSMA/CA unchanged.
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 3, SuperframeOrder: 3}
+	coord, devs := pan(t, k, m, sched, 2)
+	coord.Start()
+
+	adj := dcn.New(k, devs[0].Radio(), dcn.Config{})
+	adj.Start()
+	// Feed it the device's receptions (beacons are co-channel packets).
+	prev := devs[0].Radio().OnReceive
+	devs[0].Radio().OnReceive = func(r radio.Reception) {
+		if prev != nil {
+			prev(r)
+		}
+		adj.Observe(r)
+	}
+
+	for i := 0; i < 10; i++ {
+		devs[0].Send(make([]byte, 32))
+		devs[1].Send(make([]byte, 32))
+	}
+	k.RunFor(150 * sched.BeaconInterval())
+
+	if adj.Phase().String() != "updating" {
+		t.Errorf("adjustor phase = %v, want updating", adj.Phase())
+	}
+	if coord.Received() < 16 {
+		t.Errorf("received %d of 20 under DCN+slotted", coord.Received())
+	}
+	// The threshold should track the beacon/data RSSI environment.
+	if th := devs[0].Radio().CCAThreshold(); th < phy.NoiseFloor+5 {
+		t.Errorf("threshold = %v, want tracking", th)
+	}
+}
+
+func TestNextCAPStartRequiresSync(t *testing.T) {
+	k, m := world(t)
+	d, err := NewDevice(k, newRadio(k, m, 5, 1), 1, Schedule{BeaconOrder: 2, SuperframeOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NextCAPStart(); err == nil {
+		t.Error("NextCAPStart before sync accepted")
+	}
+}
+
+func TestCoordinatorStopHaltsBeacons(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 1, SuperframeOrder: 1}
+	coord, _ := pan(t, k, m, sched, 0)
+	coord.Start()
+	coord.Start() // idempotent
+	k.RunFor(3 * sched.BeaconInterval())
+	coord.Stop()
+	sent := coord.BeaconsSent()
+	k.RunFor(5 * sched.BeaconInterval())
+	if coord.BeaconsSent() != sent {
+		t.Errorf("beacons kept flowing after Stop: %d then %d", sent, coord.BeaconsSent())
+	}
+}

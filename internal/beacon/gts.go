@@ -1,0 +1,184 @@
+package beacon
+
+import (
+	"fmt"
+
+	"nonortho/internal/frame"
+	"nonortho/internal/sim"
+)
+
+// GTS (guaranteed time slots) per IEEE 802.15.4-2003 §7.5.7: the
+// coordinator dedicates superframe slots at the end of the active portion
+// to individual devices, which then transmit there contention-free. The
+// beacon advertises the descriptor list, so devices learn their slots
+// (and the shrunken CAP) from the beacon alone.
+//
+// Simplification: allocation is an API call on the coordinator rather
+// than the over-the-air GTS-request command, and all GTS are
+// transmit-direction.
+
+// MaxGTS is the standard's cap on simultaneous GTS descriptors.
+const MaxGTS = 7
+
+// MinCAPSlots keeps the contention access period alive (the standard's
+// aMinCAPLength, expressed in whole slots here).
+const MinCAPSlots = 2
+
+// GTSDescriptor is one device's slot grant.
+type GTSDescriptor struct {
+	// Device is the grantee's short address.
+	Device frame.Address
+	// StartSlot and Length are in superframe slots (0..15); GTS occupy
+	// the tail of the active portion.
+	StartSlot int
+	Length    int
+}
+
+// AllocateGTS grants length slots to a device, carving them off the end
+// of the CAP. Grants take effect from the next beacon.
+func (c *Coordinator) AllocateGTS(device frame.Address, length int) (GTSDescriptor, error) {
+	if length < 1 {
+		return GTSDescriptor{}, fmt.Errorf("beacon: GTS length %d < 1", length)
+	}
+	if len(c.gts) >= MaxGTS {
+		return GTSDescriptor{}, fmt.Errorf("beacon: all %d GTS descriptors in use", MaxGTS)
+	}
+	first := c.firstGTSSlot()
+	start := first - length
+	if start < MinCAPSlots {
+		return GTSDescriptor{}, fmt.Errorf(
+			"beacon: GTS of %d slots would shrink the CAP below %d slots", length, MinCAPSlots)
+	}
+	for _, g := range c.gts {
+		if g.Device == device {
+			return GTSDescriptor{}, fmt.Errorf("beacon: device %d already holds a GTS", device)
+		}
+	}
+	d := GTSDescriptor{Device: device, StartSlot: start, Length: length}
+	c.gts = append(c.gts, d)
+	return d, nil
+}
+
+// DeallocateGTS releases a device's grant; slots of remaining grants are
+// re-packed against the end of the superframe.
+func (c *Coordinator) DeallocateGTS(device frame.Address) error {
+	idx := -1
+	for i, g := range c.gts {
+		if g.Device == device {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("beacon: device %d holds no GTS", device)
+	}
+	c.gts = append(c.gts[:idx], c.gts[idx+1:]...)
+	// Re-pack against the superframe tail, preserving grant order.
+	next := NumSlots
+	for i := range c.gts {
+		next -= c.gts[i].Length
+		c.gts[i].StartSlot = next
+	}
+	return nil
+}
+
+// GTSList returns the current descriptors (copy).
+func (c *Coordinator) GTSList() []GTSDescriptor {
+	out := make([]GTSDescriptor, len(c.gts))
+	copy(out, c.gts)
+	return out
+}
+
+// CAPSlots reports how many slots remain contention-based.
+func (c *Coordinator) CAPSlots() int { return c.firstGTSSlot() }
+
+func (c *Coordinator) firstGTSSlot() int {
+	first := NumSlots
+	for _, g := range c.gts {
+		if g.StartSlot < first {
+			first = g.StartSlot
+		}
+	}
+	return first
+}
+
+// encodeGTS appends the descriptor list to a beacon payload.
+func encodeGTS(payload []byte, capSlots int, gts []GTSDescriptor) []byte {
+	payload = append(payload, byte(capSlots), byte(len(gts)))
+	for _, g := range gts {
+		payload = append(payload,
+			byte(g.Device), byte(g.Device>>8), byte(g.StartSlot), byte(g.Length))
+	}
+	return payload
+}
+
+// decodeGTS parses a beacon payload's descriptor list (after BO/SO).
+func decodeGTS(payload []byte) (capSlots int, gts []GTSDescriptor, ok bool) {
+	if len(payload) < 4 {
+		return NumSlots, nil, len(payload) >= 2 // legacy BO/SO-only beacon
+	}
+	capSlots = int(payload[2])
+	n := int(payload[3])
+	rest := payload[4:]
+	if len(rest) < 4*n {
+		return NumSlots, nil, false
+	}
+	for i := 0; i < n; i++ {
+		gts = append(gts, GTSDescriptor{
+			Device:    frame.Address(rest[4*i]) | frame.Address(rest[4*i+1])<<8,
+			StartSlot: int(rest[4*i+2]),
+			Length:    int(rest[4*i+3]),
+		})
+	}
+	return capSlots, gts, true
+}
+
+// slotDuration is one superframe slot of the schedule.
+func (s Schedule) slotDuration() sim.Time {
+	return sim.FromDuration(s.ActiveDuration()) / NumSlots
+}
+
+// gtsWindow locates the device's GTS inside the superframe starting at
+// base.
+func (d *Device) gtsWindow(base sim.Time) (start, end sim.Time, ok bool) {
+	if d.gts == nil {
+		return 0, 0, false
+	}
+	slot := d.schedule.slotDuration()
+	start = base + sim.Time(d.gts.StartSlot)*slot
+	end = start + sim.Time(d.gts.Length)*slot
+	return start, end, true
+}
+
+// serveGTS transmits queued frames back-to-back inside the device's GTS of
+// the superframe starting at base.
+func (d *Device) serveGTS(base sim.Time) {
+	start, end, ok := d.gtsWindow(base)
+	if !ok {
+		return
+	}
+	var pump func()
+	pump = func() {
+		if len(d.queue) == 0 {
+			return
+		}
+		f := d.queue[0]
+		need := sim.FromDuration(f.Airtime())
+		if d.kernel.Now()+need > end {
+			return // no room left this superframe
+		}
+		tx, err := d.radio.Transmit(f)
+		if err != nil {
+			return
+		}
+		d.kernel.At(tx.End, func() {
+			d.sent++
+			if d.OnSent != nil {
+				d.OnSent(f)
+			}
+			d.queue = d.queue[1:]
+			pump()
+		})
+	}
+	d.kernel.At(start, pump)
+}

@@ -1,0 +1,219 @@
+package beacon
+
+import (
+	"testing"
+	"time"
+
+	"nonortho/internal/frame"
+	"nonortho/internal/sim"
+)
+
+func TestGTSAllocationBookkeeping(t *testing.T) {
+	k, m := world(t)
+	coord, _ := pan(t, k, m, Schedule{BeaconOrder: 3, SuperframeOrder: 3}, 0)
+
+	d1, err := coord.AllocateGTS(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.StartSlot != 14 || d1.Length != 2 {
+		t.Errorf("first grant = %+v, want slots 14-15", d1)
+	}
+	d2, err := coord.AllocateGTS(11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.StartSlot != 11 {
+		t.Errorf("second grant start = %d, want 11", d2.StartSlot)
+	}
+	if got := coord.CAPSlots(); got != 11 {
+		t.Errorf("CAPSlots = %d, want 11", got)
+	}
+	// Duplicate device rejected.
+	if _, err := coord.AllocateGTS(10, 1); err == nil {
+		t.Error("duplicate grant accepted")
+	}
+	// Zero-length rejected.
+	if _, err := coord.AllocateGTS(12, 0); err == nil {
+		t.Error("zero-length grant accepted")
+	}
+	// CAP floor respected: 9 more slots would leave CAP < MinCAPSlots.
+	if _, err := coord.AllocateGTS(13, 10); err == nil {
+		t.Error("grant shrinking CAP below the floor accepted")
+	}
+}
+
+func TestGTSMaxDescriptors(t *testing.T) {
+	k, m := world(t)
+	coord, _ := pan(t, k, m, Schedule{BeaconOrder: 3, SuperframeOrder: 3}, 0)
+	for i := 0; i < MaxGTS; i++ {
+		if _, err := coord.AllocateGTS(frame.Address(20+i), 1); err != nil {
+			t.Fatalf("grant %d rejected: %v", i, err)
+		}
+	}
+	if _, err := coord.AllocateGTS(99, 1); err == nil {
+		t.Error("eighth grant accepted")
+	}
+}
+
+func TestGTSDeallocateRepacks(t *testing.T) {
+	k, m := world(t)
+	coord, _ := pan(t, k, m, Schedule{BeaconOrder: 3, SuperframeOrder: 3}, 0)
+	coord.AllocateGTS(10, 2) // slots 14-15
+	coord.AllocateGTS(11, 2) // slots 12-13
+	coord.AllocateGTS(12, 2) // slots 10-11
+	if err := coord.DeallocateGTS(11); err != nil {
+		t.Fatal(err)
+	}
+	list := coord.GTSList()
+	if len(list) != 2 {
+		t.Fatalf("grants = %d, want 2", len(list))
+	}
+	// Re-packed against the tail: 10 at 14, 12 at 12.
+	if list[0].Device != 10 || list[0].StartSlot != 14 {
+		t.Errorf("grant 0 = %+v", list[0])
+	}
+	if list[1].Device != 12 || list[1].StartSlot != 12 {
+		t.Errorf("grant 1 = %+v", list[1])
+	}
+	if coord.CAPSlots() != 12 {
+		t.Errorf("CAPSlots = %d, want 12", coord.CAPSlots())
+	}
+	if err := coord.DeallocateGTS(77); err == nil {
+		t.Error("deallocating a non-grant accepted")
+	}
+}
+
+func TestGTSCodecRoundTrip(t *testing.T) {
+	sched := Schedule{BeaconOrder: 3, SuperframeOrder: 3}
+	grants := []GTSDescriptor{
+		{Device: 0x1234, StartSlot: 14, Length: 2},
+		{Device: 7, StartSlot: 12, Length: 2},
+	}
+	payload := encodeGTS(sched.beaconPayload(), 12, grants)
+	capSlots, got, ok := decodeGTS(payload)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if capSlots != 12 || len(got) != 2 {
+		t.Fatalf("capSlots=%d grants=%d", capSlots, len(got))
+	}
+	for i := range grants {
+		if got[i] != grants[i] {
+			t.Errorf("grant %d = %+v, want %+v", i, got[i], grants[i])
+		}
+	}
+	// Legacy two-byte beacon still accepted (full CAP, no grants).
+	capSlots, got, ok = decodeGTS(sched.beaconPayload())
+	if !ok || capSlots != NumSlots || got != nil {
+		t.Errorf("legacy decode = %d/%v/%v", capSlots, got, ok)
+	}
+	// Truncated descriptor list rejected.
+	if _, _, ok := decodeGTS([]byte{3, 3, 12, 2, 0}); ok {
+		t.Error("truncated list accepted")
+	}
+}
+
+func TestGTSDeviceTransmitsOnlyInWindow(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 3, SuperframeOrder: 3}
+	coord, devs := pan(t, k, m, sched, 1)
+	if _, err := coord.AllocateGTS(devs[0].Radio().Address(), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Record each transmission instant relative to its superframe.
+	slot := sched.slotDuration()
+	var badSlots int
+	devs[0].OnSent = func(*frame.Frame) {}
+	coord.Start()
+	for i := 0; i < 6; i++ {
+		devs[0].Send(make([]byte, 32))
+	}
+	// Observe via the trace of sent times: wrap OnSent to check position.
+	bi := sim.FromDuration(sched.BeaconInterval())
+	devs[0].OnSent = func(*frame.Frame) {
+		off := (k.Now() - 0) % bi
+		slotIdx := int(off / slot)
+		// The frame END falls in the grant's window (slots 14-15) or just
+		// at its boundary.
+		if slotIdx < 14 {
+			badSlots++
+		}
+	}
+	k.RunFor(20 * sched.BeaconInterval())
+
+	if got := devs[0].Sent(); got != 6 {
+		t.Fatalf("sent = %d, want 6", got)
+	}
+	if badSlots != 0 {
+		t.Errorf("%d transmissions ended outside the GTS window", badSlots)
+	}
+	if coord.Received() != 6 {
+		t.Errorf("received = %d, want 6", coord.Received())
+	}
+	if g := devs[0].GTS(); g == nil || g.StartSlot != 14 {
+		t.Errorf("device grant = %+v, want slots 14-15", g)
+	}
+}
+
+func TestGTSIsCollisionFreeUnderContention(t *testing.T) {
+	// One GTS device plus three saturated CAP contenders: the GTS holder
+	// must deliver everything, contention-free.
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 3, SuperframeOrder: 3}
+	coord, devs := pan(t, k, m, sched, 4)
+	if _, err := coord.AllocateGTS(devs[0].Radio().Address(), 3); err != nil {
+		t.Fatal(err)
+	}
+	coord.Start()
+
+	const gtsFrames = 15
+	for i := 0; i < gtsFrames; i++ {
+		devs[0].Send(make([]byte, 32))
+	}
+	for _, d := range devs[1:] {
+		for i := 0; i < 30; i++ {
+			d.Send(make([]byte, 32))
+		}
+	}
+	k.RunFor(80 * sched.BeaconInterval())
+
+	if got := devs[0].Sent(); got != gtsFrames {
+		t.Errorf("GTS device sent %d, want %d", got, gtsFrames)
+	}
+	if devs[0].Dropped() != 0 {
+		t.Errorf("GTS device dropped %d frames", devs[0].Dropped())
+	}
+	// All GTS frames must arrive: no contention inside the grant.
+	received := coord.Received()
+	if received < gtsFrames {
+		t.Errorf("coordinator received %d, want at least the %d GTS frames",
+			received, gtsFrames)
+	}
+}
+
+func TestGTSAndCAPDurationsAddUp(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{BeaconOrder: 2, SuperframeOrder: 2}
+	coord, devs := pan(t, k, m, sched, 1)
+	coord.AllocateGTS(devs[0].Radio().Address(), 4)
+	coord.Start()
+	k.RunFor(2 * sched.BeaconInterval())
+
+	if !devs[0].Synced() {
+		t.Fatal("device not synced")
+	}
+	// The device learned the shrunken CAP from the beacon.
+	start, err := devs[0].NextCAPStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, end := devs[0].capBounds(start)
+	capLen := time.Duration(end - start)
+	wantMax := 12 * time.Duration(sched.slotDuration())
+	if capLen >= wantMax {
+		t.Errorf("CAP length %v not below 12 slots (%v): beacon did not shrink it",
+			capLen, wantMax)
+	}
+}

@@ -1,0 +1,320 @@
+// Package dcn implements the paper's contribution: DCN (Dynamic
+// CCA-threshold for Non-orthogonal transmission). A CCA-Adjustor attached
+// to a node's MAC reprograms the radio's CCA threshold register so that
+// inter-channel interference from non-orthogonal neighbour channels is
+// ignored (unlocking concurrency) while co-channel transmissions are still
+// deferred to.
+//
+// The Adjustor runs in two phases, exactly as in Section V of the paper:
+//
+//   - Initializing Phase (duration T_I, default 1 s): record the minimum
+//     RSSI S_I of overheard co-channel packets and, every millisecond, the
+//     maximum in-channel sensed power P_I. The initial threshold is
+//     CCA_I = min{ min S_I, max P_I }   (Eq. 2)
+//     — conservative on both counts.
+//
+//   - Updating Phase: only packet RSSI is tracked (in-channel power
+//     sensing is too costly to keep running, as the paper notes).
+//     Case I (Eq. 3): an overheard co-channel packet weaker than the
+//     current threshold lowers the threshold immediately.
+//     Case II (Eq. 4): if Case I has not fired for T_U seconds (default
+//     3 s), the threshold is reset to the minimum RSSI recorded in the
+//     last T_U window — this is the relaxing step that exploits
+//     concurrency once weak interferers fall silent.
+package dcn
+
+import (
+	"time"
+
+	"nonortho/internal/mac"
+	"nonortho/internal/phy"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+// Phase identifies the Adjustor's current phase.
+type Phase int
+
+// Adjustor phases.
+const (
+	PhaseStopped Phase = iota
+	PhaseInitializing
+	PhaseUpdating
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseStopped:
+		return "stopped"
+	case PhaseInitializing:
+		return "initializing"
+	case PhaseUpdating:
+		return "updating"
+	default:
+		return "phase(?)"
+	}
+}
+
+// Config parameterises the CCA-Adjustor. Zero values take the paper's
+// settings.
+type Config struct {
+	// InitDuration is T_I, the Initializing Phase length (paper: 1 s).
+	InitDuration time.Duration
+	// UpdateWindow is T_U, the Updating Phase window (paper: 3 s).
+	UpdateWindow time.Duration
+	// SamplePeriod is the in-channel power sampling cadence during the
+	// Initializing Phase (paper: 1 ms).
+	SamplePeriod time.Duration
+	// CheckPeriod is how often the Case II condition is evaluated.
+	CheckPeriod time.Duration
+	// MarginDB keeps the threshold strictly below the weakest co-channel
+	// interferer (Eq. 1 requires CCA < S_i, not <=).
+	MarginDB float64
+	// Fallback is the threshold used when no information is available
+	// (defaults to the ZigBee -77 dBm).
+	Fallback phy.DBm
+	// MinThreshold floors the programmed threshold. Eq. 2 applied to a
+	// quiet medium would otherwise pin the threshold at the noise floor
+	// and deadlock the node (every CCA busy forever). Defaults to
+	// 3 dB above the noise floor.
+	MinThreshold phy.DBm
+	// DisableCaseII ablates the Updating Phase's relaxing step (Eq. 4):
+	// the threshold can only ever fall. Used to quantify how much of
+	// DCN's gain the window-minimum reset contributes.
+	DisableCaseII bool
+	// DisableInitSensing ablates the in-channel power sampling of the
+	// Initializing Phase: Eq. 2 degenerates to min S_I over packet RSSI
+	// alone. The paper motivates the sampling's existence by CPU cost;
+	// this knob measures what it buys.
+	DisableInitSensing bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitDuration == 0 {
+		c.InitDuration = time.Second
+	}
+	if c.UpdateWindow == 0 {
+		c.UpdateWindow = 3 * time.Second
+	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = time.Millisecond
+	}
+	if c.CheckPeriod == 0 {
+		c.CheckPeriod = 250 * time.Millisecond
+	}
+	if c.MarginDB == 0 {
+		c.MarginDB = 1
+	}
+	if c.Fallback == 0 {
+		c.Fallback = phy.DefaultCCAThreshold
+	}
+	if c.MinThreshold == 0 {
+		c.MinThreshold = phy.NoiseFloor + 3
+	}
+	return c
+}
+
+type record struct {
+	at   sim.Time
+	rssi phy.DBm
+}
+
+// Adjustor drives one radio's CCA threshold.
+type Adjustor struct {
+	kernel *sim.Kernel
+	radio  *radio.Radio
+	cfg    Config
+
+	// OnThreshold, when set, observes every threshold the Adjustor
+	// programs into the radio (instrumentation/tracing hook).
+	OnThreshold func(phy.DBm)
+
+	phase Phase
+
+	// Initializing Phase state.
+	initMinRSSI   phy.DBm
+	initHasRSSI   bool
+	initMaxSensed phy.DBm
+	sampler       *sim.Ticker
+	initDone      *sim.Event
+
+	// Updating Phase state.
+	window      []record
+	lastCaseI   sim.Time
+	checkTicker *sim.Ticker
+}
+
+// New creates an Adjustor for the radio. Call Start to begin.
+func New(k *sim.Kernel, r *radio.Radio, cfg Config) *Adjustor {
+	return &Adjustor{
+		kernel: k,
+		radio:  r,
+		cfg:    cfg.withDefaults(),
+		phase:  PhaseStopped,
+	}
+}
+
+// Attach wires the Adjustor into a MAC's overhear stream, chaining any
+// existing handler, and returns the Adjustor for fluent setup.
+func Attach(k *sim.Kernel, m *mac.MAC, cfg Config) *Adjustor {
+	a := New(k, m.Radio(), cfg)
+	prev := m.OnOverhear
+	m.OnOverhear = func(r radio.Reception) {
+		if prev != nil {
+			prev(r)
+		}
+		a.Observe(r)
+	}
+	return a
+}
+
+// Phase reports the Adjustor's phase.
+func (a *Adjustor) Phase() Phase { return a.phase }
+
+// Threshold reads the threshold currently programmed into the radio.
+func (a *Adjustor) Threshold() phy.DBm { return a.radio.CCAThreshold() }
+
+// Start enters the Initializing Phase: the radio keeps its conservative
+// fallback threshold while S_I and P_I are collected.
+func (a *Adjustor) Start() {
+	a.stopTimers()
+	a.phase = PhaseInitializing
+	a.initHasRSSI = false
+	a.initMinRSSI = 0
+	a.initMaxSensed = phy.Silent
+	a.window = a.window[:0]
+	a.radio.SetCCAThreshold(a.cfg.Fallback)
+
+	if !a.cfg.DisableInitSensing {
+		a.sampler = a.kernel.NewTicker(a.cfg.SamplePeriod, func() {
+			if s := a.radio.SensedPower(); s > a.initMaxSensed {
+				a.initMaxSensed = s
+			}
+		})
+	}
+	a.initDone = a.kernel.After(a.cfg.InitDuration, a.finishInit)
+}
+
+// Stop halts the Adjustor, leaving the radio at its current threshold.
+func (a *Adjustor) Stop() {
+	a.stopTimers()
+	a.phase = PhaseStopped
+}
+
+// Reset re-runs the Initializing Phase — used after a node rejoins the
+// network (failure recovery).
+func (a *Adjustor) Reset() { a.Start() }
+
+func (a *Adjustor) stopTimers() {
+	if a.sampler != nil {
+		a.sampler.Stop()
+		a.sampler = nil
+	}
+	if a.initDone != nil {
+		a.kernel.Cancel(a.initDone)
+		a.initDone = nil
+	}
+	if a.checkTicker != nil {
+		a.checkTicker.Stop()
+		a.checkTicker = nil
+	}
+}
+
+func (a *Adjustor) finishInit() {
+	if a.sampler != nil {
+		a.sampler.Stop()
+		a.sampler = nil
+	}
+	a.initDone = nil
+
+	// Eq. 2: CCA_I = min{ S_1, S_2, ..., max{P_1, P_2, ...} }.
+	threshold := a.initMaxSensed
+	if a.initHasRSSI && (a.initMinRSSI < threshold || threshold == phy.Silent) {
+		threshold = a.initMinRSSI
+	}
+	if threshold == phy.Silent {
+		threshold = a.cfg.Fallback
+	}
+	a.program(threshold)
+
+	a.phase = PhaseUpdating
+	a.lastCaseI = a.kernel.Now()
+	a.checkTicker = a.kernel.NewTicker(a.cfg.CheckPeriod, a.caseIICheck)
+}
+
+// Observe feeds one co-channel reception (clean or CRC-failed — the CC2420
+// buffers both) into the Adjustor.
+func (a *Adjustor) Observe(r radio.Reception) {
+	switch a.phase {
+	case PhaseInitializing:
+		if !a.initHasRSSI || r.RSSI < a.initMinRSSI {
+			a.initMinRSSI = r.RSSI
+			a.initHasRSSI = true
+		}
+	case PhaseUpdating:
+		now := a.kernel.Now()
+		a.window = append(a.window, record{at: now, rssi: r.RSSI})
+		a.prune(now)
+		// Case I (Eq. 3): immediately lower on a weaker co-channel packet.
+		if a.clamp(r.RSSI) < a.radio.CCAThreshold() {
+			a.program(r.RSSI)
+			a.lastCaseI = now
+		}
+	}
+}
+
+// program writes threshold−margin into the radio, floored at MinThreshold.
+func (a *Adjustor) program(threshold phy.DBm) {
+	v := a.clamp(threshold)
+	a.radio.SetCCAThreshold(v)
+	if a.OnThreshold != nil {
+		a.OnThreshold(v)
+	}
+}
+
+func (a *Adjustor) clamp(threshold phy.DBm) phy.DBm {
+	t := threshold - phy.DBm(a.cfg.MarginDB)
+	if t < a.cfg.MinThreshold {
+		t = a.cfg.MinThreshold
+	}
+	return t
+}
+
+// caseIICheck applies Eq. 4 when Case I has been quiet for T_U.
+func (a *Adjustor) caseIICheck() {
+	if a.cfg.DisableCaseII {
+		return
+	}
+	now := a.kernel.Now()
+	if now-a.lastCaseI < sim.FromDuration(a.cfg.UpdateWindow) {
+		return
+	}
+	a.prune(now)
+	if len(a.window) == 0 {
+		return // nothing heard recently; keep the current threshold
+	}
+	min := a.window[0].rssi
+	for _, rec := range a.window[1:] {
+		if rec.rssi < min {
+			min = rec.rssi
+		}
+	}
+	a.program(min)
+}
+
+// prune drops window records older than T_U.
+func (a *Adjustor) prune(now sim.Time) {
+	cutoff := now - sim.FromDuration(a.cfg.UpdateWindow)
+	i := 0
+	for i < len(a.window) && a.window[i].at < cutoff {
+		i++
+	}
+	if i > 0 {
+		a.window = append(a.window[:0], a.window[i:]...)
+	}
+}
+
+// WindowSize reports the number of RSSI records currently retained
+// (exported for tests and instrumentation).
+func (a *Adjustor) WindowSize() int { return len(a.window) }

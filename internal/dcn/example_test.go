@@ -1,0 +1,55 @@
+package dcn_test
+
+import (
+	"fmt"
+	"time"
+
+	"nonortho/internal/dcn"
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+// Example wires a CCA-Adjustor to a radio by hand (the testbed package
+// does this automatically for whole networks) and walks it through every
+// mechanism: the conservative Initializing Phase (on a quiet medium Eq. 2
+// bottoms out at the noise-floor clamp), the Case II window-minimum
+// relaxation once only strong co-channel packets are heard, and the
+// immediate Case I lowering on a weaker packet.
+func Example() {
+	k := sim.NewKernel(7)
+	m := medium.New(k, medium.WithFadingSigma(0), medium.WithStaticFadingSigma(0))
+	r := radio.New(k, m, radio.Config{
+		Freq:         2460,
+		CCAThreshold: phy.DefaultCCAThreshold,
+		Address:      1,
+	})
+
+	a := dcn.New(k, r, dcn.Config{})
+	a.Start()
+	fmt.Println("phase:", a.Phase())
+
+	// The medium is quiet during init, so Eq. 2's max-P term is the noise
+	// floor and the threshold lands on the conservative clamp.
+	k.RunFor(1100 * time.Millisecond)
+	fmt.Println("phase:", a.Phase(), "threshold:", r.CCAThreshold(), "dBm")
+
+	// Only strong (-55 dBm) co-channel packets arrive for a while: after
+	// T_U = 3 s without Case I, Case II relaxes to the window minimum.
+	tick := k.NewTicker(200*time.Millisecond, func() {
+		a.Observe(radio.Reception{RSSI: -55, CRCOK: true})
+	})
+	k.RunFor(4 * time.Second)
+	tick.Stop()
+	fmt.Println("after Case II:", r.CCAThreshold(), "dBm")
+
+	// Case I: a weaker co-channel packet lowers the threshold at once.
+	a.Observe(radio.Reception{RSSI: -70, CRCOK: true})
+	fmt.Println("after Case I: ", r.CCAThreshold(), "dBm")
+	// Output:
+	// phase: initializing
+	// phase: updating threshold: -97 dBm
+	// after Case II: -56 dBm
+	// after Case I:  -71 dBm
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+	"nonortho/internal/testbed"
+	"nonortho/internal/topology"
+)
+
+// fiveNetworks builds the Fig. 13 configuration: five colocated networks
+// spaced cfd apart, with the DCN scheme applied to the selected network
+// indices (nil = none, the w/o-scheme baseline).
+func fiveNetworks(seed int64, cfd phy.MHz, dcnOn func(i int) bool, opts Options) *testbed.Testbed {
+	plan := evalPlan(5, cfd)
+	rng := sim.NewRNG(seed)
+	nets, err := topology.Generate(topology.Config{
+		Plan:   plan,
+		Layout: topology.LayoutColocated,
+	}, rng)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	tb := testbed.New(testbed.Options{Seed: seed})
+	for i, spec := range nets {
+		scheme := testbed.SchemeFixed
+		if dcnOn != nil && dcnOn(i) {
+			scheme = testbed.SchemeDCN
+		}
+		tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
+	}
+	return tb
+}
+
+// middleIndex is the paper's N0: the network on the median frequency of a
+// five-network strip.
+const middleIndex = 2
+
+// runFiveNetworks measures per-network throughput averaged over seeds.
+func runFiveNetworks(cfd phy.MHz, dcnOn func(i int) bool, opts Options) []float64 {
+	var rows [][]float64
+	for s := 0; s < opts.Seeds; s++ {
+		tb := fiveNetworks(opts.Seed+int64(s), cfd, dcnOn, opts)
+		tb.Run(opts.Warmup, opts.Measure)
+		rows = append(rows, tb.PerNetworkThroughput())
+	}
+	return meanRows(rows)
+}
+
+// Fig14Row compares N0's throughput with and without DCN at one CFD.
+type Fig14Row struct {
+	CFD           phy.MHz
+	N0Without     float64
+	N0With        float64
+	OthersWithout float64
+	OthersWith    float64
+}
+
+// Fig14Result backs Figs. 14 and 15: DCN applied only on N0.
+type Fig14Result struct{ Rows []Fig14Row }
+
+// Fig14and15 regenerates Figs. 14 and 15: with five networks at CFD ∈
+// {2, 3} MHz, DCN is enabled only on the middle network N0. Shape: N0
+// gains substantially (the paper reports ~27 %) while the other networks
+// lose a little (~5 %) to the extra concurrency.
+func Fig14and15(opts Options) (Fig14Result, *Table, *Table) {
+	opts = opts.withDefaults()
+	var res Fig14Result
+	for _, cfd := range []phy.MHz{2, 3} {
+		baseline := runFiveNetworks(cfd, nil, opts)
+		dcnOnN0 := runFiveNetworks(cfd, func(i int) bool { return i == middleIndex }, opts)
+		row := Fig14Row{
+			CFD:       cfd,
+			N0Without: baseline[middleIndex],
+			N0With:    dcnOnN0[middleIndex],
+		}
+		for i := range baseline {
+			if i == middleIndex {
+				continue
+			}
+			row.OthersWithout += baseline[i]
+			row.OthersWith += dcnOnN0[i]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	t14 := &Table{
+		Title:   "Fig 14: Throughput of network N0 (DCN only on N0)",
+		Columns: []string{"CFD (MHz)", "w/o scheme (pkt/s)", "with scheme (pkt/s)", "gain"},
+	}
+	t15 := &Table{
+		Title:   "Fig 15: Throughput of networks except N0 (DCN only on N0)",
+		Columns: []string{"CFD (MHz)", "w/o scheme (pkt/s)", "with scheme (pkt/s)", "change"},
+	}
+	for _, r := range res.Rows {
+		t14.AddRow(f0(float64(r.CFD)), f0(r.N0Without), f0(r.N0With), pct(r.N0With/r.N0Without-1))
+		t15.AddRow(f0(float64(r.CFD)), f0(r.OthersWithout), f0(r.OthersWith), pct(r.OthersWith/r.OthersWithout-1))
+	}
+	return res, t14, t15
+}
+
+// Fig16Row is one network's pair of bars.
+type Fig16Row struct {
+	Network string
+	Without float64
+	With    float64
+}
+
+// Fig16Result backs Figs. 16 (CFD = 2 MHz) and 17 (CFD = 3 MHz).
+type Fig16Result struct {
+	CFD  phy.MHz
+	Rows []Fig16Row
+}
+
+// figAllNetworks runs the DCN-on-all-networks comparison at one CFD.
+func figAllNetworks(cfd phy.MHz, opts Options) Fig16Result {
+	baseline := runFiveNetworks(cfd, nil, opts)
+	withDCN := runFiveNetworks(cfd, func(int) bool { return true }, opts)
+	res := Fig16Result{CFD: cfd}
+	for i := range baseline {
+		res.Rows = append(res.Rows, Fig16Row{
+			Network: testbed.NetworkLabel(i),
+			Without: baseline[i],
+			With:    withDCN[i],
+		})
+	}
+	return res
+}
+
+func figAllNetworksTable(res Fig16Result, title string) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"network", "w/o scheme (pkt/s)", "with scheme (pkt/s)", "gain"},
+	}
+	for _, r := range res.Rows {
+		t.AddRow(r.Network, f0(r.Without), f0(r.With), pct(r.With/r.Without-1))
+	}
+	return t
+}
+
+// Fig16 regenerates Fig. 16: per-network throughput with DCN on every
+// network at CFD = 2 MHz. Every network should improve.
+func Fig16(opts Options) (Fig16Result, *Table) {
+	opts = opts.withDefaults()
+	res := figAllNetworks(2, opts)
+	return res, figAllNetworksTable(res, "Fig 16: Per-network throughput (CFD=2 MHz, DCN on all networks)")
+}
+
+// Fig17 regenerates Fig. 17: the same comparison at CFD = 3 MHz. Shape:
+// every network improves, with the middle network gaining most and the
+// boundary networks least (they face less inter-channel interference).
+func Fig17(opts Options) (Fig16Result, *Table) {
+	opts = opts.withDefaults()
+	res := figAllNetworks(3, opts)
+	return res, figAllNetworksTable(res, "Fig 17: Per-network throughput (CFD=3 MHz, DCN on all networks)")
+}
+
+// Fig18Row aggregates one CFD's overall throughput.
+type Fig18Row struct {
+	CFD     phy.MHz
+	Without float64
+	With    float64
+}
+
+// Fig18Result is the CFD-selection experiment.
+type Fig18Result struct{ Rows []Fig18Row }
+
+// Fig18 regenerates Fig. 18: overall throughput of the five networks at
+// CFD = 2 vs 3 MHz, with and without DCN. Shape: CFD = 3 MHz wins (the
+// paper reports ~1.37x the CFD = 2 MHz overall), which is why DCN selects
+// CFD = 3 MHz for the non-orthogonal design.
+func Fig18(opts Options) (Fig18Result, *Table) {
+	opts = opts.withDefaults()
+	var res Fig18Result
+	for _, cfd := range []phy.MHz{2, 3} {
+		baseline := runFiveNetworks(cfd, nil, opts)
+		withDCN := runFiveNetworks(cfd, func(int) bool { return true }, opts)
+		var wo, wi float64
+		for i := range baseline {
+			wo += baseline[i]
+			wi += withDCN[i]
+		}
+		res.Rows = append(res.Rows, Fig18Row{CFD: cfd, Without: wo, With: wi})
+	}
+	t := &Table{
+		Title:   "Fig 18: Overall throughput vs CFD (DCN on all networks)",
+		Columns: []string{"CFD (MHz)", "w/o scheme (pkt/s)", "with scheme (pkt/s)", "gain"},
+	}
+	for _, r := range res.Rows {
+		t.AddRow(f0(float64(r.CFD)), f0(r.Without), f0(r.With), pct(r.With/r.Without-1))
+	}
+	return res, t
+}

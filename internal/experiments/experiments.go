@@ -1,0 +1,169 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each FigNN/TableNN function builds the corresponding
+// workload on the simulated testbed, runs it (averaging over several
+// seeds), and returns both a typed result and a printable table whose rows
+// mirror what the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"nonortho/internal/phy"
+)
+
+// Options controls experiment execution. The zero value takes defaults
+// suitable for regenerating the paper's numbers; benchmarks shrink the
+// durations via Quick.
+type Options struct {
+	// Seed is the base seed; run i uses Seed+i.
+	Seed int64
+	// Seeds is the number of independent runs averaged (default 3).
+	Seeds int
+	// Warmup precedes measurement in each run (default 3 s — long enough
+	// for the DCN Initializing Phase plus Case II settling).
+	Warmup time.Duration
+	// Measure is the measurement window per run (default 8 s).
+	Measure time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 3
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 3 * time.Second
+	}
+	if o.Measure == 0 {
+		o.Measure = 8 * time.Second
+	}
+	return o
+}
+
+// Quick returns options for fast regression runs (single seed, short
+// windows) — used by benchmarks and smoke tests.
+func Quick() Options {
+	return Options{Seed: 1, Seeds: 1, Warmup: 2 * time.Second, Measure: 3 * time.Second}
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	// Title identifies the figure or table being regenerated.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold the formatted cells.
+	Rows [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", t.Title)
+	line := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		line[i] = pad(c, widths[i])
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Join(line, "  "))
+	for i := range line {
+		line[i] = strings.Repeat("-", widths[i])
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Join(line, "  "))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, cell := range row {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			cells[i] = pad(cell, width)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(cells, "  "))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f0, f1 and f2 format floats with 0/1/2 decimals for table cells.
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// mean averages a slice.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// meanRows averages per-seed vectors element-wise; ragged inputs use the
+// shortest length.
+func meanRows(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	n := len(rows[0])
+	for _, r := range rows {
+		if len(r) < n {
+			n = len(r)
+		}
+	}
+	out := make([]float64, n)
+	for _, r := range rows {
+		for i := 0; i < n; i++ {
+			out[i] += r[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(rows))
+	}
+	return out
+}
+
+// evalPlan builds the N-channel plan the evaluation uses: centers spaced
+// cfd apart starting at 2458 MHz.
+func evalPlan(n int, cfd phy.MHz) phy.ChannelPlan {
+	centers := make([]phy.MHz, n)
+	for i := range centers {
+		centers[i] = 2458 + phy.MHz(i)*cfd
+	}
+	return phy.ChannelPlan{Start: 2458, Bandwidth: phy.MHz(n-1) * cfd, CFD: cfd, Centers: centers}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strconv"
+
+	"nonortho/internal/sim"
+	"nonortho/internal/topology"
+)
+
+// LayoutRow is one node of a configuration diagram.
+type LayoutRow struct {
+	Network string
+	Role    string
+	X, Y    float64
+	Power   float64
+}
+
+// LayoutsResult reproduces the paper's configuration diagrams (Figs. 13
+// and 22-24) as coordinate tables.
+type LayoutsResult struct {
+	Name string
+	Rows []LayoutRow
+}
+
+// Layouts regenerates the deployment diagrams the paper shows as figures:
+// the five-network strip of Fig. 13 and the three configuration cases of
+// Figs. 22-24, as node coordinate tables (the diagrams' data).
+func Layouts(opts Options) ([]LayoutsResult, []*Table) {
+	opts = opts.withDefaults()
+	rng := sim.NewRNG(opts.Seed)
+
+	configs := []struct {
+		name string
+		cfg  topology.Config
+	}{
+		{"Fig 13: five networks, CFD=3 MHz strip", topology.Config{
+			Plan:   evalPlan(5, 3),
+			Layout: topology.LayoutColocated,
+		}},
+		{"Fig 22: Case I, one interfering region", topology.Config{
+			Plan:         evalPlan(6, 3),
+			Layout:       topology.LayoutColocated,
+			Power:        topology.UniformPower(-22, 0),
+			RegionRadius: 0.8,
+			LinkRadius:   1.0,
+		}},
+		{"Fig 23: Case II, separated clusters", topology.Config{
+			Plan:         evalPlan(6, 3),
+			Layout:       topology.LayoutClustered,
+			Power:        topology.UniformPower(-22, 0),
+			RegionRadius: 4.0,
+			LinkRadius:   1.0,
+		}},
+		{"Fig 24: Case III, random topology", topology.Config{
+			Plan:         evalPlan(6, 3),
+			Layout:       topology.LayoutRandomField,
+			Power:        topology.UniformPower(-22, 0),
+			RegionRadius: 2.5,
+			LinkRadius:   1.8,
+		}},
+	}
+
+	var results []LayoutsResult
+	var tables []*Table
+	for _, c := range configs {
+		nets, err := topology.Generate(c.cfg, rng)
+		if err != nil {
+			panic(err) // static configuration; cannot fail
+		}
+		res := LayoutsResult{Name: c.name}
+		t := &Table{
+			Title:   c.name,
+			Columns: []string{"network", "role", "x (m)", "y (m)", "power (dBm)"},
+		}
+		for i, n := range nets {
+			label := "N" + itoa(i) + " @" + f0(float64(n.Freq)) + " MHz"
+			add := func(role string, spec topology.NodeSpec) {
+				res.Rows = append(res.Rows, LayoutRow{
+					Network: label, Role: role,
+					X: spec.Pos.X, Y: spec.Pos.Y, Power: float64(spec.TxPower),
+				})
+				t.AddRow(label, role, f2(spec.Pos.X), f2(spec.Pos.Y), f1(float64(spec.TxPower)))
+			}
+			add("sink", n.Sink)
+			for _, s := range n.Senders {
+				add("sender", s)
+			}
+		}
+		results = append(results, res)
+		tables = append(tables, t)
+	}
+	return results, tables
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }

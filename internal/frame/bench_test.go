@@ -1,0 +1,39 @@
+package frame
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	f := &Frame{Type: TypeData, Seq: 1, Dst: 2, Src: 3, Payload: make([]byte, 64)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	f := &Frame{Type: TypeData, Seq: 1, Dst: 2, Src: 3, Payload: make([]byte, 64)}
+	buf, err := f.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFCS(b *testing.B) {
+	data := make([]byte, 127)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		FCS(data)
+	}
+}

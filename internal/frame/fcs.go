@@ -1,0 +1,19 @@
+package frame
+
+// FCS computes the IEEE 802.15.4 frame check sequence: CRC-16/KERMIT
+// (ITU-T polynomial x^16 + x^12 + x^5 + 1, bit-reversed 0x8408, zero
+// initial value), as specified in IEEE 802.15.4-2003 §7.2.1.8.
+func FCS(data []byte) uint16 {
+	var crc uint16
+	for _, b := range data {
+		crc ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ 0x8408
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return crc
+}

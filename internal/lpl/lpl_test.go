@@ -1,0 +1,156 @@
+package lpl
+
+import (
+	"testing"
+	"time"
+
+	"nonortho/internal/frame"
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+func world(t *testing.T) (*sim.Kernel, *medium.Medium) {
+	t.Helper()
+	k := sim.NewKernel(51)
+	m := medium.New(k,
+		medium.WithFadingSigma(0),
+		medium.WithStaticFadingSigma(0))
+	return k, m
+}
+
+func newRadio(k *sim.Kernel, m *medium.Medium, addr frame.Address, x float64, f phy.MHz) *radio.Radio {
+	return radio.New(k, m, radio.Config{
+		Pos:          phy.Position{X: x},
+		Freq:         f,
+		TxPower:      0,
+		CCAThreshold: phy.DefaultCCAThreshold,
+		Address:      addr,
+	})
+}
+
+func TestLPLDeliversWhileMostlyAsleep(t *testing.T) {
+	k, m := world(t)
+	snd := NewSender(k, newRadio(k, m, 1, 0, 2460), 100*time.Millisecond)
+	rcv := NewReceiver(k, newRadio(k, m, 2, 1, 2460), 100*time.Millisecond, -77)
+	rcv.Start()
+
+	// Send three frames spaced out.
+	for i := 0; i < 3; i++ {
+		i := i
+		k.After(time.Duration(1+i)*time.Second, func() {
+			if !snd.Send(2, make([]byte, 32)) {
+				t.Error("sender busy unexpectedly")
+			}
+		})
+	}
+	k.RunUntil(sim.FromDuration(6 * time.Second))
+
+	if rcv.Received() != 3 {
+		t.Errorf("received = %d, want 3", rcv.Received())
+	}
+	if snd.Sent() != 3 {
+		t.Errorf("sent = %d, want 3", snd.Sent())
+	}
+	if rcv.FalseWakeups() != 0 {
+		t.Errorf("false wakeups = %d on a quiet channel, want 0", rcv.FalseWakeups())
+	}
+	// The receiver slept almost the whole run: its energy must be a small
+	// fraction of an always-on radio's.
+	e := rcv.Radio().EnergyReport()
+	alwaysOn := phy.EnergyMillijoules(phy.RxCurrentMA, 6)
+	if e.Millijoules > 0.35*alwaysOn {
+		t.Errorf("receiver energy %.1f mJ, want well below always-on %.1f mJ",
+			e.Millijoules, alwaysOn)
+	}
+	if e.OffSeconds < 4 {
+		t.Errorf("OffSeconds = %.1f, want mostly asleep", e.OffSeconds)
+	}
+}
+
+func TestLPLSenderBusyRejectsOverlappingSend(t *testing.T) {
+	k, m := world(t)
+	snd := NewSender(k, newRadio(k, m, 1, 0, 2460), 100*time.Millisecond)
+	if !snd.Send(2, make([]byte, 16)) {
+		t.Fatal("first send rejected")
+	}
+	if snd.Send(2, make([]byte, 16)) {
+		t.Fatal("overlapping send accepted")
+	}
+	k.RunUntil(sim.FromDuration(time.Second))
+	if !snd.Send(2, make([]byte, 16)) {
+		t.Error("send after completion rejected")
+	}
+	k.Run()
+}
+
+func TestLPLFalseWakeupsFromInterChannelEnergy(t *testing.T) {
+	k, m := world(t)
+	// A saturated neighbour 3 MHz away, 2 m from the receivers: its
+	// filtered leakage (≈ -75 dBm) exceeds the -77 dBm wake threshold but
+	// stays far below co-channel strobe levels.
+	jam := newRadio(k, m, 9, 3, 2463)
+	var blast func()
+	blast = func() {
+		if k.Now() >= sim.FromDuration(5*time.Second) {
+			return
+		}
+		f := &frame.Frame{Type: frame.TypeData, Payload: make([]byte, 100)}
+		if _, err := jam.Transmit(f); err == nil {
+			k.After(f.Airtime(), blast)
+		}
+	}
+	blast()
+
+	naive := NewReceiver(k, newRadio(k, m, 2, 1, 2460), 100*time.Millisecond, -77)
+	adaptive := NewReceiver(k, newRadio(k, m, 3, 1, 2460), 100*time.Millisecond, -50)
+	naive.Start()
+	adaptive.Start()
+	k.RunUntil(sim.FromDuration(5 * time.Second))
+
+	if naive.FalseWakeups() < 30 {
+		t.Errorf("naive false wakeups = %d, want ~every check (≈50)", naive.FalseWakeups())
+	}
+	if adaptive.FalseWakeups() != 0 {
+		t.Errorf("adaptive false wakeups = %d, want 0", adaptive.FalseWakeups())
+	}
+	// The energy gap is the point.
+	en := naive.Radio().EnergyReport().Millijoules
+	ea := adaptive.Radio().EnergyReport().Millijoules
+	if ea >= 0.7*en {
+		t.Errorf("adaptive energy %.1f mJ not well below naive %.1f mJ", ea, en)
+	}
+}
+
+func TestLPLAdaptiveStillReceivesOwnTraffic(t *testing.T) {
+	k, m := world(t)
+	// Neighbour jamming plus real traffic: the raised threshold must not
+	// deafen the receiver to its own sender's strobes (the wake sample
+	// sees the strobes' full co-channel energy, well above -50).
+	jam := newRadio(k, m, 9, 3, 2463)
+	var blast func()
+	blast = func() {
+		if k.Now() >= sim.FromDuration(6*time.Second) {
+			return
+		}
+		f := &frame.Frame{Type: frame.TypeData, Payload: make([]byte, 100)}
+		if _, err := jam.Transmit(f); err == nil {
+			k.After(f.Airtime(), blast)
+		}
+	}
+	blast()
+
+	snd := NewSender(k, newRadio(k, m, 1, 0, 2460), 100*time.Millisecond)
+	rcv := NewReceiver(k, newRadio(k, m, 2, 1, 2460), 100*time.Millisecond, -50)
+	rcv.Start()
+	for i := 0; i < 2; i++ {
+		i := i
+		k.After(time.Duration(1+2*i)*time.Second, func() { snd.Send(2, make([]byte, 32)) })
+	}
+	k.RunUntil(sim.FromDuration(6 * time.Second))
+
+	if rcv.Received() != 2 {
+		t.Errorf("received = %d, want 2 despite the raised threshold", rcv.Received())
+	}
+}

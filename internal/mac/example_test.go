@@ -1,0 +1,48 @@
+package mac_test
+
+import (
+	"fmt"
+	"time"
+
+	"nonortho/internal/frame"
+	"nonortho/internal/mac"
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+// Example sends an acknowledged unicast frame across a two-node link.
+func Example() {
+	k := sim.NewKernel(1)
+	m := medium.New(k, medium.WithFadingSigma(0), medium.WithStaticFadingSigma(0))
+
+	mk := func(addr frame.Address, x float64) *mac.MAC {
+		r := radio.New(k, m, radio.Config{
+			Pos: phy.Position{X: x}, Freq: 2460, TxPower: 0,
+			CCAThreshold: phy.DefaultCCAThreshold, Address: addr,
+		})
+		return mac.New(k, r, mac.Config{AckEnabled: true})
+	}
+	sender := mk(1, 0)
+	receiver := mk(2, 1)
+
+	receiver.OnReceive = func(rcv radio.Reception) {
+		fmt.Printf("received %d bytes from %d (RSSI %.0f dBm)\n",
+			len(rcv.Frame.Payload), rcv.Frame.Src, float64(rcv.RSSI))
+	}
+	sender.OnDelivered = func(f *frame.Frame) {
+		fmt.Println("acknowledged seq", f.Seq)
+	}
+
+	f := &frame.Frame{Type: frame.TypeData, Src: 1, Dst: 2, Payload: make([]byte, 40)}
+	sender.Send(f)
+	k.RunFor(time.Second)
+
+	c := sender.Counters()
+	fmt.Printf("sent %d, delivered %d, busy CCAs %d\n", c.Sent, c.Delivered, c.BusyCCA)
+	// Output:
+	// received 40 bytes from 1 (RSSI -48 dBm)
+	// acknowledged seq 0
+	// sent 1, delivered 1, busy CCAs 0
+}

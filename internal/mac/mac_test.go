@@ -1,0 +1,441 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"nonortho/internal/frame"
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+// node bundles a radio+MAC for tests.
+type node struct {
+	r *radio.Radio
+	m *MAC
+}
+
+func world(t *testing.T) (*sim.Kernel, *medium.Medium) {
+	t.Helper()
+	k := sim.NewKernel(3)
+	m := medium.New(k,
+		medium.WithFadingSigma(0),
+		medium.WithStaticFadingSigma(0),
+		medium.WithPathLoss(&phy.LogDistance{ReferenceLoss: 40, Exponent: 3, MinDistance: 0.1}))
+	return k, m
+}
+
+func newNode(k *sim.Kernel, md *medium.Medium, addr frame.Address, x float64, cfg Config) *node {
+	r := radio.New(k, md, radio.Config{
+		Pos:          phy.Position{X: x},
+		Freq:         2460,
+		TxPower:      0,
+		CCAThreshold: phy.DefaultCCAThreshold,
+		Address:      addr,
+	})
+	return &node{r: r, m: New(k, r, cfg)}
+}
+
+func dataTo(dst frame.Address, payload int) *frame.Frame {
+	return &frame.Frame{Type: frame.TypeData, Dst: dst, Payload: make([]byte, payload)}
+}
+
+func TestSendDeliversToAddressee(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{})
+	b := newNode(k, md, 2, 1, Config{})
+
+	var got []radio.Reception
+	b.m.OnReceive = func(r radio.Reception) { got = append(got, r) }
+
+	f := dataTo(2, 32)
+	f.Src = 1
+	if !a.m.Send(f) {
+		t.Fatal("Send rejected")
+	}
+	k.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("delivered = %d, want 1", len(got))
+	}
+	if got[0].Frame.Src != 1 || !got[0].CRCOK {
+		t.Errorf("bad reception: %+v", got[0])
+	}
+	c := a.m.Counters()
+	if c.Sent != 1 || c.Enqueued != 1 || c.AccessFailures != 0 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestSequenceNumbersIncrement(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{})
+	b := newNode(k, md, 2, 1, Config{})
+
+	var seqs []uint8
+	b.m.OnReceive = func(r radio.Reception) { seqs = append(seqs, r.Frame.Seq) }
+	for i := 0; i < 3; i++ {
+		f := dataTo(2, 16)
+		f.Src = 1
+		if !a.m.Send(f) {
+			t.Fatal("Send rejected")
+		}
+	}
+	k.Run()
+	if len(seqs) != 3 {
+		t.Fatalf("delivered = %d, want 3", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint8(i) {
+			t.Errorf("seq[%d] = %d, want %d", i, s, i)
+		}
+	}
+}
+
+func TestFramesNotForUsAreFiltered(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{})
+	b := newNode(k, md, 2, 1, Config{})
+
+	received, overheard := 0, 0
+	b.m.OnReceive = func(radio.Reception) { received++ }
+	b.m.OnOverhear = func(radio.Reception) { overheard++ }
+
+	f := dataTo(99, 16) // addressed elsewhere
+	f.Src = 1
+	a.m.Send(f)
+	k.Run()
+
+	if received != 0 {
+		t.Errorf("received = %d, want 0 (not addressed to us)", received)
+	}
+	if overheard != 1 {
+		t.Errorf("overheard = %d, want 1 (promiscuous view)", overheard)
+	}
+}
+
+func TestBroadcastDelivered(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{})
+	b := newNode(k, md, 2, 1, Config{})
+	c := newNode(k, md, 3, -1, Config{})
+
+	gotB, gotC := 0, 0
+	b.m.OnReceive = func(radio.Reception) { gotB++ }
+	c.m.OnReceive = func(radio.Reception) { gotC++ }
+
+	f := dataTo(frame.Broadcast, 16)
+	f.Src = 1
+	a.m.Send(f)
+	k.Run()
+	if gotB != 1 || gotC != 1 {
+		t.Errorf("broadcast delivered to %d/%d nodes, want 1/1", gotB, gotC)
+	}
+}
+
+func TestCCADefersWhileChannelBusy(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{})
+	b := newNode(k, md, 2, 1, Config{})
+	sink := newNode(k, md, 3, 0.5, Config{})
+
+	var order []frame.Address
+	sink.m.OnReceive = func(r radio.Reception) { order = append(order, r.Frame.Src) }
+
+	// A starts a long frame immediately via a raw radio transmit so it is
+	// already on the air when B runs CCA.
+	longFrame := dataTo(3, 100)
+	longFrame.Src = 1
+	if _, err := a.r.Transmit(longFrame); err != nil {
+		t.Fatal(err)
+	}
+	f := dataTo(3, 16)
+	f.Src = 2
+	b.m.Send(f)
+	k.Run()
+
+	if len(order) != 2 {
+		t.Fatalf("delivered = %v, want both frames", order)
+	}
+	if order[0] != 1 || order[1] != 2 {
+		t.Errorf("order = %v, want [1 2] (B defers to A)", order)
+	}
+	if c := b.m.Counters(); c.BusyCCA == 0 {
+		t.Error("B never saw a busy CCA despite the occupied channel")
+	}
+}
+
+func TestAccessFailureAfterMaxBackoffs(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{})
+	// Threshold below the noise floor: every CCA is busy.
+	a.r.SetCCAThreshold(-120)
+
+	dropped := 0
+	a.m.OnDropped = func(*frame.Frame) { dropped++ }
+	f := dataTo(2, 16)
+	a.m.Send(f)
+	k.Run()
+
+	c := a.m.Counters()
+	if c.AccessFailures != 1 || dropped != 1 {
+		t.Errorf("AccessFailures = %d, dropped = %d; want 1, 1", c.AccessFailures, dropped)
+	}
+	if c.Sent != 0 {
+		t.Errorf("Sent = %d, want 0", c.Sent)
+	}
+	// 1 initial + MaxCSMABackoffs retries = 5 busy CCAs.
+	if c.BusyCCA != DefaultMaxCSMABackoffs+1 {
+		t.Errorf("BusyCCA = %d, want %d", c.BusyCCA, DefaultMaxCSMABackoffs+1)
+	}
+}
+
+func TestDisabledCCAIgnoresBusyChannel(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{CCA: DisabledCCA{}})
+	a.r.SetCCAThreshold(-120) // would always be busy under ThresholdCCA
+
+	f := dataTo(2, 16)
+	a.m.Send(f)
+	k.Run()
+	if c := a.m.Counters(); c.Sent != 1 || c.AccessFailures != 0 {
+		t.Errorf("counters = %+v, want one sent", c)
+	}
+}
+
+func TestQueueCap(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{QueueCap: 2})
+	_ = k
+	if !a.m.Send(dataTo(2, 16)) || !a.m.Send(dataTo(2, 16)) {
+		t.Fatal("first two sends rejected")
+	}
+	// First frame is in flight (dequeued is not immediate); the queue may
+	// be full now.
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		if a.m.Send(dataTo(2, 16)) {
+			accepted++
+		}
+	}
+	if accepted > 1 {
+		t.Errorf("queue accepted %d frames beyond cap", accepted)
+	}
+}
+
+func TestAckDeliveryAndCounter(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{AckEnabled: true})
+	b := newNode(k, md, 2, 1, Config{AckEnabled: true})
+
+	got := 0
+	b.m.OnReceive = func(radio.Reception) { got++ }
+
+	f := dataTo(2, 32)
+	f.Src = 1
+	a.m.Send(f)
+	k.Run()
+
+	if got != 1 {
+		t.Fatalf("delivered = %d, want 1", got)
+	}
+	c := a.m.Counters()
+	if c.Delivered != 1 {
+		t.Errorf("Delivered = %d, want 1 (ACK received)", c.Delivered)
+	}
+	if c.Sent != 1 {
+		t.Errorf("Sent = %d, want 1 (no retries needed)", c.Sent)
+	}
+}
+
+func TestAckTimeoutRetriesThenDrops(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{AckEnabled: true})
+	b := newNode(k, md, 2, 1, Config{AckEnabled: true})
+	b.r.SetOff() // receiver dead: no ACKs ever
+
+	dropped := 0
+	a.m.OnDropped = func(*frame.Frame) { dropped++ }
+	f := dataTo(2, 32)
+	f.Src = 1
+	a.m.Send(f)
+	k.Run()
+
+	c := a.m.Counters()
+	if c.Sent != 1+DefaultMaxFrameRetries {
+		t.Errorf("Sent = %d, want %d (original + retries)", c.Sent, 1+DefaultMaxFrameRetries)
+	}
+	if c.RetryFailures != 1 || dropped != 1 {
+		t.Errorf("RetryFailures = %d, dropped = %d; want 1, 1", c.RetryFailures, dropped)
+	}
+	if c.Delivered != 0 {
+		t.Errorf("Delivered = %d, want 0", c.Delivered)
+	}
+}
+
+func TestBroadcastNeverRequestsAck(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{AckEnabled: true})
+	b := newNode(k, md, 2, 1, Config{AckEnabled: true})
+
+	var rcv *frame.Frame
+	b.m.OnReceive = func(r radio.Reception) { rcv = r.Frame }
+	f := dataTo(frame.Broadcast, 16)
+	f.Src = 1
+	a.m.Send(f)
+	k.Run()
+
+	if rcv == nil {
+		t.Fatal("broadcast not delivered")
+	}
+	if rcv.AckReq {
+		t.Error("broadcast frame requested an ACK")
+	}
+	if c := a.m.Counters(); c.Sent != 1 {
+		t.Errorf("Sent = %d, want exactly 1 (no retries)", c.Sent)
+	}
+}
+
+func TestBackPressureDrainsQueueInOrder(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{})
+	b := newNode(k, md, 2, 1, Config{})
+
+	var seqs []uint8
+	b.m.OnReceive = func(r radio.Reception) { seqs = append(seqs, r.Frame.Seq) }
+	const n = 10
+	for i := 0; i < n; i++ {
+		f := dataTo(2, 16)
+		f.Src = 1
+		if !a.m.Send(f) {
+			t.Fatal("queue overflow")
+		}
+	}
+	k.Run()
+	if len(seqs) != n {
+		t.Fatalf("delivered %d, want %d", len(seqs), n)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("out-of-order delivery: %v", seqs)
+		}
+	}
+}
+
+func TestTwoContendersBothEventuallySend(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, -0.5, Config{})
+	b := newNode(k, md, 2, 0.5, Config{})
+	sink := newNode(k, md, 3, 0, Config{})
+
+	count := map[frame.Address]int{}
+	sink.m.OnReceive = func(r radio.Reception) { count[r.Frame.Src]++ }
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		fa := dataTo(3, 32)
+		fa.Src = 1
+		a.m.Send(fa)
+		fb := dataTo(3, 32)
+		fb.Src = 2
+		b.m.Send(fb)
+	}
+	k.RunFor(5 * time.Second)
+
+	if count[1] < n*8/10 || count[2] < n*8/10 {
+		t.Errorf("deliveries = %v, want most of %d each (CSMA shares the channel)", count, n)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{})
+	b := newNode(k, md, 2, 1, Config{})
+	_ = b
+	for i := 0; i < 5; i++ {
+		f := dataTo(2, 16)
+		a.m.Send(f)
+	}
+	k.Run()
+	c := a.m.Counters()
+	if c.Enqueued != 5 || c.Sent != 5 {
+		t.Errorf("counters = %+v, want 5 enqueued and sent", c)
+	}
+	if c.ClearCCA < 5 {
+		t.Errorf("ClearCCA = %d, want >= 5", c.ClearCCA)
+	}
+}
+
+func TestOracleCCAIgnoresInterChannelEnergy(t *testing.T) {
+	k, md := world(t)
+	// A strong inter-channel transmitter 3 MHz away keeps the plain
+	// threshold CCA busy, but the oracle sees through it.
+	interferer := newNode(k, md, 9, 0.5, Config{CCA: DisabledCCA{}})
+	interferer.r.SetTxPower(0)
+	// Retune the interferer 3 MHz up by rebuilding it on 2463.
+	intfRadio := radio.New(k, md, radio.Config{
+		Pos: phy.Position{X: 0.5}, Freq: 2463, TxPower: 0,
+		CCAThreshold: phy.DefaultCCAThreshold, Address: 10,
+	})
+	_ = interferer
+
+	a := newNode(k, md, 1, 0, Config{})                               // plain threshold CCA
+	o := newNode(k, md, 2, 0, Config{CCA: OracleDiscriminatingCCA{}}) // oracle
+
+	// Keep the inter-channel transmitter busy for the whole test.
+	var blast func()
+	blast = func() {
+		if k.Now() > sim.FromDuration(3*time.Second) {
+			return
+		}
+		f := &frame.Frame{Type: frame.TypeData, Payload: make([]byte, 100)}
+		if _, err := intfRadio.Transmit(f); err == nil {
+			k.After(f.Airtime(), blast)
+		}
+	}
+	blast()
+
+	sink := newNode(k, md, 3, 1, Config{})
+	_ = sink
+	for i := 0; i < 10; i++ {
+		fa := dataTo(3, 16)
+		a.m.Send(fa)
+		fo := dataTo(3, 16)
+		o.m.Send(fo)
+	}
+	k.RunUntil(sim.FromDuration(3 * time.Second))
+
+	ca, co := a.m.Counters(), o.m.Counters()
+	// The plain CCA is blocked by the -54 dBm filtered energy (> -77); the
+	// oracle transmits freely.
+	if ca.Sent > 2 {
+		t.Errorf("threshold CCA sent %d frames under inter-channel jamming, want ≈ 0", ca.Sent)
+	}
+	if co.Sent != 10 {
+		t.Errorf("oracle CCA sent %d frames, want all 10", co.Sent)
+	}
+	// And the oracle still defers to co-channel energy: once node a's
+	// queue drains... instead verify directly via the radio reads.
+	if o.r.SensedCoChannelPower() > phy.NoiseFloor+1 {
+		t.Errorf("co-channel oracle read = %v, want noise floor (only inter-channel active)",
+			o.r.SensedCoChannelPower())
+	}
+}
+
+func TestOnDeliveredFiresOnAck(t *testing.T) {
+	k, md := world(t)
+	a := newNode(k, md, 1, 0, Config{AckEnabled: true})
+	b := newNode(k, md, 2, 1, Config{AckEnabled: true})
+	_ = b
+	delivered := 0
+	a.m.OnDelivered = func(*frame.Frame) { delivered++ }
+	f := dataTo(2, 16)
+	f.Src = 1
+	a.m.Send(f)
+	k.Run()
+	if delivered != 1 {
+		t.Errorf("OnDelivered fired %d times, want 1", delivered)
+	}
+}

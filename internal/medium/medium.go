@@ -1,0 +1,295 @@
+// Package medium models the shared wireless medium: it tracks every
+// in-flight transmission, computes received and sensed power at any
+// listener (applying path loss, per-pair shadow fading and the receiver's
+// adjacent-channel rejection), and notifies listeners of on-air events so
+// they can integrate interference over a reception.
+package medium
+
+import (
+	"nonortho/internal/frame"
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+// Listener is anything attached to the medium — typically a radio. The
+// medium calls OnAir/OffAir for every transmission in the world, including
+// the listener's own (compare Transmission.Src with the listener's ID).
+type Listener interface {
+	// Position locates the listener's antenna.
+	Position() phy.Position
+	// OnAir is invoked when a transmission begins anywhere on the medium.
+	OnAir(tx *Transmission)
+	// OffAir is invoked when that transmission completes.
+	OffAir(tx *Transmission)
+}
+
+// Transmission is a frame in flight.
+type Transmission struct {
+	// ID is unique per medium instance.
+	ID uint64
+	// Src identifies the transmitting listener (medium attach ID).
+	Src int
+	// Pos is the transmitter's antenna position.
+	Pos phy.Position
+	// Power is the transmit power.
+	Power phy.DBm
+	// Freq is the channel center frequency.
+	Freq phy.MHz
+	// Bandwidth is the occupied bandwidth for wideband emitters (e.g.
+	// 22 MHz for 802.11b). Zero means a narrowband 802.15.4 signal whose
+	// off-channel leakage follows the medium's rejection curve directly.
+	Bandwidth phy.MHz
+	// Frame is the MAC frame being sent.
+	Frame *frame.Frame
+	// Start and End bound the on-air interval.
+	Start, End sim.Time
+}
+
+// Option configures a Medium.
+type Option func(*Medium)
+
+// WithPathLoss overrides the propagation model.
+func WithPathLoss(m phy.PathLossModel) Option {
+	return func(md *Medium) { md.pathLoss = m }
+}
+
+// WithRejection overrides the adjacent-channel rejection curve.
+func WithRejection(c phy.RejectionCurve) Option {
+	return func(md *Medium) { md.rejection = c }
+}
+
+// WithFadingSigma sets the per-transmission fading jitter standard
+// deviation in dB: the small temporal RSSI variation a static link shows
+// packet to packet. Zero disables it.
+func WithFadingSigma(sigma float64) Option {
+	return func(md *Medium) { md.fadingSigma = sigma }
+}
+
+// WithStaticFadingSigma sets the per-(transmitter, listener) lognormal
+// shadowing standard deviation in dB: a draw made once per ordered node
+// pair that persists for the whole run, modelling obstacles and multipath
+// of a fixed deployment. Zero disables it.
+func WithStaticFadingSigma(sigma float64) Option {
+	return func(md *Medium) { md.staticSigma = sigma }
+}
+
+// Medium is the shared channel. Not safe for concurrent use: the simulation
+// is single-threaded by design.
+type Medium struct {
+	kernel      *sim.Kernel
+	pathLoss    phy.PathLossModel
+	rejection   phy.RejectionCurve
+	fadingSigma float64
+	staticSigma float64
+	fadingRNG   *sim.RNG
+	staticRNG   *sim.RNG
+
+	listeners []Listener
+	// active holds in-flight transmissions ordered by ID, so that
+	// floating-point power sums are always evaluated in the same order —
+	// a map here would make runs non-deterministic.
+	active   []*Transmission
+	fading   map[fadeKey]float64
+	static   map[linkKey]float64
+	nextTxID uint64
+}
+
+type fadeKey struct {
+	tx       uint64
+	listener int
+}
+
+type linkKey struct {
+	src      int
+	listener int
+}
+
+// New creates a medium bound to the kernel. Defaults: indoor log-distance
+// path loss, the calibrated CC2420 rejection curve, 3 dB static per-link
+// shadowing and 2 dB per-transmission jitter (the combination that
+// reproduces the paper's CPRR spread while keeping RSSI stable enough for
+// min-tracking, as on real motes).
+func New(k *sim.Kernel, opts ...Option) *Medium {
+	m := &Medium{
+		kernel:      k,
+		pathLoss:    phy.DefaultPathLoss(),
+		rejection:   phy.NewCC2420Rejection(),
+		fadingSigma: 2,
+		staticSigma: 3,
+		fadingRNG:   k.Stream("medium.fading"),
+		staticRNG:   k.Stream("medium.static"),
+		fading:      make(map[fadeKey]float64),
+		static:      make(map[linkKey]float64),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Rejection exposes the curve so radios share the exact same filter model.
+func (m *Medium) Rejection() phy.RejectionCurve { return m.rejection }
+
+// Attach registers a listener and returns its medium ID.
+func (m *Medium) Attach(l Listener) int {
+	m.listeners = append(m.listeners, l)
+	return len(m.listeners) - 1
+}
+
+// Transmit puts a frame on the air from listener src at the given power and
+// channel. It returns the transmission handle; OffAir fires automatically
+// when the airtime elapses.
+//
+// Ordering contract: listeners are notified of OnAir *before* the
+// transmission joins the active set, and of OffAir *before* it leaves it.
+// A receiver integrating interference over a reception therefore always
+// sees the pre-change landscape when it closes the elapsed segment.
+func (m *Medium) Transmit(src int, pos phy.Position, power phy.DBm, freq phy.MHz, f *frame.Frame) *Transmission {
+	return m.TransmitShaped(src, pos, power, freq, 0, f)
+}
+
+// TransmitShaped is Transmit for wideband emitters: bandwidth is the
+// occupied width of the signal (zero = narrowband 802.15.4).
+func (m *Medium) TransmitShaped(src int, pos phy.Position, power phy.DBm, freq, bandwidth phy.MHz, f *frame.Frame) *Transmission {
+	now := m.kernel.Now()
+	tx := &Transmission{
+		ID:        m.nextTxID,
+		Src:       src,
+		Pos:       pos,
+		Power:     power,
+		Freq:      freq,
+		Bandwidth: bandwidth,
+		Frame:     f,
+		Start:     now,
+		End:       now + sim.FromDuration(f.Airtime()),
+	}
+	m.nextTxID++
+	for _, l := range m.listeners {
+		l.OnAir(tx)
+	}
+	m.active = append(m.active, tx)
+	m.kernel.At(tx.End, func() { m.finish(tx) })
+	return tx
+}
+
+func (m *Medium) finish(tx *Transmission) {
+	for _, l := range m.listeners {
+		l.OffAir(tx)
+	}
+	for i, a := range m.active {
+		if a.ID == tx.ID {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	// Drop cached fading draws for this transmission.
+	for id := range m.listeners {
+		delete(m.fading, fadeKey{tx: tx.ID, listener: id})
+	}
+}
+
+// ActiveCount reports the number of transmissions currently on the air.
+func (m *Medium) ActiveCount() int { return len(m.active) }
+
+// RxPower returns the raw (pre-filter) received power of tx at listener l,
+// including that pair's shadow-fading draw. The draw is made once per
+// (transmission, listener) pair and reused, so CCA sensing and SINR
+// integration observe a consistent channel.
+func (m *Medium) RxPower(tx *Transmission, listenerID int) phy.DBm {
+	l := m.listeners[listenerID]
+	base := phy.ReceivedPower(m.pathLoss, tx.Power, tx.Pos, l.Position())
+	return base + phy.DBm(m.staticFade(tx.Src, listenerID)) + phy.DBm(m.fade(tx.ID, listenerID))
+}
+
+// staticFade returns the persistent shadowing offset of the (src, listener)
+// node pair, drawn lazily once per pair.
+func (m *Medium) staticFade(src, listenerID int) float64 {
+	if m.staticSigma == 0 {
+		return 0
+	}
+	k := linkKey{src: src, listener: listenerID}
+	if v, ok := m.static[k]; ok {
+		return v
+	}
+	v := m.staticRNG.Gaussian(0, m.staticSigma)
+	m.static[k] = v
+	return v
+}
+
+func (m *Medium) fade(txID uint64, listenerID int) float64 {
+	if m.fadingSigma == 0 {
+		return 0
+	}
+	k := fadeKey{tx: txID, listener: listenerID}
+	if v, ok := m.fading[k]; ok {
+		return v
+	}
+	v := m.fadingRNG.Gaussian(0, m.fadingSigma)
+	m.fading[k] = v
+	return v
+}
+
+// InChannelPower returns the portion of tx's energy that lands inside a
+// receiver tuned to freq at listener l, i.e. RxPower reduced by the
+// adjacent-channel rejection for the frequency offset.
+func (m *Medium) InChannelPower(tx *Transmission, listenerID int, freq phy.MHz) phy.DBm {
+	rx := m.RxPower(tx, listenerID)
+	if tx.Bandwidth > 0 {
+		// Wideband emitter: flat-PSD overlap model (an 802.15.4 receiver
+		// window is ~2 MHz wide).
+		return phy.WidebandInterference(m.rejection, rx, tx.Freq-freq, tx.Bandwidth, 2)
+	}
+	return phy.EffectiveInterference(m.rejection, rx, tx.Freq-freq)
+}
+
+// SensedPower returns the total in-channel energy a receiver tuned to freq
+// measures at listener l — the quantity the CCA and the RSSI register see.
+// It includes the noise floor; exclude (may be nil) is omitted from the sum,
+// which a transmitting radio uses to ignore its own signal.
+func (m *Medium) SensedPower(listenerID int, freq phy.MHz, exclude *Transmission) phy.DBm {
+	total := phy.NoiseFloor.Milliwatts()
+	for _, tx := range m.active {
+		if exclude != nil && tx.ID == exclude.ID {
+			continue
+		}
+		if tx.Src == listenerID {
+			continue
+		}
+		total += m.InChannelPower(tx, listenerID, freq).Milliwatts()
+	}
+	return phy.FromMilliwatts(total)
+}
+
+// SensedCoChannelPower returns only the co-channel portion of the sensed
+// energy at listener l: transmissions on exactly the listener's center
+// frequency, plus the noise floor. Real CC2420 hardware cannot measure
+// this quantity — its energy detector integrates the whole filter
+// bandwidth — so this accessor exists for the oracle CCA policy that
+// quantifies the paper's Section VII-C future-work upper bound.
+func (m *Medium) SensedCoChannelPower(listenerID int, freq phy.MHz, exclude *Transmission) phy.DBm {
+	total := phy.NoiseFloor.Milliwatts()
+	for _, tx := range m.active {
+		if exclude != nil && tx.ID == exclude.ID {
+			continue
+		}
+		if tx.Src == listenerID || tx.Freq != freq {
+			continue
+		}
+		total += m.RxPower(tx, listenerID).Milliwatts()
+	}
+	return phy.FromMilliwatts(total)
+}
+
+// Interference returns the combined in-channel interference (excluding the
+// noise floor and the wanted transmission itself) a receiver locked to
+// wanted experiences at listener l.
+func (m *Medium) Interference(wanted *Transmission, listenerID int, freq phy.MHz) phy.DBm {
+	total := 0.0
+	for _, tx := range m.active {
+		if tx.ID == wanted.ID || tx.Src == listenerID {
+			continue
+		}
+		total += m.InChannelPower(tx, listenerID, freq).Milliwatts()
+	}
+	return phy.FromMilliwatts(total)
+}

@@ -1,0 +1,122 @@
+package net80211
+
+import (
+	"testing"
+	"time"
+
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+func wifiWorld(seed int64) (*sim.Kernel, *medium.Medium) {
+	k := sim.NewKernel(seed)
+	m := medium.New(k,
+		medium.WithFadingSigma(0),
+		medium.WithStaticFadingSigma(0),
+		medium.WithRejection(OverlapCurve{}),
+		medium.WithPathLoss(&phy.LogDistance{ReferenceLoss: 40, Exponent: 3, MinDistance: 0.1}))
+	return k, m
+}
+
+// linkPair builds a Wi-Fi link (sender → receiver) on a channel, with the
+// pair offset on the Y axis so multiple links can coexist.
+func linkPair(k *sim.Kernel, m *medium.Medium, name string, ch int, y float64) (*Station, *Station) {
+	snd := NewStation(k, m, name+".tx", phy.Position{X: 0, Y: y}, ch, 0)
+	rcv := NewStation(k, m, name+".rx", phy.Position{X: 1, Y: y}, ch, 0)
+	return snd, rcv
+}
+
+// run measures link A's delivered packets over a second of virtual time.
+func run(t *testing.T, chB int) (delivered, foreignLocks int) {
+	t.Helper()
+	k, m := wifiWorld(11)
+	sndA, rcvA := linkPair(k, m, "a", 1, 0)
+	sndB, _ := linkPair(k, m, "b", chB, 2)
+	sndA.StartSaturated(500)
+	sndB.StartSaturated(500)
+	k.RunFor(time.Second)
+	return rcvA.Delivered, rcvA.ForeignLocks
+}
+
+func TestOverlapCurveMonotone(t *testing.T) {
+	var c OverlapCurve
+	prev := -1.0
+	for f := phy.MHz(0); f <= 60; f++ {
+		r := c.RejectionDB(f)
+		if r < prev {
+			t.Fatalf("overlap attenuation not monotone at %v MHz", f)
+		}
+		prev = r
+	}
+	if c.RejectionDB(-10) != c.RejectionDB(10) {
+		t.Error("overlap not symmetric")
+	}
+	if c.RejectionDB(100) != 50 {
+		t.Error("overlap does not saturate")
+	}
+}
+
+func TestChannelFreq(t *testing.T) {
+	if got := ChannelFreq(1); got != 2412 {
+		t.Errorf("ch1 = %v, want 2412", got)
+	}
+	if got := ChannelFreq(11); got != 2462 {
+		t.Errorf("ch11 = %v, want 2462", got)
+	}
+}
+
+func TestIsolatedLinkDelivers(t *testing.T) {
+	k, m := wifiWorld(7)
+	snd, rcv := linkPair(k, m, "a", 1, 0)
+	snd.StartSaturated(500)
+	k.RunFor(time.Second)
+	if rcv.Delivered < 20 {
+		t.Errorf("isolated Wi-Fi link delivered %d pkt/s, want a saturated flow", rcv.Delivered)
+	}
+	if rcv.ForeignLocks != 0 {
+		t.Errorf("foreign locks = %d on a single-link world", rcv.ForeignLocks)
+	}
+}
+
+func TestAdjacentChannelDestroysThroughput(t *testing.T) {
+	iso, _ := run(t, 99)    // channel far outside lock range: effectively isolated
+	adj, locks := run(t, 3) // two channels away: overlap + foreign locks
+	if locks == 0 {
+		t.Error("no foreign decoder captures on an overlapping channel")
+	}
+	if float64(adj) > 0.8*float64(iso) {
+		t.Errorf("adjacent-channel throughput %d vs isolated %d: 802.11 overlap should hurt", adj, iso)
+	}
+}
+
+func TestFarChannelRecoversThroughput(t *testing.T) {
+	iso, _ := run(t, 99)
+	far, _ := run(t, 8) // 35 MHz away: outside lock range and below CS
+	if float64(far) < 0.85*float64(iso) {
+		t.Errorf("far-channel throughput %d vs isolated %d: should be restored", far, iso)
+	}
+}
+
+func TestNormalizedThroughputShapeMatchesFig2(t *testing.T) {
+	// The paper's Fig 2 (top): normalized throughput of an 802.11b link
+	// stays suppressed for small channel separations and recovers only
+	// around 5-6 channels away.
+	iso, _ := run(t, 99)
+	norm := func(ch int) float64 {
+		d, _ := run(t, ch)
+		return float64(d) / float64(iso)
+	}
+	near := norm(2)
+	mid := norm(4)
+	farN := norm(9)
+	if near > 0.8 {
+		t.Errorf("norm(ch2) = %v, want suppressed (< 0.8)", near)
+	}
+	if farN < 0.85 {
+		t.Errorf("norm(ch9) = %v, want ≈ 1", farN)
+	}
+	if !(farN > near) {
+		t.Errorf("throughput must recover with separation: near %v mid %v far %v", near, mid, farN)
+	}
+}

@@ -1,0 +1,64 @@
+package phy
+
+import "math"
+
+// ImplementationLoss shifts the analytic DSSS curve to where real CC2420
+// receivers sit: measurement studies of 802.15.4 capture place the
+// decodable/undecodable cliff around +2…+4 dB SINR rather than the ~-1 dB
+// the ideal coherent formula predicts. The shift also realises the paper's
+// co-channel observation: two equal-power co-channel packets (SINR ≈ 0 dB)
+// cannot both be decoded.
+const ImplementationLoss = 3.5
+
+// BitErrorRate returns the bit-error probability of the 802.15.4 2.4 GHz
+// O-QPSK DSSS PHY at a given SINR in dB. It is the standard analytic form
+// for 16-ary quasi-orthogonal signalling used throughout the WSN
+// literature:
+//
+//	BER(γ) = (8/15)·(1/16)·Σ_{k=2}^{16} (-1)^k · C(16,k) · exp(20·γ·(1/k − 1))
+//
+// with γ the linear SINR, evaluated ImplementationLoss dB below the input.
+// The curve has the characteristic DSSS cliff: a few dB separate
+// near-perfect reception from total loss.
+func BitErrorRate(sinrDB float64) float64 {
+	gamma := math.Pow(10, (sinrDB-ImplementationLoss)/10)
+	sum := 0.0
+	sign := 1.0 // (-1)^k for k=2 is +1
+	for k := 2; k <= 16; k++ {
+		sum += sign * binomial16[k] * math.Exp(20*gamma*(1/float64(k)-1))
+		sign = -sign
+	}
+	ber := (8.0 / 15.0) * (1.0 / 16.0) * sum
+	if ber < 0 {
+		return 0
+	}
+	if ber > 0.5 {
+		return 0.5
+	}
+	return ber
+}
+
+// binomial16[k] = C(16, k).
+var binomial16 = [17]float64{
+	1, 16, 120, 560, 1820, 4368, 8008, 11440,
+	12870, 11440, 8008, 4368, 1820, 560, 120, 16, 1,
+}
+
+// PacketErrorRate returns the probability that at least one of bits bits is
+// corrupted at the given SINR, assuming independent bit errors.
+func PacketErrorRate(sinrDB float64, bits int) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	ber := BitErrorRate(sinrDB)
+	if ber <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-ber, float64(bits))
+}
+
+// CliffSINR is the approximate SINR in dB at which a typical data frame
+// (on the order of 500–1000 bits) transitions from mostly-lost to
+// mostly-received. Exposed for tests and documentation; the simulator
+// itself always evaluates the full curve.
+const CliffSINR = 2.5

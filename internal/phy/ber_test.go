@@ -1,0 +1,81 @@
+package phy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitErrorRateMonotoneDecreasing(t *testing.T) {
+	prev := 1.0
+	for sinr := -10.0; sinr <= 15; sinr += 0.25 {
+		ber := BitErrorRate(sinr)
+		if ber > prev+1e-12 {
+			t.Fatalf("BER not monotone: BER(%v)=%v > previous %v", sinr, ber, prev)
+		}
+		prev = ber
+	}
+}
+
+func TestBitErrorRateBounds(t *testing.T) {
+	f := func(s float64) bool {
+		ber := BitErrorRate(s)
+		return ber >= 0 && ber <= 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitErrorRateCliff(t *testing.T) {
+	// The DSSS cliff sits near CliffSINR: material bit errors at the
+	// cliff, negligible a few dB above, hopeless a few dB below.
+	atCliff := BitErrorRate(CliffSINR)
+	if atCliff < 1e-5 || atCliff > 1e-2 {
+		t.Errorf("BER(cliff) = %v, want within [1e-5, 1e-2]", atCliff)
+	}
+	if above := BitErrorRate(CliffSINR + 4); above > 1e-7 {
+		t.Errorf("BER(cliff+4 dB) = %v, want < 1e-7", above)
+	}
+	if below := BitErrorRate(CliffSINR - 4); below < 0.01 {
+		t.Errorf("BER(cliff-4 dB) = %v, want > 0.01", below)
+	}
+	// Equal-power co-channel collision (SINR ≈ 0 dB) must be fatal for a
+	// typical frame — the paper's co-channel observation.
+	if per := PacketErrorRate(0, 648); per < 0.99 {
+		t.Errorf("PER(0 dB, 648 bits) = %v, want ≈ 1", per)
+	}
+}
+
+func TestPacketErrorRateGrowsWithLength(t *testing.T) {
+	short := PacketErrorRate(1, 100)
+	long := PacketErrorRate(1, 1000)
+	if long <= short {
+		t.Errorf("PER(1000 bits) = %v not > PER(100 bits) = %v", long, short)
+	}
+}
+
+func TestPacketErrorRateBounds(t *testing.T) {
+	f := func(s float64, bits int) bool {
+		if bits < 0 {
+			bits = -bits
+		}
+		bits %= 10000
+		per := PacketErrorRate(s, bits)
+		return per >= 0 && per <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketErrorRateZeroBits(t *testing.T) {
+	if got := PacketErrorRate(-20, 0); got != 0 {
+		t.Errorf("PER(0 bits) = %v, want 0", got)
+	}
+}
+
+func TestPacketErrorRateHighSINRIsClean(t *testing.T) {
+	if got := PacketErrorRate(20, 8*127); got > 1e-9 {
+		t.Errorf("PER(20 dB, max frame) = %v, want ~0", got)
+	}
+}

@@ -1,0 +1,90 @@
+package phy
+
+import "fmt"
+
+// ZigBeeChannelFreq returns the center frequency of IEEE 802.15.4 2.4 GHz
+// channel ch (11–26): 2405 + 5·(ch−11) MHz.
+func ZigBeeChannelFreq(ch int) (MHz, error) {
+	if ch < 11 || ch > 26 {
+		return 0, fmt.Errorf("phy: 2.4 GHz channel %d out of range 11..26", ch)
+	}
+	return MHz(2405 + 5*(ch-11)), nil
+}
+
+// SpanMode selects how many channels a plan packs into a band. The paper
+// counts channels both ways: floor(B/CFD) in the motivating experiment
+// (12 MHz band: 9→1, 5→2, 4→3, 3→4, 2→6) and floor(B/CFD)+1 in the
+// evaluation, where both band edges carry a channel (15 MHz band: CFD 5→4
+// channels at 2458/2463/2468/2473; CFD 3→6 channels).
+type SpanMode int
+
+const (
+	// SpanPacked yields floor(B/CFD) channels starting at the band's lower
+	// edge.
+	SpanPacked SpanMode = iota + 1
+	// SpanInclusive yields floor(B/CFD)+1 channels, placing one on each
+	// band edge when CFD divides the bandwidth.
+	SpanInclusive
+)
+
+// ChannelPlan is an assignment of channel center frequencies with uniform
+// spacing over a spectrum band.
+type ChannelPlan struct {
+	// Start is the lower band edge / first channel center, in MHz.
+	Start MHz
+	// Bandwidth is the total band span in MHz.
+	Bandwidth MHz
+	// CFD is the center-frequency distance between adjacent channels.
+	CFD MHz
+	// Centers are the resulting channel center frequencies, ascending.
+	Centers []MHz
+}
+
+// NewChannelPlan builds a plan over [start, start+bandwidth] with the given
+// spacing and counting mode.
+func NewChannelPlan(start, bandwidth, cfd MHz, mode SpanMode) (ChannelPlan, error) {
+	if cfd <= 0 {
+		return ChannelPlan{}, fmt.Errorf("phy: CFD must be positive, got %v", cfd)
+	}
+	if bandwidth <= 0 {
+		return ChannelPlan{}, fmt.Errorf("phy: bandwidth must be positive, got %v", bandwidth)
+	}
+	n := int(bandwidth / cfd)
+	switch mode {
+	case SpanPacked:
+	case SpanInclusive:
+		n++
+	default:
+		return ChannelPlan{}, fmt.Errorf("phy: unknown span mode %d", mode)
+	}
+	if n < 1 {
+		n = 1
+	}
+	centers := make([]MHz, n)
+	for i := range centers {
+		centers[i] = start + MHz(i)*cfd
+	}
+	return ChannelPlan{Start: start, Bandwidth: bandwidth, CFD: cfd, Centers: centers}, nil
+}
+
+// NumChannels reports how many channels the plan provides.
+func (p ChannelPlan) NumChannels() int { return len(p.Centers) }
+
+// MiddleIndex returns the index of the channel closest to the band middle —
+// the paper's N0, the network that suffers the most inter-channel
+// interference.
+func (p ChannelPlan) MiddleIndex() int { return (len(p.Centers) - 1) / 2 }
+
+// Offsets returns the frequency distance from channel i to every other
+// channel in the plan, indexed like Centers (the i-th entry is 0).
+func (p ChannelPlan) Offsets(i int) []MHz {
+	out := make([]MHz, len(p.Centers))
+	for j, c := range p.Centers {
+		d := c - p.Centers[i]
+		if d < 0 {
+			d = -d
+		}
+		out[j] = d
+	}
+	return out
+}

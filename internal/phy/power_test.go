@@ -1,0 +1,117 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMilliwattsRoundTrip(t *testing.T) {
+	f := func(p float64) bool {
+		dbm := DBm(math.Mod(p, 200)) // sane radio range
+		back := FromMilliwatts(dbm.Milliwatts())
+		return almostEqual(float64(back), float64(dbm), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMilliwattsKnownValues(t *testing.T) {
+	tests := []struct {
+		dbm  DBm
+		want float64
+	}{
+		{0, 1},
+		{10, 10},
+		{-10, 0.1},
+		{-30, 0.001},
+		{3, 1.9952623},
+	}
+	for _, tt := range tests {
+		if got := tt.dbm.Milliwatts(); !almostEqual(got, tt.want, 1e-6) {
+			t.Errorf("(%v dBm).Milliwatts() = %v, want %v", tt.dbm, got, tt.want)
+		}
+	}
+}
+
+func TestFromMilliwattsNonPositive(t *testing.T) {
+	if got := FromMilliwatts(0); got != Silent {
+		t.Errorf("FromMilliwatts(0) = %v, want Silent", got)
+	}
+	if got := FromMilliwatts(-1); got != Silent {
+		t.Errorf("FromMilliwatts(-1) = %v, want Silent", got)
+	}
+}
+
+func TestCombineTwoEqualPowersAddsThreeDB(t *testing.T) {
+	got := Combine(-60, -60)
+	if !almostEqual(float64(got), -56.9897, 0.001) {
+		t.Errorf("Combine(-60,-60) = %v, want ≈ -57.0", got)
+	}
+}
+
+func TestCombineDominantTerm(t *testing.T) {
+	// A 30 dB weaker interferer barely moves the total.
+	got := Combine(-50, -80)
+	if !almostEqual(float64(got), -50, 0.01) {
+		t.Errorf("Combine(-50,-80) = %v, want ≈ -50", got)
+	}
+}
+
+func TestCombineEmptyAndSilent(t *testing.T) {
+	if got := Combine(); got != Silent {
+		t.Errorf("Combine() = %v, want Silent", got)
+	}
+	if got := Combine(Silent, Silent); got != Silent {
+		t.Errorf("Combine(Silent, Silent) = %v, want Silent", got)
+	}
+	if got := Combine(-40, Silent); !almostEqual(float64(got), -40, 1e-9) {
+		t.Errorf("Combine(-40, Silent) = %v, want -40", got)
+	}
+}
+
+func TestCombineIsCommutative(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		x := DBm(math.Mod(a, 100))
+		y := DBm(math.Mod(b, 100))
+		z := DBm(math.Mod(c, 100))
+		p1 := Combine(x, y, z)
+		p2 := Combine(z, x, y)
+		return almostEqual(float64(p1), float64(p2), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinusInvertsCombine(t *testing.T) {
+	f := func(a, b float64) bool {
+		x := DBm(-90 + math.Mod(math.Abs(a), 80))
+		y := DBm(-90 + math.Mod(math.Abs(b), 80))
+		total := Combine(x, y)
+		back := Minus(total, y)
+		return almostEqual(float64(back), float64(x), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSINRNoiseOnly(t *testing.T) {
+	// Signal at -70 dBm against noise floor only: SINR = -70 - (-100) = 30.
+	got := SINR(-70, Silent)
+	if !almostEqual(got, 30, 0.01) {
+		t.Errorf("SINR(-70, none) = %v, want 30", got)
+	}
+}
+
+func TestSINRInterferenceDominates(t *testing.T) {
+	// Strong interference swamps the noise floor.
+	got := SINR(-60, -65)
+	if !almostEqual(got, 5, 0.05) {
+		t.Errorf("SINR(-60, -65) = %v, want ≈ 5", got)
+	}
+}

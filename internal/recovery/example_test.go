@@ -1,0 +1,42 @@
+package recovery_test
+
+import (
+	"fmt"
+
+	"nonortho/internal/radio"
+	"nonortho/internal/recovery"
+)
+
+// Example classifies receptions against the 10 % correction budget.
+func Example() {
+	s := recovery.New(0) // default 10 % budget
+	lightlyCorrupted := radio.Reception{BitErrors: 40, TotalBits: 648}
+	heavilyCorrupted := radio.Reception{BitErrors: 300, TotalBits: 648}
+
+	fmt.Println("light recoverable:", s.Observe(lightlyCorrupted))
+	fmt.Println("heavy recoverable:", s.Observe(heavilyCorrupted))
+	fmt.Printf("within 10%% errors: %.0f%%\n", 100*s.FractionWithin(0.10))
+	// Output:
+	// light recoverable: true
+	// heavy recoverable: false
+	// within 10% errors: 50%
+}
+
+// ExampleAdaptive shows the online recovery-demand detector of the paper's
+// future-work discussion.
+func ExampleAdaptive() {
+	a := recovery.NewAdaptive(recovery.AdaptiveConfig{Window: 20})
+	// A lossy-but-repairable link: demand becomes active.
+	for i := 0; i < 20; i++ {
+		a.Observe(radio.Reception{BitErrors: 30, TotalBits: 648})
+	}
+	fmt.Println("demand:", a.Demand())
+	// Healthy again: demand subsides.
+	for i := 0; i < 20; i++ {
+		a.Observe(radio.Reception{CRCOK: true, TotalBits: 648})
+	}
+	fmt.Println("demand:", a.Demand())
+	// Output:
+	// demand: active
+	// demand: none
+}

@@ -1,0 +1,219 @@
+// Package recovery models partial packet recovery (PPR-style) for the
+// discussion in Section VII-A of the paper: most packets that fail the CRC
+// under inter-channel interference carry only a small fraction of error
+// bits (87 % of CRC-failed packets have <= 10 % error bits in the paper's
+// measurement), so a recovery scheme with a bounded correction budget can
+// rescue them.
+package recovery
+
+import (
+	"nonortho/internal/radio"
+	"nonortho/internal/stats"
+)
+
+// DefaultBudget is the correction budget matching the paper's (0.1, 0.87)
+// observation: packets with at most 10 % error bits are recoverable.
+const DefaultBudget = 0.10
+
+// Scheme classifies CRC-failed receptions as recoverable or lost and
+// accumulates the error-bit distribution the paper plots in Fig. 29.
+type Scheme struct {
+	// Budget is the maximum error-bit fraction the scheme can correct.
+	Budget float64
+
+	// dist collects the error fraction of every CRC-failed reception.
+	dist stats.Distribution
+
+	recovered int
+	lost      int
+}
+
+// New returns a scheme with the given correction budget; budget <= 0 takes
+// DefaultBudget.
+func New(budget float64) *Scheme {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Scheme{Budget: budget}
+}
+
+// Recoverable reports whether a reception could be repaired: CRC-clean
+// packets need no repair (true), CRC-failed packets are repairable when
+// their error fraction is within budget.
+func (s *Scheme) Recoverable(r radio.Reception) bool {
+	if r.CRCOK {
+		return true
+	}
+	return r.ErrorFraction() <= s.Budget
+}
+
+// Observe feeds a reception into the scheme's bookkeeping and returns
+// whether it was (or needed no) recovery.
+func (s *Scheme) Observe(r radio.Reception) bool {
+	if r.CRCOK {
+		return true
+	}
+	s.dist.Observe(r.ErrorFraction())
+	if r.ErrorFraction() <= s.Budget {
+		s.recovered++
+		return true
+	}
+	s.lost++
+	return false
+}
+
+// Recovered reports how many CRC-failed receptions were within budget.
+func (s *Scheme) Recovered() int { return s.recovered }
+
+// Lost reports how many CRC-failed receptions exceeded the budget.
+func (s *Scheme) Lost() int { return s.lost }
+
+// FailedCount reports the total CRC-failed receptions observed.
+func (s *Scheme) FailedCount() int { return s.recovered + s.lost }
+
+// ErrorFractionCDF returns the empirical CDF of error-bit fractions among
+// CRC-failed packets (Fig. 29), sampled at n points.
+func (s *Scheme) ErrorFractionCDF(n int) []stats.CDFPoint { return s.dist.CDF(n) }
+
+// FractionWithin returns the fraction of CRC-failed packets whose error
+// fraction is at most x — the paper reports (0.1, 0.87).
+func (s *Scheme) FractionWithin(x float64) float64 { return s.dist.FractionAtOrBelow(x) }
+
+// Demand describes whether a link currently needs recovery — the paper's
+// Section VII-A closes by proposing "an online dynamic recovery scheme
+// which could identify the recover-demand for different links". Adaptive
+// implements that: it watches each link's CRC-failure rate over a sliding
+// window of receptions and switches recovery on only where it pays.
+type Demand int
+
+// Demand levels.
+const (
+	// DemandNone: the link is healthy; recovery overhead is not worth it.
+	DemandNone Demand = iota + 1
+	// DemandActive: the link suffers CRC failures that are mostly within
+	// the correction budget — recovery pays.
+	DemandActive
+	// DemandHopeless: the link fails mostly beyond the budget; recovery
+	// cannot help (co-channel-collision-dominated loss).
+	DemandHopeless
+)
+
+// String implements fmt.Stringer.
+func (d Demand) String() string {
+	switch d {
+	case DemandNone:
+		return "none"
+	case DemandActive:
+		return "active"
+	case DemandHopeless:
+		return "hopeless"
+	default:
+		return "demand(?)"
+	}
+}
+
+// AdaptiveConfig tunes the online detector.
+type AdaptiveConfig struct {
+	// Budget is the correction budget (default DefaultBudget).
+	Budget float64
+	// Window is how many recent receptions are considered (default 100).
+	Window int
+	// MinFailRate activates recovery when the windowed CRC-failure rate
+	// exceeds it (default 0.05).
+	MinFailRate float64
+	// MinRepairable keeps recovery active only while at least this
+	// fraction of failures is within budget (default 0.5).
+	MinRepairable float64
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Budget <= 0 {
+		c.Budget = DefaultBudget
+	}
+	if c.Window <= 0 {
+		c.Window = 100
+	}
+	if c.MinFailRate <= 0 {
+		c.MinFailRate = 0.05
+	}
+	if c.MinRepairable <= 0 {
+		c.MinRepairable = 0.5
+	}
+	return c
+}
+
+// Adaptive decides per-link recovery demand online.
+type Adaptive struct {
+	cfg AdaptiveConfig
+
+	// ring of recent receptions: 0 = clean, 1 = repairable, 2 = beyond
+	// budget.
+	ring  []uint8
+	next  int
+	count int
+
+	recoveredWhileActive int
+}
+
+// NewAdaptive returns a detector with the given configuration.
+func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
+	cfg = cfg.withDefaults()
+	return &Adaptive{cfg: cfg, ring: make([]uint8, cfg.Window)}
+}
+
+// Observe feeds one reception and reports whether it was delivered,
+// counting recovery only while the demand is active.
+func (a *Adaptive) Observe(r radio.Reception) bool {
+	active := a.Demand() == DemandActive
+	var class uint8
+	switch {
+	case r.CRCOK:
+		class = 0
+	case r.ErrorFraction() <= a.cfg.Budget:
+		class = 1
+	default:
+		class = 2
+	}
+	a.ring[a.next] = class
+	a.next = (a.next + 1) % len(a.ring)
+	if a.count < len(a.ring) {
+		a.count++
+	}
+	if r.CRCOK {
+		return true
+	}
+	if active && class == 1 {
+		a.recoveredWhileActive++
+		return true
+	}
+	return false
+}
+
+// Demand classifies the link from the current window.
+func (a *Adaptive) Demand() Demand {
+	if a.count == 0 {
+		return DemandNone
+	}
+	var failed, repairable int
+	n := a.count
+	for i := 0; i < n; i++ {
+		switch a.ring[i] {
+		case 1:
+			failed++
+			repairable++
+		case 2:
+			failed++
+		}
+	}
+	failRate := float64(failed) / float64(n)
+	if failRate < a.cfg.MinFailRate {
+		return DemandNone
+	}
+	if float64(repairable) < a.cfg.MinRepairable*float64(failed) {
+		return DemandHopeless
+	}
+	return DemandActive
+}
+
+// Recovered reports packets delivered through active recovery.
+func (a *Adaptive) Recovered() int { return a.recoveredWhileActive }

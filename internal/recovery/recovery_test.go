@@ -1,0 +1,178 @@
+package recovery
+
+import (
+	"math"
+	"testing"
+
+	"nonortho/internal/radio"
+)
+
+func failed(errBits, total int) radio.Reception {
+	return radio.Reception{BitErrors: errBits, TotalBits: total, CRCOK: false}
+}
+
+func TestCleanPacketsNeedNoRecovery(t *testing.T) {
+	s := New(0)
+	ok := s.Observe(radio.Reception{CRCOK: true, TotalBits: 100})
+	if !ok {
+		t.Error("clean packet reported unrecoverable")
+	}
+	if s.FailedCount() != 0 {
+		t.Error("clean packet counted as failed")
+	}
+}
+
+func TestBudgetBoundary(t *testing.T) {
+	s := New(0.10)
+	if !s.Observe(failed(10, 100)) { // exactly 10 %
+		t.Error("10% error packet not recoverable with 0.10 budget")
+	}
+	if s.Observe(failed(11, 100)) {
+		t.Error("11% error packet recoverable with 0.10 budget")
+	}
+	if s.Recovered() != 1 || s.Lost() != 1 || s.FailedCount() != 2 {
+		t.Errorf("counters = %d/%d/%d, want 1/1/2", s.Recovered(), s.Lost(), s.FailedCount())
+	}
+}
+
+func TestDefaultBudget(t *testing.T) {
+	s := New(-1)
+	if s.Budget != DefaultBudget {
+		t.Errorf("Budget = %v, want %v", s.Budget, DefaultBudget)
+	}
+}
+
+func TestRecoverableDoesNotMutate(t *testing.T) {
+	s := New(0.10)
+	if !s.Recoverable(failed(5, 100)) {
+		t.Error("5% packet not recoverable")
+	}
+	if s.Recoverable(failed(50, 100)) {
+		t.Error("50% packet recoverable")
+	}
+	if !s.Recoverable(radio.Reception{CRCOK: true}) {
+		t.Error("clean packet not recoverable")
+	}
+	if s.FailedCount() != 0 {
+		t.Error("Recoverable mutated counters")
+	}
+}
+
+func TestErrorFractionCDFMatchesObservations(t *testing.T) {
+	s := New(0.10)
+	// 87 of 100 packets have <= 10% errors, mirroring the paper's point.
+	for i := 0; i < 87; i++ {
+		s.Observe(failed(5, 100))
+	}
+	for i := 0; i < 13; i++ {
+		s.Observe(failed(60, 100))
+	}
+	if got := s.FractionWithin(0.10); math.Abs(got-0.87) > 1e-12 {
+		t.Errorf("FractionWithin(0.1) = %v, want 0.87", got)
+	}
+	pts := s.ErrorFractionCDF(11)
+	if len(pts) != 11 {
+		t.Fatalf("CDF points = %d, want 11", len(pts))
+	}
+	if pts[len(pts)-1].F != 1 {
+		t.Errorf("CDF tail = %v, want 1", pts[len(pts)-1].F)
+	}
+}
+
+func clean() radio.Reception { return radio.Reception{CRCOK: true, TotalBits: 100} }
+
+func TestAdaptiveStartsInactive(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{})
+	if a.Demand() != DemandNone {
+		t.Errorf("fresh demand = %v, want none", a.Demand())
+	}
+	// A repairable failure on an otherwise healthy link is NOT delivered:
+	// recovery is off below the failure-rate trigger.
+	for i := 0; i < 99; i++ {
+		a.Observe(clean())
+	}
+	if a.Observe(failed(5, 100)) {
+		t.Error("recovery fired below the demand threshold")
+	}
+	if a.Recovered() != 0 {
+		t.Error("recovered counted while inactive")
+	}
+}
+
+func TestAdaptiveActivatesUnderRepairableLoss(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{Window: 50})
+	// 20% failures, all within budget → demand becomes active.
+	for i := 0; i < 50; i++ {
+		if i%5 == 0 {
+			a.Observe(failed(5, 100))
+		} else {
+			a.Observe(clean())
+		}
+	}
+	if a.Demand() != DemandActive {
+		t.Fatalf("demand = %v, want active", a.Demand())
+	}
+	// Demand activates partway through the warm-up, so some repairable
+	// failures were already recovered; assert the delta for one more.
+	base := a.Recovered()
+	if base == 0 {
+		t.Error("no recoveries during the lossy warm-up")
+	}
+	if !a.Observe(failed(5, 100)) {
+		t.Error("active recovery did not deliver a repairable packet")
+	}
+	if a.Recovered() != base+1 {
+		t.Errorf("Recovered = %d, want %d", a.Recovered(), base+1)
+	}
+	// Beyond-budget packets stay lost even while active.
+	if a.Observe(failed(60, 100)) {
+		t.Error("active recovery delivered an unrepairable packet")
+	}
+}
+
+func TestAdaptiveHopelessLink(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{Window: 40})
+	// Heavy loss dominated by beyond-budget corruption (co-channel
+	// collisions): recovery cannot help.
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			a.Observe(failed(60, 100))
+		} else {
+			a.Observe(clean())
+		}
+	}
+	if a.Demand() != DemandHopeless {
+		t.Fatalf("demand = %v, want hopeless", a.Demand())
+	}
+	if a.Observe(failed(5, 100)) {
+		t.Error("hopeless link still recovered a packet")
+	}
+}
+
+func TestAdaptiveRecoversDemandAfterLinkHeals(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{Window: 20})
+	for i := 0; i < 20; i++ {
+		a.Observe(failed(5, 100))
+	}
+	if a.Demand() != DemandActive {
+		t.Fatalf("demand = %v, want active", a.Demand())
+	}
+	// The window refills with clean receptions: demand subsides.
+	for i := 0; i < 20; i++ {
+		a.Observe(clean())
+	}
+	if a.Demand() != DemandNone {
+		t.Errorf("demand after healing = %v, want none", a.Demand())
+	}
+}
+
+func TestDemandString(t *testing.T) {
+	for d, want := range map[Demand]string{
+		DemandNone: "none", DemandActive: "active",
+		DemandHopeless: "hopeless", Demand(9): "demand(?)",
+	} {
+		if got := d.String(); got != want {
+			t.Errorf("Demand.String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package routing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"nonortho/internal/dcn"
+	"nonortho/internal/frame"
+	"nonortho/internal/mac"
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+// readingBytes is the payload of one sensor reading: origin address (2),
+// reading sequence (4), padding to a realistic report size.
+const readingBytes = 32
+
+// Reading identifies one end-to-end delivery at the root.
+type Reading struct {
+	Origin frame.Address
+	Seq    uint32
+	// Hops the reading travelled (from the origin's tree depth).
+	Hops int
+}
+
+// Collector is one multi-hop collection network: a tree of nodes on one
+// channel, every non-root node periodically reporting readings that are
+// forwarded hop-by-hop to the root.
+type Collector struct {
+	kernel *sim.Kernel
+	freq   phy.MHz
+	parent []int
+	depths []int
+	nodes  []*treeNode
+	root   int
+
+	generated map[frame.Address]int
+	delivered map[frame.Address]int
+	hopsSum   int
+	hopsCount int
+
+	// self-healing state (see heal.go)
+	healModel  phy.PathLossModel
+	reparented int
+}
+
+type treeNode struct {
+	radio    *radio.Radio
+	mac      *mac.MAC
+	adjustor *dcn.Adjustor
+	addr     frame.Address
+	index    int
+
+	// uplinkFails counts consecutive link-level delivery failures toward
+	// the current parent (self-healing, see heal.go).
+	uplinkFails int
+}
+
+// Config parameterises a Collector.
+type Config struct {
+	// Freq is the tree's channel center frequency.
+	Freq phy.MHz
+	// Positions and TxPowers describe the nodes; index Root is the sink.
+	Positions []phy.Position
+	TxPowers  []phy.DBm
+	Root      int
+	// ReportPeriod spaces each node's readings (default 250 ms).
+	ReportPeriod time.Duration
+	// UseDCN runs the CCA-Adjustor on every node.
+	UseDCN bool
+	// BaseAddr offsets the node addresses so multiple collectors can
+	// share a medium without address collisions.
+	BaseAddr frame.Address
+	// PathLoss is used for tree construction (default the indoor model).
+	PathLoss phy.PathLossModel
+}
+
+// NewCollector builds the tree and its nodes on the medium.
+func NewCollector(k *sim.Kernel, m *medium.Medium, cfg Config) (*Collector, error) {
+	if cfg.ReportPeriod == 0 {
+		cfg.ReportPeriod = 250 * time.Millisecond
+	}
+	if cfg.PathLoss == nil {
+		cfg.PathLoss = phy.DefaultPathLoss()
+	}
+	parent, err := BuildTree(cfg.Positions, cfg.TxPowers, cfg.Root, cfg.PathLoss, LinkMargin)
+	if err != nil {
+		return nil, err
+	}
+	depths, err := Depths(parent)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Collector{
+		kernel:    k,
+		freq:      cfg.Freq,
+		parent:    parent,
+		depths:    depths,
+		root:      cfg.Root,
+		generated: make(map[frame.Address]int),
+		delivered: make(map[frame.Address]int),
+	}
+	for i := range cfg.Positions {
+		addr := cfg.BaseAddr + frame.Address(i)
+		r := radio.New(k, m, radio.Config{
+			Pos:          cfg.Positions[i],
+			Freq:         cfg.Freq,
+			TxPower:      cfg.TxPowers[i],
+			CCAThreshold: phy.DefaultCCAThreshold,
+			Address:      addr,
+		})
+		// Hop-by-hop ACKs with retries: collection protocols rely on link
+		// reliability, and it exercises the full MAC feature set.
+		mc := mac.New(k, r, mac.Config{QueueCap: 128, AckEnabled: true})
+		node := &treeNode{radio: r, mac: mc, addr: addr, index: i}
+		if cfg.UseDCN {
+			node.adjustor = dcn.Attach(k, mc, dcn.Config{})
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	for _, node := range c.nodes {
+		node := node
+		node.mac.OnReceive = func(rcv radio.Reception) { c.handle(node, rcv) }
+	}
+	return c, nil
+}
+
+// Start launches the periodic sources (and DCN adjustors when enabled).
+func (c *Collector) Start(reportPeriod time.Duration) {
+	if reportPeriod == 0 {
+		reportPeriod = 250 * time.Millisecond
+	}
+	for _, node := range c.nodes {
+		if node.adjustor != nil {
+			node.adjustor.Start()
+		}
+		if node.index == c.root {
+			continue
+		}
+		node := node
+		seq := uint32(0)
+		c.kernel.NewTicker(reportPeriod, func() {
+			seq++
+			c.generated[node.addr]++
+			c.send(node, node.addr, seq)
+		})
+	}
+}
+
+// send enqueues a reading (origin, seq) from node toward its parent.
+func (c *Collector) send(node *treeNode, origin frame.Address, seq uint32) {
+	p := c.parent[node.index]
+	if p == NoParent {
+		return
+	}
+	payload := make([]byte, readingBytes)
+	binary.LittleEndian.PutUint16(payload[0:2], uint16(origin))
+	binary.LittleEndian.PutUint32(payload[2:6], seq)
+	f := &frame.Frame{
+		Type:    frame.TypeData,
+		Src:     node.addr,
+		Dst:     c.nodes[p].addr,
+		Payload: payload,
+	}
+	node.mac.Send(f)
+}
+
+// handle processes a frame arriving at node: deliver at the root, forward
+// elsewhere.
+func (c *Collector) handle(node *treeNode, rcv radio.Reception) {
+	if len(rcv.Frame.Payload) < 6 {
+		return // not a reading
+	}
+	origin := frame.Address(binary.LittleEndian.Uint16(rcv.Frame.Payload[0:2]))
+	seq := binary.LittleEndian.Uint32(rcv.Frame.Payload[2:6])
+	if node.index == c.root {
+		c.delivered[origin]++
+		oi := int(origin - c.nodes[0].addr)
+		if oi >= 0 && oi < len(c.depths) {
+			c.hopsSum += c.depths[oi]
+			c.hopsCount++
+		}
+		return
+	}
+	c.send(node, origin, seq)
+}
+
+// Freq returns the collector's channel.
+func (c *Collector) Freq() phy.MHz { return c.freq }
+
+// Depth returns the tree's maximum hop count.
+func (c *Collector) Depth() int {
+	max := 0
+	for _, d := range c.depths {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Generated and Delivered count end-to-end readings.
+func (c *Collector) Generated() int { return total(c.generated) }
+
+// Delivered counts readings that reached the root.
+func (c *Collector) Delivered() int { return total(c.delivered) }
+
+// DeliveryRatio is Delivered/Generated (0 when nothing was generated).
+func (c *Collector) DeliveryRatio() float64 {
+	g := c.Generated()
+	if g == 0 {
+		return 0
+	}
+	return float64(c.Delivered()) / float64(g)
+}
+
+// MeanHops is the average tree depth of delivered readings.
+func (c *Collector) MeanHops() float64 {
+	if c.hopsCount == 0 {
+		return 0
+	}
+	return float64(c.hopsSum) / float64(c.hopsCount)
+}
+
+// PerOrigin reports delivered counts by origin address.
+func (c *Collector) PerOrigin() map[frame.Address]int {
+	out := make(map[frame.Address]int, len(c.delivered))
+	for k, v := range c.delivered {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetCounters clears delivery accounting (e.g. after warmup).
+func (c *Collector) ResetCounters() {
+	c.generated = make(map[frame.Address]int)
+	c.delivered = make(map[frame.Address]int)
+	c.hopsSum, c.hopsCount = 0, 0
+}
+
+func total(m map[frame.Address]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// String summarises the collector.
+func (c *Collector) String() string {
+	return fmt.Sprintf("collector@%v MHz: %d nodes, depth %d", c.freq, len(c.nodes), c.Depth())
+}

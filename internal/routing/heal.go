@@ -1,0 +1,86 @@
+package routing
+
+import (
+	"nonortho/internal/frame"
+	"nonortho/internal/phy"
+)
+
+// Self-healing: a node whose uplink keeps failing (link-level ACK
+// exhaustion) abandons its parent and re-parents to the best alternative
+// among nodes that were shallower than itself in the original tree. The
+// depth restriction makes re-parenting cycle-free by construction: a node
+// only ever forwards to original-depth-strictly-smaller nodes.
+
+// healThreshold is the number of consecutive uplink failures that trigger
+// re-parenting.
+const healThreshold = 3
+
+// EnableSelfHealing arms the failure detectors on every non-root node.
+// Call before Start.
+func (c *Collector) EnableSelfHealing(model phy.PathLossModel) {
+	if model == nil {
+		model = phy.DefaultPathLoss()
+	}
+	c.healModel = model
+	for _, node := range c.nodes {
+		if node.index == c.root {
+			continue
+		}
+		node := node
+		prevDropped := node.mac.OnDropped
+		node.mac.OnDropped = func(f *frame.Frame) {
+			if prevDropped != nil {
+				prevDropped(f)
+			}
+			node.uplinkFails++
+			if node.uplinkFails >= healThreshold {
+				c.reparent(node)
+			}
+		}
+		prevDelivered := node.mac.OnDelivered
+		node.mac.OnDelivered = func(f *frame.Frame) {
+			if prevDelivered != nil {
+				prevDelivered(f)
+			}
+			node.uplinkFails = 0
+		}
+	}
+}
+
+// Reparented counts successful parent switches (instrumentation).
+func (c *Collector) Reparented() int { return c.reparented }
+
+// Parent returns node i's current parent index (NoParent for the root).
+func (c *Collector) Parent(i int) int { return c.parent[i] }
+
+// reparent picks the strongest usable uplink among nodes whose ORIGINAL
+// depth is smaller than this node's, excluding the failed parent.
+func (c *Collector) reparent(node *treeNode) {
+	node.uplinkFails = 0
+	current := c.parent[node.index]
+	myDepth := c.depths[node.index]
+
+	best := -1
+	bestRx := phy.Silent
+	for _, cand := range c.nodes {
+		if cand.index == node.index || cand.index == current {
+			continue
+		}
+		if c.depths[cand.index] >= myDepth {
+			continue
+		}
+		rx := phy.ReceivedPower(c.healModel,
+			node.radio.Config().TxPower, node.radio.Config().Pos, cand.radio.Config().Pos)
+		if rx < phy.Sensitivity+phy.DBm(LinkMargin) {
+			continue
+		}
+		if rx > bestRx {
+			best, bestRx = cand.index, rx
+		}
+	}
+	if best < 0 {
+		return // no alternative; keep trying the current parent
+	}
+	c.parent[node.index] = best
+	c.reparented++
+}

@@ -1,0 +1,330 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+// chain positions n nodes spaced d meters apart along X.
+func chain(n int, d float64) []phy.Position {
+	out := make([]phy.Position, n)
+	for i := range out {
+		out[i] = phy.Position{X: float64(i) * d}
+	}
+	return out
+}
+
+func powers(n int, p phy.DBm) []phy.DBm {
+	out := make([]phy.DBm, n)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+func TestBuildTreeChain(t *testing.T) {
+	// 5 nodes, 8 m apart at 0 dBm: only adjacent nodes are in range
+	// (16 m ≈ -90 dBm misses the margin), so the tree must be the chain.
+	pos := chain(5, 8)
+	parent, err := BuildTree(pos, powers(5, 0), 0, phy.DefaultPathLoss(), LinkMargin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{NoParent, 0, 1, 2, 3}
+	for i := range want {
+		if parent[i] != want[i] {
+			t.Fatalf("parent = %v, want %v", parent, want)
+		}
+	}
+	depths, err := Depths(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depths[4] != 4 {
+		t.Errorf("depth of tail = %d, want 4", depths[4])
+	}
+}
+
+func TestBuildTreePrefersFewerHops(t *testing.T) {
+	// A dense cluster: everyone hears the root directly → a 1-hop star.
+	pos := chain(5, 1)
+	parent, err := BuildTree(pos, powers(5, 0), 0, phy.DefaultPathLoss(), LinkMargin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(parent); i++ {
+		if parent[i] != 0 {
+			t.Errorf("node %d parent = %d, want the root (star)", i, parent[i])
+		}
+	}
+}
+
+func TestBuildTreeUnreachable(t *testing.T) {
+	pos := []phy.Position{{X: 0}, {X: 500}} // half a kilometer: dead link
+	if _, err := BuildTree(pos, powers(2, 0), 0, phy.DefaultPathLoss(), LinkMargin); err == nil {
+		t.Error("unreachable node accepted")
+	}
+}
+
+func TestBuildTreeArgErrors(t *testing.T) {
+	pos := chain(3, 1)
+	if _, err := BuildTree(pos, powers(2, 0), 0, phy.DefaultPathLoss(), LinkMargin); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BuildTree(pos, powers(3, 0), 7, phy.DefaultPathLoss(), LinkMargin); err == nil {
+		t.Error("bad root accepted")
+	}
+}
+
+func TestValidateAndDepths(t *testing.T) {
+	if err := Validate([]int{NoParent, 0, 1}); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+	if err := Validate([]int{NoParent, 2, 1}); err == nil {
+		t.Error("cycle accepted")
+	}
+	if err := Validate([]int{NoParent, NoParent, 0}); err == nil {
+		t.Error("two roots accepted")
+	}
+	if err := Validate([]int{NoParent, 9}); err == nil {
+		t.Error("dangling parent accepted")
+	}
+}
+
+func TestBuildTreePropertyAcyclicMonotone(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		rng := sim.NewRNG(seed)
+		pos := make([]phy.Position, n)
+		for i := range pos {
+			pos[i] = phy.Position{X: rng.UniformRange(0, 6), Y: rng.UniformRange(0, 6)}
+		}
+		parent, err := BuildTree(pos, powers(n, 0), 0, phy.DefaultPathLoss(), LinkMargin)
+		if err != nil {
+			return true // disconnected draw; fine
+		}
+		if Validate(parent) != nil {
+			return false
+		}
+		depths, err := Depths(parent)
+		if err != nil {
+			return false
+		}
+		// Depth decreases by exactly one toward the parent.
+		for i, p := range parent {
+			if p == NoParent {
+				continue
+			}
+			if depths[i] != depths[p]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectorEndToEnd(t *testing.T) {
+	k := sim.NewKernel(31)
+	m := medium.New(k)
+	// A 3-hop chain: root at 0, nodes at 8 m spacing (16 m skips are out
+	// of range, so hops are forced).
+	pos := chain(4, 8)
+	c, err := NewCollector(k, m, Config{
+		Freq:      2460,
+		Positions: pos,
+		TxPowers:  powers(4, 0),
+		Root:      0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", c.Depth())
+	}
+	c.Start(100 * time.Millisecond)
+	k.RunUntil(sim.FromDuration(10 * time.Second))
+
+	if c.Generated() == 0 {
+		t.Fatal("no readings generated")
+	}
+	// An interference-free band still loses some forwardings to hidden
+	// terminals inside the chain (nodes 1 and 3 cannot hear each other
+	// and collide at node 2); ACK retries recover most of it.
+	ratio := c.DeliveryRatio()
+	if ratio < 0.75 || ratio > 1 {
+		t.Errorf("delivery ratio = %.2f, want high but below 1 (hidden terminals)", ratio)
+	}
+	if got := c.MeanHops(); got < 1.5 || got > 3 {
+		t.Errorf("mean hops = %.2f, want within (1.5, 3) for a 3-hop chain", got)
+	}
+	// Every origin delivered something.
+	per := c.PerOrigin()
+	if len(per) != 3 {
+		t.Errorf("origins delivered = %d, want 3", len(per))
+	}
+}
+
+func TestCollectorResetCounters(t *testing.T) {
+	k := sim.NewKernel(32)
+	m := medium.New(k)
+	c, err := NewCollector(k, m, Config{
+		Freq:      2460,
+		Positions: chain(3, 4),
+		TxPowers:  powers(3, 0),
+		Root:      0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(50 * time.Millisecond)
+	k.RunUntil(sim.FromDuration(2 * time.Second))
+	if c.Delivered() == 0 {
+		t.Fatal("nothing delivered before reset")
+	}
+	c.ResetCounters()
+	if c.Delivered() != 0 || c.Generated() != 0 || c.MeanHops() != 0 {
+		t.Error("counters not cleared")
+	}
+	k.RunUntil(sim.FromDuration(4 * time.Second))
+	if c.Delivered() == 0 {
+		t.Error("nothing delivered after reset")
+	}
+}
+
+func TestTwoCollectorsOnAdjacentChannels(t *testing.T) {
+	// Two trees 3 MHz apart with DCN: both must deliver despite the
+	// non-orthogonal overlap — multihop inherits the paper's property.
+	k := sim.NewKernel(33)
+	m := medium.New(k)
+	a, err := NewCollector(k, m, Config{
+		Freq:      2460,
+		Positions: chain(4, 4),
+		TxPowers:  powers(4, 0),
+		Root:      0,
+		UseDCN:    true,
+		BaseAddr:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	posB := chain(4, 4)
+	for i := range posB {
+		posB[i].Y = 2
+	}
+	b, err := NewCollector(k, m, Config{
+		Freq:      2463,
+		Positions: posB,
+		TxPowers:  powers(4, 0),
+		Root:      0,
+		UseDCN:    true,
+		BaseAddr:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start(100 * time.Millisecond)
+	b.Start(100 * time.Millisecond)
+	k.RunUntil(sim.FromDuration(12 * time.Second))
+
+	if ra := a.DeliveryRatio(); ra < 0.8 {
+		t.Errorf("tree A delivery = %.2f, want high", ra)
+	}
+	if rb := b.DeliveryRatio(); rb < 0.8 {
+		t.Errorf("tree B delivery = %.2f, want high", rb)
+	}
+}
+
+func TestSelfHealingReparentsAroundDeadRelay(t *testing.T) {
+	k := sim.NewKernel(41)
+	m := medium.New(k, medium.WithStaticFadingSigma(0))
+	// Diamond: root at origin; relays A and B flank the path; a leaf
+	// behind them reaches the root only through a relay.
+	pos := []phy.Position{
+		{X: 0, Y: 0},  // 0: root
+		{X: 6, Y: 2},  // 1: relay A
+		{X: 6, Y: -2}, // 2: relay B
+		{X: 12, Y: 0}, // 3: leaf
+	}
+	c, err := NewCollector(k, m, Config{
+		Freq:      2460,
+		Positions: pos,
+		TxPowers:  powers(4, -10), // -10 dBm: root out of the leaf's reach
+		Root:      0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", c.Depth())
+	}
+	c.EnableSelfHealing(nil)
+	originalParent := c.Parent(3)
+	if originalParent != 1 && originalParent != 2 {
+		t.Fatalf("leaf parent = %d, want a relay", originalParent)
+	}
+
+	c.Start(100 * time.Millisecond)
+	k.RunUntil(sim.FromDuration(3 * time.Second))
+	deliveredBefore := c.Delivered()
+	if deliveredBefore == 0 {
+		t.Fatal("nothing delivered before the failure")
+	}
+
+	// The leaf's relay dies.
+	c.nodes[originalParent].radio.SetOff()
+	k.RunUntil(sim.FromDuration(12 * time.Second))
+
+	if c.Reparented() == 0 {
+		t.Fatal("no re-parenting happened")
+	}
+	newParent := c.Parent(3)
+	if newParent == originalParent {
+		t.Errorf("leaf still on the dead relay %d", originalParent)
+	}
+	if d := c.depths[newParent]; d >= c.depths[3] {
+		t.Errorf("re-parented upward in depth? parent depth %d vs leaf %d", d, c.depths[3])
+	}
+	// Leaf deliveries resume through the other relay.
+	leafAddr := c.nodes[3].addr
+	before := c.PerOrigin()[leafAddr]
+	k.RunUntil(sim.FromDuration(20 * time.Second))
+	after := c.PerOrigin()[leafAddr]
+	if after <= before {
+		t.Errorf("leaf deliveries did not resume: %d then %d", before, after)
+	}
+}
+
+func TestSelfHealingNoAlternativeKeepsParent(t *testing.T) {
+	k := sim.NewKernel(43)
+	m := medium.New(k, medium.WithStaticFadingSigma(0))
+	// A bare chain: the middle node is the tail's only possible parent.
+	c, err := NewCollector(k, m, Config{
+		Freq:      2460,
+		Positions: chain(3, 8),
+		TxPowers:  powers(3, 0),
+		Root:      0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.EnableSelfHealing(nil)
+	c.Start(100 * time.Millisecond)
+	k.RunUntil(sim.FromDuration(2 * time.Second))
+
+	c.nodes[1].radio.SetOff()
+	k.RunUntil(sim.FromDuration(10 * time.Second))
+	if got := c.Parent(2); got != 1 {
+		t.Errorf("tail re-parented to %d despite no usable alternative", got)
+	}
+	if c.Reparented() != 0 {
+		t.Errorf("Reparented = %d, want 0", c.Reparented())
+	}
+}

@@ -1,0 +1,141 @@
+// Package routing adds the workload the paper's introduction motivates —
+// many-to-one data collection — on top of the MAC: a static collection
+// tree per network (TMCP organises its multi-channel design around
+// exactly such trees), hop-by-hop forwarding toward the root, and
+// end-to-end delivery accounting.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"nonortho/internal/phy"
+)
+
+// NoParent marks the root in a parent vector.
+const NoParent = -1
+
+// LinkMargin is the default dB margin above receiver sensitivity a link
+// must clear to be considered usable for routing.
+const LinkMargin = 6
+
+// BuildTree computes a collection tree over nodes: parent[i] is the index
+// each node forwards to, NoParent for the root. Links are usable when the
+// predicted received power clears sensitivity by margin dB. Parents are
+// chosen breadth-first by hop count, breaking ties by strongest link —
+// the classic minimum-hop, best-quality heuristic of WSN collection
+// protocols. Nodes that cannot reach the root yield an error.
+func BuildTree(pos []phy.Position, txPower []phy.DBm, root int, model phy.PathLossModel, margin float64) ([]int, error) {
+	n := len(pos)
+	if len(txPower) != n {
+		return nil, fmt.Errorf("routing: %d powers for %d positions", len(txPower), n)
+	}
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("routing: root %d out of range", root)
+	}
+
+	usable := func(from, to int) (phy.DBm, bool) {
+		rx := phy.ReceivedPower(model, txPower[from], pos[from], pos[to])
+		return rx, rx >= phy.Sensitivity+phy.DBm(margin)
+	}
+
+	parent := make([]int, n)
+	hops := make([]int, n)
+	for i := range parent {
+		parent[i] = NoParent
+		hops[i] = -1
+	}
+	hops[root] = 0
+	frontier := []int{root}
+	for len(frontier) > 0 {
+		// Deterministic BFS order.
+		sort.Ints(frontier)
+		var next []int
+		for _, u := range frontier {
+			for v := 0; v < n; v++ {
+				if v == u || hops[v] >= 0 && hops[v] <= hops[u] {
+					continue
+				}
+				rx, ok := usable(v, u) // v transmits to u
+				if !ok {
+					continue
+				}
+				if hops[v] == -1 || hops[v] > hops[u]+1 {
+					hops[v] = hops[u] + 1
+					parent[v] = u
+					next = append(next, v)
+					continue
+				}
+				// Same hop count: keep the stronger uplink.
+				if hops[v] == hops[u]+1 {
+					cur, _ := usable(v, parent[v])
+					if rx > cur {
+						parent[v] = u
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	for i, h := range hops {
+		if h < 0 {
+			return nil, fmt.Errorf("routing: node %d cannot reach root %d", i, root)
+		}
+	}
+	return parent, nil
+}
+
+// Depths returns each node's hop distance to the root for a parent
+// vector. A malformed vector (cycle or dangling parent) yields an error.
+func Depths(parent []int) ([]int, error) {
+	n := len(parent)
+	depths := make([]int, n)
+	for i := range depths {
+		depths[i] = -1
+	}
+	var walk func(i int, seen int) (int, error)
+	walk = func(i int, seen int) (int, error) {
+		if depths[i] >= 0 {
+			return depths[i], nil
+		}
+		if seen > n {
+			return 0, fmt.Errorf("routing: cycle through node %d", i)
+		}
+		if parent[i] == NoParent {
+			depths[i] = 0
+			return 0, nil
+		}
+		p := parent[i]
+		if p < 0 || p >= n {
+			return 0, fmt.Errorf("routing: node %d has dangling parent %d", i, p)
+		}
+		d, err := walk(p, seen+1)
+		if err != nil {
+			return 0, err
+		}
+		depths[i] = d + 1
+		return depths[i], nil
+	}
+	for i := range parent {
+		if _, err := walk(i, 0); err != nil {
+			return nil, err
+		}
+	}
+	return depths, nil
+}
+
+// Validate checks a parent vector: exactly one root, no cycles, indices in
+// range.
+func Validate(parent []int) error {
+	roots := 0
+	for _, p := range parent {
+		if p == NoParent {
+			roots++
+		}
+	}
+	if roots != 1 {
+		return fmt.Errorf("routing: %d roots, want 1", roots)
+	}
+	_, err := Depths(parent)
+	return err
+}

@@ -1,0 +1,48 @@
+package scan_test
+
+import (
+	"fmt"
+	"time"
+
+	"nonortho/internal/frame"
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/radio"
+	"nonortho/internal/scan"
+	"nonortho/internal/sim"
+)
+
+// Example surveys three channels while one of them carries saturated
+// traffic, then orders them quietest-first.
+func Example() {
+	k := sim.NewKernel(1)
+	m := medium.New(k, medium.WithFadingSigma(0), medium.WithStaticFadingSigma(0))
+
+	// A busy transmitter on 2461 MHz.
+	busy := radio.New(k, m, radio.Config{
+		Pos: phy.Position{X: 1}, Freq: 2461, TxPower: 0, Address: 1,
+	})
+	var blast func()
+	blast = func() {
+		if k.Now() > sim.FromDuration(400*time.Millisecond) {
+			return
+		}
+		f := &frame.Frame{Type: frame.TypeData, Payload: make([]byte, 100)}
+		if _, err := busy.Transmit(f); err == nil {
+			k.After(f.Airtime(), blast)
+		}
+	}
+	blast()
+
+	s := scan.NewScanner(k, m, phy.Position{}, scan.Config{Dwell: 50 * time.Millisecond})
+	var reports []scan.ChannelReport
+	s.Survey([]phy.MHz{2455, 2461, 2467}, func(r []scan.ChannelReport) { reports = r })
+	k.RunUntil(sim.FromDuration(time.Second))
+
+	quiet := scan.Quietest(reports)
+	fmt.Println("busiest channel last:", quiet[len(quiet)-1].Freq == 2461)
+	fmt.Printf("busy occupancy ≈ 1: %v\n", quiet[len(quiet)-1].Occupancy > 0.9)
+	// Output:
+	// busiest channel last: true
+	// busy occupancy ≈ 1: true
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Microsecond, func() {})
+		if k.Pending() > 1024 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+func BenchmarkCancel(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := k.After(time.Second, func() {})
+		k.Cancel(e)
+		if i%1024 == 0 {
+			k.Run()
+		}
+	}
+}
+
+func BenchmarkTickerChurn(b *testing.B) {
+	k := NewKernel(1)
+	n := 0
+	t := k.NewTicker(time.Millisecond, func() { n++ })
+	defer t.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.RunFor(time.Millisecond)
+	}
+	if n == 0 {
+		b.Fatal("ticker never fired")
+	}
+}
+
+func BenchmarkRNGBinomialSmallP(b *testing.B) {
+	g := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		g.Binomial(1000, 1e-4)
+	}
+}
+
+func BenchmarkRNGGaussian(b *testing.B) {
+	g := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		g.Gaussian(0, 4)
+	}
+}

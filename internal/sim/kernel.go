@@ -1,0 +1,193 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel owns a virtual clock with nanosecond resolution and a
+// binary-heap event queue. Events scheduled for the same instant fire in
+// scheduling order (FIFO), which together with seeded random streams makes
+// every simulation run bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual-clock instant, expressed in nanoseconds since the start
+// of the simulation. It is deliberately not time.Time: simulations have no
+// calendar, only an origin.
+type Time int64
+
+// Common conversion helpers.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a sim.Time offset to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the instant expressed in (fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the instant as a duration since the simulation origin.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromDuration converts a time.Duration to a sim.Time offset.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Event is a scheduled callback. Holding the pointer allows cancellation.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once popped or cancelled
+	canceled bool
+}
+
+// At reports the instant the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Kernel is the discrete-event scheduler. The zero value is not usable; use
+// NewKernel.
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	running bool
+	stopped bool
+	seed    int64
+	streams map[string]*RNG
+}
+
+// NewKernel returns a kernel with its clock at zero. All random streams
+// derived from the kernel are seeded deterministically from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		seed:    seed,
+		streams: make(map[string]*RNG),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the root seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// At schedules fn to run at instant t. Scheduling in the past (t < Now) is a
+// programming error and panics: the simulation would otherwise silently
+// reorder causality.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current instant.
+func (k *Kernel) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+FromDuration(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&k.queue, e.index)
+	}
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Pending reports the number of events still queued.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.run(func(Time) bool { return true })
+}
+
+// RunUntil executes events with at <= deadline, then advances the clock to
+// the deadline. Events scheduled exactly at the deadline do fire.
+func (k *Kernel) RunUntil(deadline Time) {
+	k.run(func(at Time) bool { return at <= deadline })
+	if !k.stopped && k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunFor runs the simulation for d of virtual time from the current instant.
+func (k *Kernel) RunFor(d time.Duration) {
+	k.RunUntil(k.now + FromDuration(d))
+}
+
+func (k *Kernel) run(keep func(Time) bool) {
+	if k.running {
+		panic("sim: Kernel.Run called re-entrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	k.stopped = false
+	for k.queue.Len() > 0 && !k.stopped {
+		next := k.queue[0]
+		if !keep(next.at) {
+			return
+		}
+		heap.Pop(&k.queue)
+		if next.canceled {
+			continue
+		}
+		k.now = next.at
+		next.fn()
+	}
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.At(30*Microsecond, func() { got = append(got, 3) })
+	k.At(10*Microsecond, func() { got = append(got, 1) })
+	k.At(20*Microsecond, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30*Microsecond {
+		t.Errorf("Now() = %v, want 30µs", k.Now())
+	}
+}
+
+func TestKernelSameInstantFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5*Millisecond, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestKernelAfterSchedulesRelative(t *testing.T) {
+	k := NewKernel(1)
+	var at Time
+	k.At(1*Second, func() {
+		k.After(250*time.Millisecond, func() { at = k.Now() })
+	})
+	k.Run()
+	if want := 1*Second + 250*Millisecond; at != want {
+		t.Errorf("After fired at %v, want %v", at, want)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.At(1*Second, func() { fired = true })
+	k.Cancel(e)
+	k.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	k.Cancel(e)
+	k.Cancel(nil)
+}
+
+func TestKernelCancelFromInsideEvent(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	var victim *Event
+	k.At(1*Microsecond, func() { k.Cancel(victim) })
+	victim = k.At(2*Microsecond, func() { fired = true })
+	k.Run()
+	if fired {
+		t.Error("event cancelled by earlier event still fired")
+	}
+}
+
+func TestKernelRunUntilAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	k.At(1*Second, func() { fired++ })
+	k.At(3*Second, func() { fired++ })
+	k.RunUntil(2 * Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if k.Now() != 2*Second {
+		t.Errorf("Now() = %v, want 2s", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", k.Pending())
+	}
+	k.RunUntil(3 * Second) // boundary event fires
+	if fired != 2 {
+		t.Errorf("fired = %d after second run, want 2", fired)
+	}
+}
+
+func TestKernelRunForIsRelative(t *testing.T) {
+	k := NewKernel(1)
+	k.RunFor(1 * time.Second)
+	k.RunFor(500 * time.Millisecond)
+	if want := 1*Second + 500*Millisecond; k.Now() != want {
+		t.Errorf("Now() = %v, want %v", k.Now(), want)
+	}
+}
+
+func TestKernelStopHaltsRun(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	k.At(1*Second, func() { fired++; k.Stop() })
+	k.At(2*Second, func() { fired++ })
+	k.Run()
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 (Stop should halt the loop)", fired)
+	}
+}
+
+func TestKernelPastSchedulingPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(1*Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(0, func() {})
+	})
+	k.Run()
+}
+
+func TestKernelEventsScheduleMoreEvents(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 100 {
+			k.After(time.Millisecond, step)
+		}
+	}
+	k.After(time.Millisecond, step)
+	k.Run()
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+	if k.Now() != 100*Millisecond {
+		t.Errorf("Now() = %v, want 100ms", k.Now())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromDuration(1500 * time.Microsecond); got != 1500*Microsecond {
+		t.Errorf("FromDuration = %v", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds = %v, want 2", got)
+	}
+	if got := (250 * Millisecond).Duration(); got != 250*time.Millisecond {
+		t.Errorf("Duration = %v", got)
+	}
+	if s := (1 * Second).String(); s != "1s" {
+		t.Errorf("String = %q, want 1s", s)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		k := NewKernel(42)
+		g := k.Stream("fading")
+		out := make([]float64, 0, 16)
+		for i := 0; i < 16; i++ {
+			out = append(out, g.Float64())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically seeded runs", i)
+		}
+	}
+}
+
+func TestStreamsAreIndependent(t *testing.T) {
+	k := NewKernel(42)
+	a := k.Stream("a")
+	_ = a.Float64()
+	b := k.Stream("b")
+	first := b.Float64()
+
+	k2 := NewKernel(42)
+	b2 := k2.Stream("b") // no draws from "a" this time
+	if got := b2.Float64(); got != first {
+		t.Error("stream draw depends on unrelated stream usage")
+	}
+}
+
+func TestStreamIsCached(t *testing.T) {
+	k := NewKernel(7)
+	if k.Stream("x") != k.Stream("x") {
+		t.Error("Stream returned different objects for same name")
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import "time"
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// Unlike time.Ticker it runs entirely on the kernel's clock.
+type Ticker struct {
+	kernel *Kernel
+	period time.Duration
+	fn     func()
+	next   *Event
+	done   bool
+}
+
+// NewTicker schedules fn every period, with the first firing one period from
+// now. The period must be positive.
+func (k *Kernel) NewTicker(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{kernel: k, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.next = t.kernel.After(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels future firings. Safe to call multiple times, including from
+// inside the callback.
+func (t *Ticker) Stop() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.kernel.Cancel(t.next)
+}

@@ -1,0 +1,302 @@
+// Package stats collects the metrics the paper reports: throughput in
+// packets per second, packet receive rate (PRR), collided-packet receive
+// rate (CPRR), error-bit distributions (CDF), and the Jain fairness index.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Link accumulates per-link (or per-network) packet counters.
+type Link struct {
+	// Sent counts frames put on the air by the senders.
+	Sent int
+	// Received counts CRC-clean frames captured by the sink.
+	Received int
+	// CRCFailed counts captured frames that failed the checksum.
+	CRCFailed int
+	// Collided counts receptions that overlapped interference.
+	Collided int
+	// CollidedOK counts collided receptions that still decoded cleanly.
+	CollidedOK int
+	// AccessFailures counts sender-side CSMA drops.
+	AccessFailures int
+}
+
+// Add merges other into l.
+func (l *Link) Add(other Link) {
+	l.Sent += other.Sent
+	l.Received += other.Received
+	l.CRCFailed += other.CRCFailed
+	l.Collided += other.Collided
+	l.CollidedOK += other.CollidedOK
+	l.AccessFailures += other.AccessFailures
+}
+
+// PRR is the packet receive rate: received / sent. Zero sent yields 0.
+func (l Link) PRR() float64 {
+	if l.Sent == 0 {
+		return 0
+	}
+	return float64(l.Received) / float64(l.Sent)
+}
+
+// CPRR is the collided-packet receive rate of the paper's Section III-B:
+// among receptions that overlapped interference, the fraction that still
+// decoded. Zero collided yields 1 (nothing to corrupt).
+func (l Link) CPRR() float64 {
+	if l.Collided == 0 {
+		return 1
+	}
+	return float64(l.CollidedOK) / float64(l.Collided)
+}
+
+// Throughput converts the received count to packets per second over the
+// measurement interval.
+func (l Link) Throughput(interval time.Duration) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	return float64(l.Received) / interval.Seconds()
+}
+
+// SendRate converts the sent count to packets per second.
+func (l Link) SendRate(interval time.Duration) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	return float64(l.Sent) / interval.Seconds()
+}
+
+// JainIndex computes the Jain fairness index of a set of allocations:
+// (Σx)² / (n·Σx²). 1.0 is perfectly fair; 1/n is maximally unfair.
+// Empty or all-zero input yields 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// Spread reports (max-min)/mean of a set of values, the "about 4 %
+// variation" measure the paper uses for Table I. Empty or zero-mean input
+// yields 0.
+func Spread(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	min, max, sum := math.Inf(1), math.Inf(-1), 0.0
+	for _, x := range xs {
+		min = math.Min(min, x)
+		max = math.Max(max, x)
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	return (max - min) / mean
+}
+
+// Distribution accumulates scalar samples and answers CDF queries — used
+// for the error-bit-fraction distribution of Fig. 29.
+type Distribution struct {
+	samples []float64
+	sorted  bool
+}
+
+// Observe adds one sample.
+func (d *Distribution) Observe(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// N reports the number of samples.
+func (d *Distribution) N() int { return len(d.samples) }
+
+// Samples returns a copy of the raw samples. Order is not guaranteed:
+// CDF/quantile queries may have sorted them in place.
+func (d *Distribution) Samples() []float64 {
+	out := make([]float64, len(d.samples))
+	copy(out, d.samples)
+	return out
+}
+
+func (d *Distribution) sort() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// FractionAtOrBelow returns the empirical CDF at x. No samples yields 0.
+func (d *Distribution) FractionAtOrBelow(x float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sort()
+	n := sort.SearchFloat64s(d.samples, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(d.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank. No
+// samples yields 0.
+func (d *Distribution) Quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.sort()
+	if q <= 0 {
+		return d.samples[0]
+	}
+	if q >= 1 {
+		return d.samples[len(d.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(d.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d.samples[idx]
+}
+
+// CDFPoint is one point of an empirical CDF curve.
+type CDFPoint struct {
+	X, F float64
+}
+
+// CDF returns the empirical CDF evaluated at n evenly spaced points over
+// [0, max]. n must be at least 2; fewer samples yield a flat curve.
+func (d *Distribution) CDF(n int) []CDFPoint {
+	if n < 2 {
+		n = 2
+	}
+	d.sort()
+	max := 1.0
+	if len(d.samples) > 0 {
+		max = d.samples[len(d.samples)-1]
+		if max == 0 {
+			max = 1
+		}
+	}
+	out := make([]CDFPoint, n)
+	for i := range out {
+		x := max * float64(i) / float64(n-1)
+		out[i] = CDFPoint{X: x, F: d.FractionAtOrBelow(x)}
+	}
+	return out
+}
+
+// Mean returns the sample mean (0 when empty).
+func (d *Distribution) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / float64(len(d.samples))
+}
+
+// TimeBucket is one window of a TimeSeries.
+type TimeBucket struct {
+	// Start is the bucket's start time in seconds.
+	Start float64
+	// Count is the number of observations in the window.
+	Count int
+	// Sum is the accumulated value.
+	Sum float64
+}
+
+// TimeSeries buckets observations into fixed windows — throughput over
+// time, used to visualise transients such as the Case II recovery after a
+// node departs.
+type TimeSeries struct {
+	// WindowSeconds is the bucket width (must be positive before the
+	// first Observe).
+	WindowSeconds float64
+
+	buckets map[int]*TimeBucket
+}
+
+// Observe adds value v at time t (in seconds).
+func (ts *TimeSeries) Observe(tSeconds, v float64) {
+	if ts.WindowSeconds <= 0 {
+		ts.WindowSeconds = 1
+	}
+	if ts.buckets == nil {
+		ts.buckets = make(map[int]*TimeBucket)
+	}
+	idx := int(math.Floor(tSeconds / ts.WindowSeconds))
+	b, ok := ts.buckets[idx]
+	if !ok {
+		b = &TimeBucket{Start: float64(idx) * ts.WindowSeconds}
+		ts.buckets[idx] = b
+	}
+	b.Count++
+	b.Sum += v
+}
+
+// Buckets returns the non-empty windows in time order.
+func (ts *TimeSeries) Buckets() []TimeBucket {
+	idxs := make([]int, 0, len(ts.buckets))
+	for i := range ts.buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]TimeBucket, len(idxs))
+	for j, i := range idxs {
+		out[j] = *ts.buckets[i]
+	}
+	return out
+}
+
+// Rate converts a bucket's count into events per second.
+func (ts *TimeSeries) Rate(b TimeBucket) float64 {
+	if ts.WindowSeconds <= 0 {
+		return 0
+	}
+	return float64(b.Count) / ts.WindowSeconds
+}
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+}
+
+// Summarize computes mean, sample standard deviation and extrema. An empty
+// input yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}

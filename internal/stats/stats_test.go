@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLinkRates(t *testing.T) {
+	l := Link{Sent: 100, Received: 90, Collided: 40, CollidedOK: 30}
+	if got := l.PRR(); got != 0.9 {
+		t.Errorf("PRR = %v, want 0.9", got)
+	}
+	if got := l.CPRR(); got != 0.75 {
+		t.Errorf("CPRR = %v, want 0.75", got)
+	}
+	if got := l.Throughput(10 * time.Second); got != 9 {
+		t.Errorf("Throughput = %v, want 9", got)
+	}
+	if got := l.SendRate(10 * time.Second); got != 10 {
+		t.Errorf("SendRate = %v, want 10", got)
+	}
+}
+
+func TestLinkZeroDenominators(t *testing.T) {
+	var l Link
+	if l.PRR() != 0 {
+		t.Error("PRR of empty link not 0")
+	}
+	if l.CPRR() != 1 {
+		t.Error("CPRR with no collisions should be 1")
+	}
+	if l.Throughput(0) != 0 || l.SendRate(-time.Second) != 0 {
+		t.Error("rates with non-positive interval should be 0")
+	}
+}
+
+func TestLinkAdd(t *testing.T) {
+	a := Link{Sent: 1, Received: 2, CRCFailed: 3, Collided: 4, CollidedOK: 5, AccessFailures: 6}
+	b := Link{Sent: 10, Received: 20, CRCFailed: 30, Collided: 40, CollidedOK: 50, AccessFailures: 60}
+	a.Add(b)
+	want := Link{Sent: 11, Received: 22, CRCFailed: 33, Collided: 44, CollidedOK: 55, AccessFailures: 66}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares = %v, want 1", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("single hog = %v, want 0.25 (1/n)", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Errorf("all zero = %v, want 0", got)
+	}
+}
+
+func TestJainIndexBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Abs(math.Mod(v, 1000)))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := JainIndex(xs)
+		n := float64(len(xs))
+		return j >= 0 && j <= 1+1e-9 && (j == 0 || j >= 1/n-1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	// Table I values: the spread is about 5 %.
+	xs := []float64{259.3, 260.8, 261.9, 272.5, 272.9, 273.4}
+	got := Spread(xs)
+	if got < 0.04 || got > 0.06 {
+		t.Errorf("Spread(Table I) = %v, want ≈ 0.05", got)
+	}
+	if Spread(nil) != 0 {
+		t.Error("empty spread not 0")
+	}
+	if Spread([]float64{0, 0}) != 0 {
+		t.Error("zero-mean spread not 0")
+	}
+}
+
+func TestDistributionCDF(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{0.05, 0.08, 0.10, 0.30, 0.90} {
+		d.Observe(v)
+	}
+	if d.N() != 5 {
+		t.Fatalf("N = %d, want 5", d.N())
+	}
+	if got := d.FractionAtOrBelow(0.10); got != 0.6 {
+		t.Errorf("F(0.10) = %v, want 0.6", got)
+	}
+	if got := d.FractionAtOrBelow(0.0); got != 0 {
+		t.Errorf("F(0) = %v, want 0", got)
+	}
+	if got := d.FractionAtOrBelow(1.0); got != 1 {
+		t.Errorf("F(1) = %v, want 1", got)
+	}
+}
+
+func TestDistributionQuantile(t *testing.T) {
+	var d Distribution
+	for i := 1; i <= 100; i++ {
+		d.Observe(float64(i))
+	}
+	if got := d.Quantile(0.5); got != 50 {
+		t.Errorf("median = %v, want 50", got)
+	}
+	if got := d.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := d.Quantile(1); got != 100 {
+		t.Errorf("q1 = %v, want 100", got)
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	var d Distribution
+	if d.FractionAtOrBelow(0.5) != 0 || d.Quantile(0.5) != 0 || d.Mean() != 0 {
+		t.Error("empty distribution should return zeros")
+	}
+}
+
+func TestDistributionCDFCurve(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{0.2, 0.4, 0.6, 0.8} {
+		d.Observe(v)
+	}
+	pts := d.CDF(5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	if pts[0].X != 0 || pts[len(pts)-1].X != 0.8 {
+		t.Errorf("x range = [%v, %v], want [0, 0.8]", pts[0].X, pts[len(pts)-1].X)
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].F < pts[i-1].F {
+			t.Fatalf("CDF not monotone at %d: %v", i, pts)
+		}
+	}
+	if pts[len(pts)-1].F != 1 {
+		t.Errorf("F(max) = %v, want 1", pts[len(pts)-1].F)
+	}
+}
+
+func TestDistributionCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var d Distribution
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			d.Observe(math.Abs(math.Mod(v, 10)))
+		}
+		pts := d.CDF(16)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].F < pts[i-1].F || pts[i].F < 0 || pts[i].F > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributionMean(t *testing.T) {
+	var d Distribution
+	d.Observe(2)
+	d.Observe(4)
+	if got := d.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+}
+
+func TestObserveAfterQueryKeepsCorrectOrder(t *testing.T) {
+	var d Distribution
+	d.Observe(5)
+	_ = d.Quantile(0.5) // forces sort
+	d.Observe(1)        // must re-sort on next query
+	if got := d.Quantile(0); got != 1 {
+		t.Errorf("min after late insert = %v, want 1", got)
+	}
+}
+
+func TestTimeSeriesBucketsInOrder(t *testing.T) {
+	ts := TimeSeries{WindowSeconds: 2}
+	ts.Observe(0.5, 1)
+	ts.Observe(1.5, 1)
+	ts.Observe(5.0, 3)
+	ts.Observe(4.1, 2)
+	bs := ts.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(bs))
+	}
+	if bs[0].Start != 0 || bs[0].Count != 2 || bs[0].Sum != 2 {
+		t.Errorf("bucket 0 = %+v", bs[0])
+	}
+	if bs[1].Start != 4 || bs[1].Count != 2 || bs[1].Sum != 5 {
+		t.Errorf("bucket 1 = %+v", bs[1])
+	}
+	if got := ts.Rate(bs[0]); got != 1 {
+		t.Errorf("Rate = %v, want 1 (2 events / 2 s)", got)
+	}
+}
+
+func TestTimeSeriesZeroWindowDefaults(t *testing.T) {
+	var ts TimeSeries
+	ts.Observe(0.2, 1)
+	if len(ts.Buckets()) != 1 {
+		t.Error("zero-window series unusable")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("Summary = %+v", s)
+	}
+	// Sample std of this classic set is ~2.138.
+	if math.Abs(s.Std-2.13809) > 1e-4 {
+		t.Errorf("Std = %v, want ≈ 2.138", s.Std)
+	}
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Errorf("empty Summarize = %+v, want zero", got)
+	}
+	one := Summarize([]float64{3})
+	if one.Std != 0 || one.Mean != 3 {
+		t.Errorf("single-sample Summary = %+v", one)
+	}
+}

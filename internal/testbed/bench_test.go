@@ -1,0 +1,55 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/topology"
+)
+
+// benchSpec builds one network of nSenders at an X offset, deterministic
+// and import-cycle-free.
+func benchSpec(freq phy.MHz, nSenders int, off float64) topology.NetworkSpec {
+	spec := topology.NetworkSpec{
+		Freq: freq,
+		Sink: topology.NodeSpec{Pos: phy.Position{X: off}},
+	}
+	for i := 0; i < nSenders; i++ {
+		spec.Senders = append(spec.Senders, topology.NodeSpec{
+			Pos: phy.Position{X: off + 0.5 + 0.2*float64(i), Y: 0.6 * float64(i%2)},
+		})
+	}
+	return spec
+}
+
+// BenchmarkSimulatedSecond measures how fast the full stack simulates one
+// virtual second of a six-network saturated deployment — the harness's
+// core cost metric (virtual-time seconds per wall-clock second).
+func BenchmarkSimulatedSecond(b *testing.B) {
+	tb := New(Options{Seed: 1})
+	for i := 0; i < 6; i++ {
+		tb.AddNetwork(benchSpec(2458+phy.MHz(3*i), 4, 0.9*float64(i)), NetworkConfig{})
+	}
+	tb.Run(time.Second, 0) // warm the sources
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Run(0, time.Second)
+	}
+	b.ReportMetric(tb.OverallThroughput(), "pkt/s")
+}
+
+// BenchmarkSimulatedSecondDCN is the same with every network running the
+// CCA-Adjustor, measuring DCN's bookkeeping overhead.
+func BenchmarkSimulatedSecondDCN(b *testing.B) {
+	tb := New(Options{Seed: 1})
+	for i := 0; i < 6; i++ {
+		tb.AddNetwork(benchSpec(2458+phy.MHz(3*i), 4, 0.9*float64(i)), NetworkConfig{Scheme: SchemeDCN})
+	}
+	tb.Run(2*time.Second, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Run(0, time.Second)
+	}
+	b.ReportMetric(tb.OverallThroughput(), "pkt/s")
+}

@@ -1,0 +1,38 @@
+package testbed_test
+
+import (
+	"fmt"
+	"time"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/testbed"
+	"nonortho/internal/topology"
+)
+
+// Example builds two adjacent non-orthogonal networks by hand — one on the
+// fixed ZigBee threshold, one running DCN — and measures their goodput.
+func Example() {
+	tb := testbed.New(testbed.Options{Seed: 42})
+
+	fixed := tb.AddNetwork(topology.NetworkSpec{
+		Freq:    2460,
+		Sink:    topology.NodeSpec{Pos: phy.Position{X: 1}},
+		Senders: []topology.NodeSpec{{Pos: phy.Position{X: 0}}},
+	}, testbed.NetworkConfig{Scheme: testbed.SchemeFixed})
+
+	dcnNet := tb.AddNetwork(topology.NetworkSpec{
+		Freq:    2463,
+		Sink:    topology.NodeSpec{Pos: phy.Position{X: 1, Y: 2}},
+		Senders: []topology.NodeSpec{{Pos: phy.Position{X: 0, Y: 2}}},
+	}, testbed.NetworkConfig{Scheme: testbed.SchemeDCN})
+
+	tb.Run(2*time.Second, 4*time.Second)
+
+	fmt.Println("fixed network delivered packets:", fixed.Stats().Received > 0)
+	fmt.Println("dcn network delivered packets:  ", dcnNet.Stats().Received > 0)
+	fmt.Println("overall throughput positive:    ", tb.OverallThroughput() > 0)
+	// Output:
+	// fixed network delivered packets: true
+	// dcn network delivered packets:   true
+	// overall throughput positive:     true
+}

@@ -1,0 +1,158 @@
+package testbed
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+	"nonortho/internal/topology"
+)
+
+// Metamorphic properties of the full stack: relations that must hold
+// between paired runs regardless of the random configuration.
+
+// randomSpec builds a small random one-channel network.
+func randomSpec(rng *sim.RNG, freq phy.MHz, senders int) topology.NetworkSpec {
+	spec := topology.NetworkSpec{
+		Freq: freq,
+		Sink: topology.NodeSpec{Pos: phy.Position{
+			X: rng.UniformRange(-1, 1), Y: rng.UniformRange(-1, 1)}},
+	}
+	for i := 0; i < senders; i++ {
+		spec.Senders = append(spec.Senders, topology.NodeSpec{
+			Pos: phy.Position{
+				X: spec.Sink.Pos.X + rng.UniformRange(0.4, 1.2),
+				Y: spec.Sink.Pos.Y + rng.UniformRange(-0.6, 0.6),
+			},
+		})
+	}
+	return spec
+}
+
+func TestMetamorphicDeterminism(t *testing.T) {
+	// Any random configuration replays identically under the same seed.
+	f := func(seed int64, sendersRaw uint8) bool {
+		senders := int(sendersRaw%3) + 1
+		run := func() (int, int) {
+			rng := sim.NewRNG(seed)
+			tb := New(Options{Seed: seed})
+			n := tb.AddNetwork(randomSpec(rng, 2460, senders), NetworkConfig{})
+			tb.Run(500*time.Millisecond, time.Second)
+			return n.Stats().Sent, n.Stats().Received
+		}
+		s1, r1 := run()
+		s2, r2 := run()
+		return s1 == s2 && r1 == r2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetamorphicInterfererNeverHelps(t *testing.T) {
+	// Adding a co-channel interfering network must not increase the
+	// victim's goodput (CSMA sharing or collisions, never a gift).
+	f := func(seed int64) bool {
+		base := func(withInterferer bool) int {
+			rng := sim.NewRNG(seed)
+			tb := New(Options{Seed: seed})
+			victim := tb.AddNetwork(randomSpec(rng, 2460, 2), NetworkConfig{})
+			if withInterferer {
+				spec := randomSpec(rng, 2460, 2)
+				// Keep the interferer close enough to matter.
+				spec.Sink.Pos = phy.Position{X: 2, Y: 0}
+				for i := range spec.Senders {
+					spec.Senders[i].Pos = phy.Position{X: 2.5, Y: 0.4 * float64(i)}
+				}
+				tb.AddNetwork(spec, NetworkConfig{})
+			} else {
+				// Burn the same RNG draws so the victim's layout matches.
+				_ = randomSpec(rng, 2460, 2)
+			}
+			tb.Run(time.Second, 2*time.Second)
+			return victim.Stats().Received
+		}
+		clean := base(false)
+		contested := base(true)
+		// Allow a tiny tolerance: random backoff draws differ once the
+		// interferer's MAC exists, so exact counts can wiggle both ways
+		// on nearly-idle channels.
+		return contested <= clean+clean/10+5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetamorphicMorePayloadFewerPackets(t *testing.T) {
+	// Saturated throughput in packets/s decreases as the payload grows
+	// (airtime per packet dominates).
+	run := func(payload int) float64 {
+		tb := New(Options{Seed: 77})
+		spec := topology.NetworkSpec{
+			Freq:    2460,
+			Sink:    topology.NodeSpec{Pos: phy.Position{X: 1}},
+			Senders: []topology.NodeSpec{{Pos: phy.Position{X: 0}}},
+		}
+		n := tb.AddNetwork(spec, NetworkConfig{Payload: payload})
+		tb.Run(time.Second, 4*time.Second)
+		return n.Throughput(tb.MeasuredDuration())
+	}
+	small, large := run(16), run(112)
+	if large >= small {
+		t.Errorf("packets/s with 112 B payload (%.0f) not below 16 B (%.0f)", large, small)
+	}
+}
+
+func TestMetamorphicFartherSinkNeverMoreReliable(t *testing.T) {
+	// Moving the sink away (with an interferer present) must not improve
+	// PRR: SINR only degrades with distance.
+	prrAt := func(x float64) float64 {
+		tb := New(Options{Seed: 55, StaticFadingSigma: -1})
+		victim := tb.AddNetwork(topology.NetworkSpec{
+			Freq:    2460,
+			Sink:    topology.NodeSpec{Pos: phy.Position{X: x}},
+			Senders: []topology.NodeSpec{{Pos: phy.Position{X: 0}}},
+		}, NetworkConfig{})
+		// A fixed inter-channel interferer.
+		tb.AddNetwork(topology.NetworkSpec{
+			Freq:    2462,
+			Sink:    topology.NodeSpec{Pos: phy.Position{X: 0, Y: 3}},
+			Senders: []topology.NodeSpec{{Pos: phy.Position{X: 1, Y: 3}}},
+		}, NetworkConfig{})
+		tb.Run(time.Second, 3*time.Second)
+		return victim.Stats().PRR()
+	}
+	near, mid, far := prrAt(1), prrAt(6), prrAt(12)
+	if !(near >= mid-0.02 && mid >= far-0.02) {
+		t.Errorf("PRR not non-increasing with distance: %.2f / %.2f / %.2f", near, mid, far)
+	}
+}
+
+func TestMetamorphicHigherPowerNeverHurtsOwnLink(t *testing.T) {
+	// With a fixed interferer, raising the victim's transmit power must
+	// not reduce its own PRR.
+	prrAt := func(p phy.DBm) float64 {
+		tb := New(Options{Seed: 66, StaticFadingSigma: -1})
+		victim := tb.AddNetwork(topology.NetworkSpec{
+			Freq: 2460,
+			Sink: topology.NodeSpec{Pos: phy.Position{X: 3}},
+			Senders: []topology.NodeSpec{
+				{Pos: phy.Position{X: 0}, TxPower: p},
+			},
+		}, NetworkConfig{})
+		tb.AddNetwork(topology.NetworkSpec{
+			Freq:    2463,
+			Sink:    topology.NodeSpec{Pos: phy.Position{X: 3, Y: 2}},
+			Senders: []topology.NodeSpec{{Pos: phy.Position{X: 2, Y: 2}}},
+		}, NetworkConfig{})
+		tb.Run(time.Second, 3*time.Second)
+		return victim.Stats().PRR()
+	}
+	low, high := prrAt(-22), prrAt(0)
+	if high < low-0.02 {
+		t.Errorf("higher power reduced PRR: %.2f at -22 dBm vs %.2f at 0 dBm", low, high)
+	}
+}

@@ -1,0 +1,205 @@
+// Package topology generates the node placements of the paper's
+// experiments: the dense single-region deployment of the motivating
+// experiments and Case I, the per-network clusters of Case II, and the
+// random field of Case III — plus transmit-power assignment policies.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+// NodeSpec describes one node to instantiate.
+type NodeSpec struct {
+	// Pos is the node's position in meters.
+	Pos phy.Position
+	// TxPower is the node's transmit power.
+	TxPower phy.DBm
+}
+
+// NetworkSpec describes one network: a set of saturated senders reporting
+// to a single sink, all on one channel.
+type NetworkSpec struct {
+	// Freq is the network's channel center frequency.
+	Freq phy.MHz
+	// Senders are the transmitting nodes.
+	Senders []NodeSpec
+	// Sink is the receiving node (throughput is counted here).
+	Sink NodeSpec
+}
+
+// PowerPolicy assigns a transmit power to each generated node.
+type PowerPolicy func(rng *sim.RNG) phy.DBm
+
+// FixedPower assigns the same power everywhere.
+func FixedPower(p phy.DBm) PowerPolicy {
+	return func(*sim.RNG) phy.DBm { return p }
+}
+
+// UniformPower draws each node's power uniformly from [lo, hi] — the
+// paper's Section VI-B.4 randomises within [-22, 0] dBm.
+func UniformPower(lo, hi phy.DBm) PowerPolicy {
+	return func(rng *sim.RNG) phy.DBm {
+		return phy.DBm(rng.UniformRange(float64(lo), float64(hi)))
+	}
+}
+
+// Layout selects one of the paper's deployment shapes.
+type Layout int
+
+// The paper's three network configurations (Figs. 22-24), plus the dense
+// strip used by the motivating experiments.
+const (
+	// LayoutColocated is Case I: every node of every network inside one
+	// interfering region.
+	LayoutColocated Layout = iota + 1
+	// LayoutClustered is Case II: each network forms its own spatial
+	// cluster (an office room), clusters spaced apart.
+	LayoutClustered
+	// LayoutRandomField is Case III: all nodes placed uniformly at random
+	// over a larger region, with each sender kept within radio range of
+	// its sink.
+	LayoutRandomField
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case LayoutColocated:
+		return "colocated"
+	case LayoutClustered:
+		return "clustered"
+	case LayoutRandomField:
+		return "random-field"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// Config parameterises a generated deployment.
+type Config struct {
+	// Plan supplies the channel of each network (one network per channel).
+	Plan phy.ChannelPlan
+	// SendersPerNetwork defaults to 4, the paper's network size.
+	SendersPerNetwork int
+	// Layout selects the deployment shape. Defaults to LayoutColocated.
+	Layout Layout
+	// Power assigns transmit powers. Defaults to FixedPower(0 dBm).
+	Power PowerPolicy
+	// RegionRadius scales the deployment:
+	//   - colocated: radius of the shared disc holding all sink centers
+	//     (default 2.5 m);
+	//   - clustered: spacing between adjacent cluster centers
+	//     (default 5 m);
+	//   - random field: half-side of the square field (default 3.5 m).
+	RegionRadius float64
+	// LinkRadius bounds the sender-to-sink distance: senders sit in the
+	// ring [LinkRadius/2, LinkRadius] around the sink (default 1 m, so a
+	// network is a tight cluster whose co-channel RSSI stays well above
+	// the energy arriving from other networks — the shelf-testbed
+	// geometry the paper's DCN depends on). In the random field layout
+	// senders are anywhere within LinkRadius (default 3 m) of the sink.
+	LinkRadius float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SendersPerNetwork == 0 {
+		c.SendersPerNetwork = 4
+	}
+	if c.Layout == 0 {
+		c.Layout = LayoutColocated
+	}
+	if c.Power == nil {
+		c.Power = FixedPower(phy.MaxTxPower)
+	}
+	if c.RegionRadius == 0 {
+		switch c.Layout {
+		case LayoutClustered:
+			c.RegionRadius = 5
+		case LayoutRandomField:
+			c.RegionRadius = 3.5
+		default:
+			c.RegionRadius = 2.5
+		}
+	}
+	if c.LinkRadius == 0 {
+		if c.Layout == LayoutRandomField {
+			c.LinkRadius = 3
+		} else {
+			c.LinkRadius = 1.0
+		}
+	}
+	return c
+}
+
+// Generate builds the network specifications for the configuration,
+// deterministically from the supplied RNG.
+func Generate(cfg Config, rng *sim.RNG) ([]NetworkSpec, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Plan.NumChannels() == 0 {
+		return nil, fmt.Errorf("topology: channel plan has no channels")
+	}
+	nets := make([]NetworkSpec, cfg.Plan.NumChannels())
+	for i := range nets {
+		var center phy.Position
+		switch cfg.Layout {
+		case LayoutColocated:
+			center = randomInDisc(rng, phy.Position{}, cfg.RegionRadius)
+		case LayoutClustered:
+			// Clusters in a row along X, spaced RegionRadius apart.
+			center = phy.Position{X: float64(i) * cfg.RegionRadius}
+		case LayoutRandomField:
+			center = randomInSquare(rng, cfg.RegionRadius)
+		default:
+			return nil, fmt.Errorf("topology: unknown layout %v", cfg.Layout)
+		}
+		nets[i] = NetworkSpec{
+			Freq: cfg.Plan.Centers[i],
+			Sink: NodeSpec{Pos: center, TxPower: cfg.Power(rng)},
+		}
+		for s := 0; s < cfg.SendersPerNetwork; s++ {
+			var pos phy.Position
+			switch cfg.Layout {
+			case LayoutRandomField:
+				// Anywhere in the field, but within link range of the
+				// sink so the link stays viable at low power.
+				pos = randomInDisc(rng, center, cfg.LinkRadius)
+			default:
+				pos = randomInRing(rng, center, cfg.LinkRadius/2, cfg.LinkRadius)
+			}
+			nets[i].Senders = append(nets[i].Senders, NodeSpec{
+				Pos:     pos,
+				TxPower: cfg.Power(rng),
+			})
+		}
+	}
+	return nets, nil
+}
+
+// randomInDisc draws a uniform point in the disc of the given radius.
+func randomInDisc(rng *sim.RNG, center phy.Position, radius float64) phy.Position {
+	r := radius * math.Sqrt(rng.Float64())
+	theta := rng.UniformRange(0, 2*math.Pi)
+	return phy.Position{X: center.X + r*math.Cos(theta), Y: center.Y + r*math.Sin(theta)}
+}
+
+// randomInRing draws a uniform-angle point with radius in [rMin, rMax].
+func randomInRing(rng *sim.RNG, center phy.Position, rMin, rMax float64) phy.Position {
+	if rMax < rMin {
+		rMax = rMin
+	}
+	r := rng.UniformRange(rMin, rMax)
+	theta := rng.UniformRange(0, 2*math.Pi)
+	return phy.Position{X: center.X + r*math.Cos(theta), Y: center.Y + r*math.Sin(theta)}
+}
+
+// randomInSquare draws a uniform point in the square [-half, half]².
+func randomInSquare(rng *sim.RNG, half float64) phy.Position {
+	return phy.Position{
+		X: rng.UniformRange(-half, half),
+		Y: rng.UniformRange(-half, half),
+	}
+}

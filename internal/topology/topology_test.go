@@ -1,0 +1,164 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+func plan(t *testing.T, cfd phy.MHz) phy.ChannelPlan {
+	t.Helper()
+	p, err := phy.NewChannelPlan(2458, 15, cfd, phy.SpanInclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGenerateOneNetworkPerChannel(t *testing.T) {
+	rng := sim.NewRNG(1)
+	nets, err := Generate(Config{Plan: plan(t, 3)}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 6 {
+		t.Fatalf("networks = %d, want 6", len(nets))
+	}
+	for i, n := range nets {
+		if n.Freq != 2458+phy.MHz(3*i) {
+			t.Errorf("network %d freq = %v", i, n.Freq)
+		}
+		if len(n.Senders) != 4 {
+			t.Errorf("network %d senders = %d, want 4", i, len(n.Senders))
+		}
+	}
+}
+
+func TestColocatedKeepsEveryoneClose(t *testing.T) {
+	rng := sim.NewRNG(2)
+	nets, err := Generate(Config{Plan: plan(t, 3), Layout: LayoutColocated}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nets {
+		for _, s := range n.Senders {
+			if d := s.Pos.DistanceTo(phy.Position{}); d > 2.5+1.0+0.01 {
+				t.Errorf("colocated sender %v m from origin, want <= 3.5", d)
+			}
+		}
+	}
+}
+
+func TestClusteredSeparatesNetworks(t *testing.T) {
+	rng := sim.NewRNG(3)
+	nets, err := Generate(Config{Plan: plan(t, 3), Layout: LayoutClustered, RegionRadius: 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(nets); i++ {
+		d := nets[i].Sink.Pos.DistanceTo(nets[i-1].Sink.Pos)
+		if math.Abs(d-6) > 1e-9 {
+			t.Errorf("cluster spacing %d = %v, want 6", i, d)
+		}
+	}
+	// Senders stay within the link ring around their own sink.
+	for i, n := range nets {
+		for _, s := range n.Senders {
+			if d := s.Pos.DistanceTo(n.Sink.Pos); d > 1.0+1e-9 || d < 0.5-1e-9 {
+				t.Errorf("network %d sender at %v m from sink, want within [0.5, 1.0]", i, d)
+			}
+		}
+	}
+}
+
+func TestRandomFieldKeepsLinksViable(t *testing.T) {
+	rng := sim.NewRNG(4)
+	nets, err := Generate(Config{Plan: plan(t, 3), Layout: LayoutRandomField}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nets {
+		if math.Abs(n.Sink.Pos.X) > 3.5 || math.Abs(n.Sink.Pos.Y) > 3.5 {
+			t.Errorf("network %d sink outside the field: %v", i, n.Sink.Pos)
+		}
+		for _, s := range n.Senders {
+			if d := s.Pos.DistanceTo(n.Sink.Pos); d > 3+1e-9 {
+				t.Errorf("network %d link distance %v, want <= 3 (viability)", i, d)
+			}
+		}
+	}
+}
+
+func TestPowerPolicies(t *testing.T) {
+	rng := sim.NewRNG(5)
+	if got := FixedPower(-7)(rng); got != -7 {
+		t.Errorf("FixedPower = %v, want -7", got)
+	}
+	for i := 0; i < 100; i++ {
+		p := UniformPower(-22, 0)(rng)
+		if p < -22 || p > 0 {
+			t.Fatalf("UniformPower draw %v outside [-22, 0]", p)
+		}
+	}
+}
+
+func TestGenerateAppliesPowerPolicy(t *testing.T) {
+	rng := sim.NewRNG(6)
+	nets, err := Generate(Config{Plan: plan(t, 5), Power: FixedPower(-11)}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nets {
+		for _, s := range n.Senders {
+			if s.TxPower != -11 {
+				t.Fatalf("sender power = %v, want -11", s.TxPower)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	gen := func() []NetworkSpec {
+		rng := sim.NewRNG(99)
+		nets, err := Generate(Config{Plan: plan(t, 3), Layout: LayoutRandomField,
+			Power: UniformPower(-22, 0)}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nets
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i].Sink.Pos != b[i].Sink.Pos {
+			t.Fatal("same seed produced different layouts")
+		}
+		for j := range a[i].Senders {
+			if a[i].Senders[j] != b[i].Senders[j] {
+				t.Fatal("same seed produced different nodes")
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := sim.NewRNG(1)
+	if _, err := Generate(Config{}, rng); err == nil {
+		t.Error("empty plan accepted")
+	}
+	if _, err := Generate(Config{Plan: plan(t, 3), Layout: Layout(77)}, rng); err == nil {
+		t.Error("bogus layout accepted")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	for l, want := range map[Layout]string{
+		LayoutColocated: "colocated", LayoutClustered: "clustered",
+		LayoutRandomField: "random-field", Layout(9): "layout(9)",
+	} {
+		if got := l.String(); got != want {
+			t.Errorf("Layout.String() = %q, want %q", got, want)
+		}
+	}
+}

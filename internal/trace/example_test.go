@@ -1,0 +1,31 @@
+package trace_test
+
+import (
+	"fmt"
+	"strings"
+
+	"nonortho/internal/sim"
+	"nonortho/internal/trace"
+)
+
+// Example records a few events and exports them as CSV.
+func Example() {
+	r := trace.NewRecorder(128)
+	r.Record(trace.Event{At: 1 * sim.Millisecond, Kind: trace.KindTxEnd, Node: 1, Seq: 0})
+	r.Record(trace.Event{At: 2 * sim.Millisecond, Kind: trace.KindRxOK, Node: 2, Seq: 0, Value: -48.5})
+	r.Record(trace.Event{At: 3 * sim.Millisecond, Kind: trace.KindThreshold, Node: 1, Value: -63})
+
+	fmt.Println("events:", r.Len(), "rx-ok:", len(r.ByKind(trace.KindRxOK)))
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(b.String())
+	// Output:
+	// events: 3 rx-ok: 1
+	// time_us,kind,node,seq,value,note
+	// 1000.000,tx-end,1,0,0.000,
+	// 2000.000,rx-ok,2,0,-48.500,
+	// 3000.000,threshold,1,0,-63.000,
+}

@@ -1,0 +1,180 @@
+// Package trace records structured simulation events — transmissions,
+// receptions, drops, CCA decisions and threshold changes — into a bounded
+// buffer that can be filtered and exported as CSV. It exists for the same
+// reason printf-debugging a real mote network is hopeless: MAC-level
+// misbehaviour is only visible in the interleaving of events across nodes.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"nonortho/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	KindTxStart Kind = iota + 1
+	KindTxEnd
+	KindRxOK
+	KindRxCorrupt
+	KindDrop
+	KindCCABusy
+	KindCCAClear
+	KindThreshold
+	KindPhase
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTxStart:
+		return "tx-start"
+	case KindTxEnd:
+		return "tx-end"
+	case KindRxOK:
+		return "rx-ok"
+	case KindRxCorrupt:
+		return "rx-corrupt"
+	case KindDrop:
+		return "drop"
+	case KindCCABusy:
+		return "cca-busy"
+	case KindCCAClear:
+		return "cca-clear"
+	case KindThreshold:
+		return "threshold"
+	case KindPhase:
+		return "phase"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	// At is the simulation instant.
+	At sim.Time
+	// Kind classifies the event.
+	Kind Kind
+	// Node is the short address (or node label) the event belongs to.
+	Node int
+	// Seq is the frame sequence number where applicable.
+	Seq int
+	// Value carries the kind-specific quantity: RSSI or sensed power in
+	// dBm, a threshold in dBm, a bit-error count, or a phase index.
+	Value float64
+	// Note is an optional free-form annotation.
+	Note string
+}
+
+// Recorder is a bounded in-memory event log. The zero value is unusable;
+// use NewRecorder. Recording is O(1); when the buffer is full the oldest
+// events are discarded (ring semantics) so long runs keep the recent tail.
+type Recorder struct {
+	buf      []Event
+	start    int
+	size     int
+	dropped  int
+	disabled bool
+}
+
+// NewRecorder returns a recorder holding at most capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// SetEnabled toggles recording; a disabled recorder drops every event.
+func (r *Recorder) SetEnabled(on bool) { r.disabled = !on }
+
+// Record appends an event, evicting the oldest when full.
+func (r *Recorder) Record(e Event) {
+	if r.disabled {
+		return
+	}
+	if r.size < len(r.buf) {
+		r.buf[(r.start+r.size)%len(r.buf)] = e
+		r.size++
+		return
+	}
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Len reports the number of retained events.
+func (r *Recorder) Len() int { return r.size }
+
+// Dropped reports how many events were evicted by the ring.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Events returns the retained events in chronological order. The slice is
+// a copy; mutating it does not affect the recorder.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, r.size)
+	for i := 0; i < r.size; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Filter returns the retained events matching the predicate, in order.
+func (r *Recorder) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByNode returns the retained events of one node.
+func (r *Recorder) ByNode(node int) []Event {
+	return r.Filter(func(e Event) bool { return e.Node == node })
+}
+
+// ByKind returns the retained events of one kind.
+func (r *Recorder) ByKind(kind Kind) []Event {
+	return r.Filter(func(e Event) bool { return e.Kind == kind })
+}
+
+// Counts tallies retained events per kind.
+func (r *Recorder) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// WriteCSV exports the retained events with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_us", "kind", "node", "seq", "value", "note"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, e := range r.Events() {
+		rec := []string{
+			strconv.FormatFloat(float64(e.At)/1e3, 'f', 3, 64),
+			e.Kind.String(),
+			strconv.Itoa(e.Node),
+			strconv.Itoa(e.Seq),
+			strconv.FormatFloat(e.Value, 'f', 3, 64),
+			e.Note,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write event: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

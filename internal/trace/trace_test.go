@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nonortho/internal/sim"
+)
+
+func TestRecordAndReplay(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: sim.Time(i), Kind: KindTxStart, Node: i})
+	}
+	if r.Len() != 5 || r.Dropped() != 0 {
+		t.Fatalf("Len=%d Dropped=%d, want 5/0", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Node != i {
+			t.Fatalf("order broken: %v", evs)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: sim.Time(i), Node: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", r.Dropped())
+	}
+	evs := r.Events()
+	if evs[0].Node != 7 || evs[2].Node != 9 {
+		t.Errorf("tail not kept: %v", evs)
+	}
+}
+
+func TestRingOrderProperty(t *testing.T) {
+	f := func(capRaw uint8, n uint8) bool {
+		capacity := int(capRaw%16) + 1
+		r := NewRecorder(capacity)
+		for i := 0; i < int(n); i++ {
+			r.Record(Event{At: sim.Time(i)})
+		}
+		evs := r.Events()
+		for i := 1; i < len(evs); i++ {
+			if evs[i].At <= evs[i-1].At {
+				return false
+			}
+		}
+		want := int(n)
+		if want > capacity {
+			want = capacity
+		}
+		return len(evs) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(Event{Kind: KindTxStart, Node: 1})
+	r.Record(Event{Kind: KindRxOK, Node: 2})
+	r.Record(Event{Kind: KindTxStart, Node: 2})
+	r.Record(Event{Kind: KindDrop, Node: 1})
+
+	if got := len(r.ByNode(1)); got != 2 {
+		t.Errorf("ByNode(1) = %d, want 2", got)
+	}
+	if got := len(r.ByKind(KindTxStart)); got != 2 {
+		t.Errorf("ByKind(tx-start) = %d, want 2", got)
+	}
+	counts := r.Counts()
+	if counts[KindTxStart] != 2 || counts[KindRxOK] != 1 || counts[KindDrop] != 1 {
+		t.Errorf("Counts = %v", counts)
+	}
+}
+
+func TestDisable(t *testing.T) {
+	r := NewRecorder(4)
+	r.SetEnabled(false)
+	r.Record(Event{})
+	if r.Len() != 0 {
+		t.Error("disabled recorder retained an event")
+	}
+	r.SetEnabled(true)
+	r.Record(Event{})
+	if r.Len() != 1 {
+		t.Error("re-enabled recorder did not record")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(Event{At: 1500 * sim.Microsecond, Kind: KindRxOK, Node: 3, Seq: 7, Value: -54.25, Note: "x"})
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "time_us,kind,node,seq,value,note\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "1500.000,rx-ok,3,7,-54.250,x") {
+		t.Errorf("bad row: %q", out)
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Node: 1})
+	r.Record(Event{Node: 2})
+	if r.Len() != 1 || r.Events()[0].Node != 2 {
+		t.Errorf("clamped recorder misbehaved: %v", r.Events())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindTxStart: "tx-start", KindTxEnd: "tx-end", KindRxOK: "rx-ok",
+		KindRxCorrupt: "rx-corrupt", KindDrop: "drop", KindCCABusy: "cca-busy",
+		KindCCAClear: "cca-clear", KindThreshold: "threshold", KindPhase: "phase",
+		Kind(42): "kind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind.String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package tsch_test
+
+import (
+	"fmt"
+	"time"
+
+	"nonortho/internal/frame"
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+	"nonortho/internal/tsch"
+)
+
+// Example schedules one dedicated hopping link and drains a queue over it.
+func Example() {
+	k := sim.NewKernel(3)
+	m := medium.New(k, medium.WithFadingSigma(0), medium.WithStaticFadingSigma(0))
+
+	sched := tsch.Schedule{
+		SlotframeLen: 2,
+		HopSequence:  []phy.MHz{2458, 2461, 2464, 2467, 2470, 2473},
+		Cells: []tsch.Cell{
+			{Slot: 0, ChannelOffset: 0, Sender: 1, Receiver: 2},
+		},
+	}
+	nw, err := tsch.NewNetwork(k, sched)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tx := nw.AddNode(m, 1, phy.Position{X: 0}, 0)
+	rx := nw.AddNode(m, 2, phy.Position{X: 1}, 0)
+
+	for i := 0; i < 5; i++ {
+		tx.Send(&frame.Frame{Type: frame.TypeData, Src: 1, Dst: 2, Payload: make([]byte, 32)})
+	}
+	nw.Start()
+	k.RunFor(200 * time.Millisecond)
+
+	fmt.Println("delivered:", rx.Received())
+	fmt.Println("frequency rotates:", sched.Frequency(0, 0) != sched.Frequency(1, 0))
+	// Output:
+	// delivered: 5
+	// frequency rotates: true
+}

@@ -1,0 +1,229 @@
+package tsch
+
+import (
+	"testing"
+	"time"
+
+	"nonortho/internal/frame"
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+func world(t *testing.T) (*sim.Kernel, *medium.Medium) {
+	t.Helper()
+	k := sim.NewKernel(23)
+	m := medium.New(k,
+		medium.WithFadingSigma(0),
+		medium.WithStaticFadingSigma(0))
+	return k, m
+}
+
+func orthogonalHops() []phy.MHz { return []phy.MHz{2458, 2463, 2468, 2473} }
+
+func TestScheduleValidation(t *testing.T) {
+	base := Schedule{SlotframeLen: 4, HopSequence: orthogonalHops()}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	bad := base
+	bad.SlotframeLen = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero slotframe accepted")
+	}
+	bad = base
+	bad.HopSequence = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty hop sequence accepted")
+	}
+	bad = base
+	bad.Cells = []Cell{{Slot: 9, ChannelOffset: 0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	bad = base
+	bad.Cells = []Cell{{Slot: 0, ChannelOffset: 7}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range channel offset accepted")
+	}
+	bad = base
+	bad.Cells = []Cell{
+		{Slot: 1, ChannelOffset: 2, Sender: 1, Receiver: 2},
+		{Slot: 1, ChannelOffset: 2, Sender: 3, Receiver: 4},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("colliding cells accepted")
+	}
+}
+
+func TestFrequencyHopsAcrossSlotframes(t *testing.T) {
+	s := Schedule{SlotframeLen: 2, HopSequence: orthogonalHops()}
+	// Same channel offset, consecutive ASNs: frequencies rotate through
+	// the whole hop sequence.
+	seen := map[phy.MHz]bool{}
+	for asn := int64(0); asn < 4; asn++ {
+		seen[s.Frequency(asn, 1)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("frequencies visited = %d, want all 4", len(seen))
+	}
+	if s.Frequency(0, 1) != s.Frequency(4, 1) {
+		t.Error("hop pattern not periodic in len(HopSequence)")
+	}
+}
+
+func TestDedicatedCellDelivers(t *testing.T) {
+	k, m := world(t)
+	sched := Schedule{
+		SlotframeLen: 3,
+		HopSequence:  orthogonalHops(),
+		Cells:        []Cell{{Slot: 0, ChannelOffset: 0, Sender: 1, Receiver: 2}},
+	}
+	nw, err := NewNetwork(k, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := nw.AddNode(m, 1, phy.Position{X: 0}, 0)
+	b := nw.AddNode(m, 2, phy.Position{X: 1}, 0)
+	for i := 0; i < 8; i++ {
+		a.Send(&frame.Frame{Type: frame.TypeData, Src: 1, Dst: 2, Payload: make([]byte, 32)})
+	}
+	nw.Start()
+	// 8 frames need 8 slotframes of 3 slots × 10 ms.
+	k.RunFor(10 * 3 * 10 * time.Millisecond)
+
+	if a.Sent() != 8 {
+		t.Errorf("sent = %d, want 8", a.Sent())
+	}
+	if b.Received() != 8 {
+		t.Errorf("received = %d, want 8", b.Received())
+	}
+	if got := b.ReceivedFrom(1); got != 8 {
+		t.Errorf("ReceivedFrom(1) = %d, want 8", got)
+	}
+	if a.QueueLen() != 0 {
+		t.Errorf("queue = %d, want drained", a.QueueLen())
+	}
+}
+
+func TestParallelCellsDifferentOffsetsNoCollision(t *testing.T) {
+	// Two links in the SAME slot on different channel offsets: both must
+	// deliver fully (orthogonal hop set).
+	k, m := world(t)
+	sched := Schedule{
+		SlotframeLen: 1,
+		HopSequence:  orthogonalHops(),
+		Cells: []Cell{
+			{Slot: 0, ChannelOffset: 0, Sender: 1, Receiver: 2},
+			{Slot: 0, ChannelOffset: 2, Sender: 3, Receiver: 4},
+		},
+	}
+	nw, err := NewNetwork(k, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := nw.AddNode(m, 1, phy.Position{X: 0}, 0)
+	b := nw.AddNode(m, 2, phy.Position{X: 1}, 0)
+	c := nw.AddNode(m, 3, phy.Position{X: 0, Y: 1}, 0)
+	d := nw.AddNode(m, 4, phy.Position{X: 1, Y: 1}, 0)
+	_ = a
+	_ = c
+	const n = 10
+	for i := 0; i < n; i++ {
+		nw.Node(1).Send(&frame.Frame{Type: frame.TypeData, Src: 1, Dst: 2, Payload: make([]byte, 32)})
+		nw.Node(3).Send(&frame.Frame{Type: frame.TypeData, Src: 3, Dst: 4, Payload: make([]byte, 32)})
+	}
+	nw.Start()
+	k.RunFor((n + 2) * 10 * time.Millisecond)
+
+	if b.Received() != n || d.Received() != n {
+		t.Errorf("received = %d/%d, want %d/%d", b.Received(), d.Received(), n, n)
+	}
+}
+
+func TestSameOffsetSequentialSlotsShareChannelSafely(t *testing.T) {
+	// Two links on the same channel offset but different slots never
+	// overlap in time.
+	k, m := world(t)
+	sched := Schedule{
+		SlotframeLen: 2,
+		HopSequence:  orthogonalHops(),
+		Cells: []Cell{
+			{Slot: 0, ChannelOffset: 0, Sender: 1, Receiver: 2},
+			{Slot: 1, ChannelOffset: 0, Sender: 3, Receiver: 4},
+		},
+	}
+	nw, err := NewNetwork(k, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.AddNode(m, 1, phy.Position{X: 0}, 0)
+	b := nw.AddNode(m, 2, phy.Position{X: 1}, 0)
+	nw.AddNode(m, 3, phy.Position{X: 0, Y: 1}, 0)
+	d := nw.AddNode(m, 4, phy.Position{X: 1, Y: 1}, 0)
+	const n = 6
+	for i := 0; i < n; i++ {
+		nw.Node(1).Send(&frame.Frame{Type: frame.TypeData, Src: 1, Dst: 2, Payload: make([]byte, 32)})
+		nw.Node(3).Send(&frame.Frame{Type: frame.TypeData, Src: 3, Dst: 4, Payload: make([]byte, 32)})
+	}
+	nw.Start()
+	k.RunFor((2*n + 2) * 10 * time.Millisecond)
+	if b.Received() != n || d.Received() != n {
+		t.Errorf("received = %d/%d, want %d each", b.Received(), d.Received(), n)
+	}
+}
+
+func TestNonOrthogonalHopSetCarriesMoreParallelCells(t *testing.T) {
+	// The thesis in TSCH form: six parallel links in one slot need six
+	// channel lanes. The orthogonal set has four (two pairs must share a
+	// lane and collide); the non-orthogonal CFD=3 set carries all six.
+	buildAndRun := func(hops []phy.MHz, offsets []int) (delivered int) {
+		k := sim.NewKernel(29)
+		m := medium.New(k, medium.WithFadingSigma(0), medium.WithStaticFadingSigma(0))
+		var cells []Cell
+		for i := 0; i < 6; i++ {
+			cells = append(cells, Cell{
+				Slot: 0, ChannelOffset: offsets[i],
+				Sender: frame.Address(1 + 2*i), Receiver: frame.Address(2 + 2*i),
+			})
+		}
+		// Offsets may repeat across links (that is the point of the
+		// orthogonal case) — bypass the validator's collision check by
+		// spreading duplicated offsets over two slots? No: keep slot 0 and
+		// accept the collision intentionally via direct construction.
+		sched := Schedule{SlotframeLen: 1, HopSequence: hops, Cells: cells}
+		nw := &Network{kernel: k, schedule: sched, nodes: map[frame.Address]*Node{}}
+		const n = 10
+		for i := 0; i < 6; i++ {
+			tx := nw.AddNode(m, frame.Address(1+2*i), phy.Position{X: 0, Y: 1.5 * float64(i)}, 0)
+			nw.AddNode(m, frame.Address(2+2*i), phy.Position{X: 1, Y: 1.5 * float64(i)}, 0)
+			for j := 0; j < n; j++ {
+				tx.Send(&frame.Frame{Type: frame.TypeData,
+					Src: frame.Address(1 + 2*i), Dst: frame.Address(2 + 2*i),
+					Payload: make([]byte, 32)})
+			}
+		}
+		nw.Start()
+		k.RunFor((n + 2) * 10 * time.Millisecond)
+		for i := 0; i < 6; i++ {
+			delivered += nw.Node(frame.Address(2 + 2*i)).Received()
+		}
+		return delivered
+	}
+
+	// Orthogonal: 4 lanes for 6 links → offsets 0,1,2,3,0,1.
+	orth := buildAndRun(orthogonalHops(), []int{0, 1, 2, 3, 0, 1})
+	// Non-orthogonal CFD=3: 6 lanes.
+	nonOrth := buildAndRun([]phy.MHz{2458, 2461, 2464, 2467, 2470, 2473},
+		[]int{0, 1, 2, 3, 4, 5})
+
+	if nonOrth <= orth {
+		t.Errorf("non-orthogonal TSCH delivered %d, orthogonal %d: want more", nonOrth, orth)
+	}
+	if nonOrth < 55 { // 60 total; tolerate a little inter-channel loss
+		t.Errorf("non-orthogonal delivered %d of 60", nonOrth)
+	}
+	if orth > 45 { // the two shared lanes must show collision losses
+		t.Errorf("orthogonal sharing delivered %d of 60, expected collisions", orth)
+	}
+}
