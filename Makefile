@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz
+
+## check: the full local gate — vet, build, tests under the race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## fuzz: a short fuzzing pass over the frame codec invariants.
+fuzz:
+	$(GO) test ./internal/frame -run FuzzFCS -fuzz FuzzFCS -fuzztime 30s

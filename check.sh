@@ -1,0 +1,13 @@
+#!/bin/sh
+# check.sh — the same gate as `make check`, for environments without make:
+# vet, build, and the full test suite under the race detector.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "check: OK"

@@ -104,6 +104,10 @@ func registry() map[string]runner {
 			_, t := experiments.LPL(o)
 			print(t)
 		},
+		"faulteval": func(o experiments.Options) {
+			_, t := experiments.FaultEval(o)
+			print(t)
+		},
 	}
 }
 
@@ -125,6 +129,7 @@ func run(args []string) error {
 		warmup   = fs.Duration("warmup", 3*time.Second, "virtual warmup time per run")
 		measure  = fs.Duration("measure", 8*time.Second, "virtual measurement time per run")
 		quick    = fs.Bool("quick", false, "short single-seed runs (overrides -seeds/-measure)")
+		faults   = fs.Bool("faults", false, "run the fault-injection robustness evaluation (shorthand for -exp faulteval)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,6 +151,12 @@ func run(args []string) error {
 	}
 	if *scenFile != "" {
 		return runScenario(*scenFile)
+	}
+	if *faults {
+		if *exp != "" && *exp != "faulteval" {
+			return fmt.Errorf("-faults conflicts with -exp %q", *exp)
+		}
+		*exp = "faulteval"
 	}
 	if *exp == "" {
 		return fmt.Errorf("no experiment selected; use -exp <name>, -scenario <file>, or -list")

@@ -1,0 +1,224 @@
+package dcn
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+// wdConfig is a watchdog parameterisation tight enough for fast tests. Init
+// sensing is disabled because the unit-test medium is quiet: Eq. 2's max P_I
+// term would otherwise floor the initial threshold at MinThreshold, below
+// the fallback, which is not the healthy steady state these tests start from.
+func wdConfig() Config {
+	return Config{
+		Watchdog:           true,
+		WatchdogPeriod:     100 * time.Millisecond,
+		PoisonWindow:       300 * time.Millisecond,
+		DisableInitSensing: true,
+	}
+}
+
+// enterUpdating drives a fresh Adjustor through the Initializing Phase,
+// hearing one healthy co-channel neighbour at -50 dBm on the way.
+func enterUpdating(t *testing.T, k *sim.Kernel, a *Adjustor) {
+	t.Helper()
+	a.Start()
+	a.Observe(rcv(-50))
+	k.RunUntil(k.Now() + sim.FromDuration(1100*time.Millisecond))
+	if a.Phase() != PhaseUpdating {
+		t.Fatalf("phase = %v, want updating", a.Phase())
+	}
+}
+
+func TestWatchdogPoisonRecoveryOnStarvation(t *testing.T) {
+	k, m := world(t)
+	r := newRadio(k, m, 1, 0, 2460)
+	a := New(k, r, wdConfig())
+
+	// Fake MAC counters: the node keeps attempting but essentially never
+	// wins (way below the default 5 % win-rate floor).
+	busy := 0
+	a.SetCCAStats(func() (int, int) { busy += 50; return 0, busy })
+
+	enterUpdating(t, k, a)
+	k.RunUntil(k.Now() + sim.FromDuration(time.Second))
+
+	if got := a.Watchdog().PoisonRecoveries; got == 0 {
+		t.Fatal("starved node never recovered")
+	}
+	// Recovery re-enters the Initializing Phase and reprograms the
+	// conservative fallback.
+	if got := r.CCAThreshold(); got != phy.DefaultCCAThreshold {
+		t.Fatalf("threshold after recovery = %v, want fallback", got)
+	}
+}
+
+func TestWatchdogNoRecoveryAtHealthyWinRate(t *testing.T) {
+	k, m := world(t)
+	r := newRadio(k, m, 1, 0, 2460)
+	a := New(k, r, wdConfig())
+
+	// 50 % wins: busy half the time is normal contention, not poisoning.
+	clear, busy := 0, 0
+	a.SetCCAStats(func() (int, int) { clear += 25; busy += 25; return clear, busy })
+
+	enterUpdating(t, k, a)
+	k.RunUntil(k.Now() + sim.FromDuration(2*time.Second))
+
+	if got := a.Watchdog().Recoveries(); got != 0 {
+		t.Fatalf("recoveries = %d at a healthy win rate, want 0", got)
+	}
+}
+
+func TestWatchdogIdleMACIsNoEvidence(t *testing.T) {
+	k, m := world(t)
+	r := newRadio(k, m, 1, 0, 2460)
+	a := New(k, r, wdConfig())
+
+	// Counters never move: the node simply has nothing to send.
+	a.SetCCAStats(func() (int, int) { return 0, 0 })
+
+	enterUpdating(t, k, a)
+	k.RunUntil(k.Now() + sim.FromDuration(2*time.Second))
+
+	if got := a.Watchdog().PoisonRecoveries; got != 0 {
+		t.Fatalf("poison recoveries = %d for an idle MAC, want 0", got)
+	}
+}
+
+func TestWatchdogSilenceRecoveryDropsStaleState(t *testing.T) {
+	k, m := world(t)
+	r := newRadio(k, m, 1, 0, 2460)
+	cfg := wdConfig()
+	cfg.SilenceWindow = 500 * time.Millisecond
+	a := New(k, r, cfg) // no CCA stats: only silence/stuck detectors run
+
+	enterUpdating(t, k, a)
+	// A weak interferer poisons the threshold (Case I), then falls silent
+	// forever. Eq. 4 cannot relax the empty window.
+	a.Observe(rcv(-85))
+	if got := r.CCAThreshold(); got >= phy.DefaultCCAThreshold {
+		t.Fatalf("threshold = %v, want tightened below fallback", got)
+	}
+	k.RunUntil(k.Now() + sim.FromDuration(2*time.Second))
+
+	if got := a.Watchdog().SilenceRecoveries; got == 0 {
+		t.Fatal("stale tightened state survived total silence")
+	}
+}
+
+func TestWatchdogSilenceToleratesThresholdAboveFallback(t *testing.T) {
+	k, m := world(t)
+	r := newRadio(k, m, 1, 0, 2460)
+	cfg := wdConfig()
+	cfg.SilenceWindow = 500 * time.Millisecond
+	a := New(k, r, cfg)
+
+	enterUpdating(t, k, a)
+	// Threshold relaxed above the fallback: silence is then normal (quiet
+	// neighbourhood), not evidence of stale poisoned state.
+	a.Observe(rcv(-50))
+	k.RunUntil(k.Now() + sim.FromDuration(2*time.Second))
+
+	if got := a.Watchdog().SilenceRecoveries; got != 0 {
+		t.Fatalf("silence recoveries = %d with a relaxed threshold, want 0", got)
+	}
+}
+
+func TestWatchdogRetriesStuckRegisterWrites(t *testing.T) {
+	k, m := world(t)
+	r := newRadio(k, m, 1, 0, 2460)
+	a := New(k, r, wdConfig())
+
+	enterUpdating(t, k, a)
+	a.Observe(rcv(-60)) // program -61 (margin 1)
+	want := r.CCAThreshold()
+
+	// A write around the Adjustor corrupts the register, as a buggy
+	// driver or a bit flip would; the watchdog must restore it.
+	r.SetCCAThreshold(-40)
+	k.RunUntil(k.Now() + sim.FromDuration(300*time.Millisecond))
+
+	if got := r.CCAThreshold(); got != want {
+		t.Fatalf("threshold = %v after watchdog, want restored %v", got, want)
+	}
+	if a.Watchdog().StuckWriteDetections == 0 {
+		t.Fatal("register mismatch never detected")
+	}
+}
+
+func TestWatchdogOffByDefault(t *testing.T) {
+	k, m := world(t)
+	r := newRadio(k, m, 1, 0, 2460)
+	a := New(k, r, Config{}) // Watchdog false
+	busy := 0
+	a.SetCCAStats(func() (int, int) { busy += 50; return 0, busy })
+
+	enterUpdating(t, k, a)
+	a.Observe(rcv(-85))
+	k.RunUntil(k.Now() + sim.FromDuration(5*time.Second))
+
+	if got := a.Watchdog().Recoveries(); got != 0 {
+		t.Fatalf("recoveries = %d with the watchdog disabled, want 0", got)
+	}
+}
+
+func TestValidateRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative init", Config{InitDuration: -time.Second}, "InitDuration"},
+		{"negative update window", Config{UpdateWindow: -1}, "UpdateWindow"},
+		{"negative sample period", Config{SamplePeriod: -1}, "SamplePeriod"},
+		{"negative check period", Config{CheckPeriod: -1}, "CheckPeriod"},
+		{"negative watchdog period", Config{WatchdogPeriod: -1}, "WatchdogPeriod"},
+		{"negative poison window", Config{PoisonWindow: -1}, "PoisonWindow"},
+		{"negative silence window", Config{SilenceWindow: -1}, "SilenceWindow"},
+		{"negative margin", Config{MarginDB: -2}, "MarginDB"},
+		{"poison rate one", Config{PoisonWinRate: 1}, "PoisonWinRate"},
+		{"poison rate negative", Config{PoisonWinRate: -0.1}, "PoisonWinRate"},
+		{"fallback above register range", Config{Fallback: 10}, "Fallback"},
+		{"fallback below register range", Config{Fallback: -120}, "Fallback"},
+		{"min threshold out of range", Config{MinThreshold: -115}, "MinThreshold"},
+		{"floor above fallback", Config{Fallback: -80, MinThreshold: -70}, "MinThreshold"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateAcceptsZeroAndPaperDefaults(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if err := (Config{}).withDefaults().Validate(); err != nil {
+		t.Fatalf("paper defaults rejected: %v", err)
+	}
+}
+
+func TestNewCheckedSurfacesError(t *testing.T) {
+	k, m := world(t)
+	r := newRadio(k, m, 1, 0, 2460)
+	if _, err := NewChecked(k, r, Config{InitDuration: -1}); err == nil {
+		t.Fatal("NewChecked accepted an invalid config")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New did not panic on an invalid config")
+		}
+	}()
+	New(k, r, Config{InitDuration: -1})
+}

@@ -1,0 +1,178 @@
+// Package fault is a deterministic fault-injection subsystem for the
+// simulated testbed. An Injector, driven by the sim kernel and seeded from
+// its named random streams, schedules composable fault models against a
+// running deployment:
+//
+//   - node crash/reboot — the MAC and radio lose all state and the DCN
+//     CCA-Adjustor restarts from the Initializing Phase, as on real motes;
+//   - bursty external jammers — Gilbert–Elliott on/off emitters attached
+//     to the medium as (optionally wideband) transmission sources,
+//     modelling the coexisting-network interference patterns measured in
+//     deployed 2.4 GHz bands;
+//   - RSSI calibration drift — a per-node additive dBm error random-walked
+//     over time, applied to every power the radio reads;
+//   - stuck-CCA registers — threshold writes silently ignored for a
+//     window, starving any scheme that reprograms the register.
+//
+// Every draw comes from kernel streams, so the same seed and fault
+// schedule replay bit-identically.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"nonortho/internal/dcn"
+	"nonortho/internal/mac"
+	"nonortho/internal/phy"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+// Stats aggregates the events the Injector has fired.
+type Stats struct {
+	// Crashes and Reboots count node crash/reboot events.
+	Crashes, Reboots int
+	// DriftSteps counts RSSI calibration random-walk updates.
+	DriftSteps int
+	// StuckPeriods counts stuck-CCA fault activations.
+	StuckPeriods int
+	// JammerBursts counts completed jammer burst (on) periods.
+	JammerBursts int
+}
+
+// Injector schedules fault events on a simulation kernel.
+type Injector struct {
+	kernel  *sim.Kernel
+	stats   Stats
+	jammers []*Jammer
+}
+
+// NewInjector binds an injector to the kernel.
+func NewInjector(k *sim.Kernel) *Injector {
+	return &Injector{kernel: k}
+}
+
+// Stats returns a snapshot of every fault event fired so far, including
+// the bursts of jammers created through this injector.
+func (inj *Injector) Stats() Stats {
+	s := inj.stats
+	for _, j := range inj.jammers {
+		s.JammerBursts += j.Bursts()
+	}
+	return s
+}
+
+// CrashTarget is the node surface a crash manipulates: the radio and MAC
+// are mandatory, the Adjustor is present only on DCN nodes.
+type CrashTarget struct {
+	Radio    *radio.Radio
+	MAC      *mac.MAC
+	Adjustor *dcn.Adjustor
+}
+
+// ScheduleCrash crashes the target at virtual time at and, when downFor is
+// positive, reboots it downFor later. The crash halts the MAC (flushing
+// its queue — RAM does not survive), powers the radio off and stops the
+// Adjustor. The reboot clears any stuck-register fault (a power cycle
+// resets the register file), restores the threshold the radio booted with,
+// resumes the MAC, and restarts the Adjustor from the Initializing Phase.
+// A non-positive downFor leaves the node dead for the rest of the run.
+func (inj *Injector) ScheduleCrash(t CrashTarget, at, downFor time.Duration) {
+	bootThreshold := t.Radio.CCAThreshold()
+	inj.kernel.At(inj.kernel.Now()+sim.FromDuration(at), func() {
+		inj.stats.Crashes++
+		t.MAC.Suspend()
+		t.Radio.SetOff()
+		if t.Adjustor != nil {
+			t.Adjustor.Stop()
+		}
+		if downFor <= 0 {
+			return
+		}
+		inj.kernel.After(downFor, func() {
+			inj.stats.Reboots++
+			t.Radio.SetCCAStuck(false)
+			t.Radio.SetOn()
+			t.Radio.SetCCAThreshold(bootThreshold)
+			t.MAC.Resume()
+			if t.Adjustor != nil {
+				t.Adjustor.Start()
+			}
+		})
+	})
+}
+
+// DriftConfig parameterises an RSSI calibration drift fault.
+type DriftConfig struct {
+	// Step is the update cadence (default 500 ms).
+	Step time.Duration
+	// Sigma is the per-step random-walk standard deviation in dB
+	// (default 0.5).
+	Sigma float64
+	// Slope is a deterministic per-step ramp component in dB, for
+	// modelling monotone miscalibration (default 0).
+	Slope float64
+	// MaxAbs clamps the accumulated offset magnitude in dB (default 12).
+	MaxAbs float64
+	// Start delays the onset (default 0). Stop, when positive, ends the
+	// walk — the offset then freezes at its final value, as a
+	// miscalibrated radio stays miscalibrated.
+	Start, Stop time.Duration
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Step == 0 {
+		c.Step = 500 * time.Millisecond
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.5
+	}
+	if c.MaxAbs == 0 {
+		c.MaxAbs = 12
+	}
+	return c
+}
+
+// ScheduleDrift random-walks the radio's RSSI calibration error. Draws
+// come from a per-radio kernel stream, so drift on one node never perturbs
+// another node's schedule.
+func (inj *Injector) ScheduleDrift(r *radio.Radio, cfg DriftConfig) {
+	cfg = cfg.withDefaults()
+	rng := inj.kernel.Stream(fmt.Sprintf("fault.drift.%d", r.Address()))
+	stop := sim.Time(0)
+	if cfg.Stop > 0 {
+		stop = inj.kernel.Now() + sim.FromDuration(cfg.Stop)
+	}
+	inj.kernel.After(cfg.Start, func() {
+		var ticker *sim.Ticker
+		ticker = inj.kernel.NewTicker(cfg.Step, func() {
+			if stop > 0 && inj.kernel.Now() >= stop {
+				ticker.Stop()
+				return
+			}
+			inj.stats.DriftSteps++
+			off := float64(r.RSSICalibration()) + rng.Gaussian(0, cfg.Sigma) + cfg.Slope
+			if off > cfg.MaxAbs {
+				off = cfg.MaxAbs
+			} else if off < -cfg.MaxAbs {
+				off = -cfg.MaxAbs
+			}
+			r.SetRSSICalibration(phy.DBm(off))
+		})
+	})
+}
+
+// ScheduleStuckCCA sticks the radio's CCA threshold register at virtual
+// time at: writes are silently ignored until at+duration (forever when
+// duration is non-positive, short of a reboot).
+func (inj *Injector) ScheduleStuckCCA(r *radio.Radio, at, duration time.Duration) {
+	inj.kernel.At(inj.kernel.Now()+sim.FromDuration(at), func() {
+		inj.stats.StuckPeriods++
+		r.SetCCAStuck(true)
+		if duration <= 0 {
+			return
+		}
+		inj.kernel.After(duration, func() { r.SetCCAStuck(false) })
+	})
+}

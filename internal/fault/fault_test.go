@@ -1,0 +1,292 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nonortho/internal/dcn"
+	"nonortho/internal/frame"
+	"nonortho/internal/mac"
+	"nonortho/internal/medium"
+	"nonortho/internal/phy"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+func world(t *testing.T, seed int64) (*sim.Kernel, *medium.Medium) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	m := medium.New(k,
+		medium.WithFadingSigma(0),
+		medium.WithStaticFadingSigma(0),
+		medium.WithPathLoss(&phy.LogDistance{ReferenceLoss: 40, Exponent: 3, MinDistance: 0.1}))
+	return k, m
+}
+
+func newNode(k *sim.Kernel, md *medium.Medium, addr frame.Address, x float64) (*radio.Radio, *mac.MAC) {
+	r := radio.New(k, md, radio.Config{
+		Pos:          phy.Position{X: x},
+		Freq:         2460,
+		TxPower:      0,
+		CCAThreshold: phy.DefaultCCAThreshold,
+		Address:      addr,
+	})
+	return r, mac.New(k, r, mac.Config{})
+}
+
+func TestCrashSilencesNodeAndRebootRestores(t *testing.T) {
+	k, md := world(t, 1)
+	r, m := newNode(k, md, 1, 0)
+	rxRadio, rxMAC := newNode(k, md, 2, 1)
+	var delivered int
+	rxMAC.OnReceive = func(radio.Reception) { delivered++ }
+
+	a := dcn.Attach(k, m, dcn.Config{})
+	a.Start()
+
+	// A saturated source: refills on both outcomes, exactly like the
+	// testbed's traffic generators.
+	var refill func(*frame.Frame)
+	refill = func(*frame.Frame) { m.Send(&frame.Frame{Type: frame.TypeData, Dst: 2, Payload: make([]byte, 32)}) }
+	m.OnSent = refill
+	m.OnDropped = refill
+	refill(nil)
+	refill(nil)
+
+	inj := NewInjector(k)
+	inj.ScheduleCrash(CrashTarget{Radio: r, MAC: m, Adjustor: a}, 2*time.Second, time.Second)
+
+	k.RunUntil(sim.FromDuration(2100 * time.Millisecond))
+	if !m.Suspended() {
+		t.Fatal("MAC not suspended after crash")
+	}
+	if r.State() != radio.StateOff {
+		t.Fatalf("radio state = %v after crash, want off", r.State())
+	}
+	if a.Phase() != dcn.PhaseStopped {
+		t.Fatalf("adjustor phase = %v after crash, want stopped", a.Phase())
+	}
+	atCrash := delivered
+
+	// While down, nothing is transmitted.
+	k.RunUntil(sim.FromDuration(2900 * time.Millisecond))
+	if delivered != atCrash {
+		t.Fatalf("deliveries while down: %d", delivered-atCrash)
+	}
+
+	// After reboot the node rejoins: MAC resumes, the Adjustor re-enters
+	// the Initializing Phase, traffic flows again.
+	k.RunUntil(sim.FromDuration(3100 * time.Millisecond))
+	if m.Suspended() {
+		t.Fatal("MAC still suspended after reboot")
+	}
+	if a.Phase() != dcn.PhaseInitializing {
+		t.Fatalf("adjustor phase = %v after reboot, want initializing", a.Phase())
+	}
+	k.RunUntil(sim.FromDuration(5 * time.Second))
+	if delivered == atCrash {
+		t.Fatal("no deliveries after reboot")
+	}
+	if s := inj.Stats(); s.Crashes != 1 || s.Reboots != 1 {
+		t.Fatalf("stats = %+v, want 1 crash, 1 reboot", s)
+	}
+	_ = rxRadio
+}
+
+func TestCrashWithoutRebootIsPermanent(t *testing.T) {
+	k, md := world(t, 1)
+	r, m := newNode(k, md, 1, 0)
+	inj := NewInjector(k)
+	inj.ScheduleCrash(CrashTarget{Radio: r, MAC: m}, 100*time.Millisecond, 0)
+	k.RunUntil(sim.FromDuration(10 * time.Second))
+	if !m.Suspended() || r.State() != radio.StateOff {
+		t.Fatal("node came back without a scheduled reboot")
+	}
+	if s := inj.Stats(); s.Crashes != 1 || s.Reboots != 0 {
+		t.Fatalf("stats = %+v, want 1 crash, 0 reboots", s)
+	}
+}
+
+func TestRebootClearsStuckRegisterAndRestoresBootThreshold(t *testing.T) {
+	k, md := world(t, 1)
+	r, m := newNode(k, md, 1, 0)
+	boot := r.CCAThreshold()
+
+	inj := NewInjector(k)
+	inj.ScheduleStuckCCA(r, 0, 0) // stuck forever, short of a reboot
+	inj.ScheduleCrash(CrashTarget{Radio: r, MAC: m}, time.Second, time.Second)
+
+	k.RunUntil(sim.FromDuration(500 * time.Millisecond))
+	r.SetCCAThreshold(-60)
+	if got := r.CCAThreshold(); got != boot {
+		t.Fatalf("stuck register accepted a write: %v", got)
+	}
+
+	k.RunUntil(sim.FromDuration(3 * time.Second))
+	if r.CCAStuck() {
+		t.Fatal("register still stuck after power cycle")
+	}
+	if got := r.CCAThreshold(); got != boot {
+		t.Fatalf("threshold after reboot = %v, want boot value %v", got, boot)
+	}
+	r.SetCCAThreshold(-60)
+	if got := r.CCAThreshold(); got != -60 {
+		t.Fatalf("register not writable after reboot: %v", got)
+	}
+}
+
+func TestDriftClampsAndFreezes(t *testing.T) {
+	k, md := world(t, 1)
+	r, _ := newNode(k, md, 1, 0)
+	inj := NewInjector(k)
+	// A pure ramp: +2 dB per 100 ms step, clamped at 5 dB, stopped at 1 s.
+	inj.ScheduleDrift(r, DriftConfig{
+		Step:   100 * time.Millisecond,
+		Sigma:  1e-12, // Sigma=0 would mean "default"; make it negligible
+		Slope:  2,
+		MaxAbs: 5,
+		Stop:   time.Second,
+	})
+	k.RunUntil(sim.FromDuration(900 * time.Millisecond))
+	if got := float64(r.RSSICalibration()); got < 4.99 || got > 5.01 {
+		t.Fatalf("offset = %g, want clamped at 5", got)
+	}
+	frozen := r.RSSICalibration()
+	k.RunUntil(sim.FromDuration(5 * time.Second))
+	if r.RSSICalibration() != frozen {
+		t.Fatalf("offset moved after Stop: %v -> %v", frozen, r.RSSICalibration())
+	}
+	if inj.Stats().DriftSteps == 0 {
+		t.Fatal("no drift steps counted")
+	}
+}
+
+func TestDriftStreamsArePerRadio(t *testing.T) {
+	// Two radios drifting from the same injector must follow independent
+	// random walks (per-address streams), and the walk must be identical
+	// across two runs with the same seed.
+	run := func() (phy.DBm, phy.DBm) {
+		k, md := world(t, 42)
+		r1, _ := newNode(k, md, 1, 0)
+		r2, _ := newNode(k, md, 2, 1)
+		inj := NewInjector(k)
+		inj.ScheduleDrift(r1, DriftConfig{Step: 50 * time.Millisecond})
+		inj.ScheduleDrift(r2, DriftConfig{Step: 50 * time.Millisecond})
+		k.RunUntil(sim.FromDuration(2 * time.Second))
+		return r1.RSSICalibration(), r2.RSSICalibration()
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("drift not reproducible: (%v,%v) vs (%v,%v)", a1, b1, a2, b2)
+	}
+	if a1 == b1 {
+		t.Fatalf("two radios drew identical walks (%v); streams not independent", a1)
+	}
+}
+
+func TestStuckCCAWindow(t *testing.T) {
+	k, md := world(t, 1)
+	r, _ := newNode(k, md, 1, 0)
+	inj := NewInjector(k)
+	inj.ScheduleStuckCCA(r, time.Second, time.Second)
+
+	k.RunUntil(sim.FromDuration(500 * time.Millisecond))
+	r.SetCCAThreshold(-60)
+	if r.CCAThreshold() != -60 {
+		t.Fatal("write before the fault window was ignored")
+	}
+	k.RunUntil(sim.FromDuration(1500 * time.Millisecond))
+	r.SetCCAThreshold(-50)
+	if r.CCAThreshold() != -60 {
+		t.Fatal("write during the fault window took effect")
+	}
+	k.RunUntil(sim.FromDuration(2500 * time.Millisecond))
+	r.SetCCAThreshold(-50)
+	if r.CCAThreshold() != -50 {
+		t.Fatal("write after the fault window was ignored")
+	}
+	if got := r.RegisterStats().IgnoredWrites; got != 1 {
+		t.Fatalf("IgnoredWrites = %d, want 1", got)
+	}
+	if inj.Stats().StuckPeriods != 1 {
+		t.Fatalf("StuckPeriods = %d, want 1", inj.Stats().StuckPeriods)
+	}
+}
+
+// jammerTrace records the on-air schedule a listener observes.
+type jammerTrace struct {
+	pos    phy.Position
+	events []sim.Time
+}
+
+func (l *jammerTrace) Position() phy.Position         { return l.pos }
+func (l *jammerTrace) OnAir(tx *medium.Transmission)  { l.events = append(l.events, tx.Start) }
+func (l *jammerTrace) OffAir(tx *medium.Transmission) {}
+
+func TestJammerBurstsAndStops(t *testing.T) {
+	k, md := world(t, 7)
+	trace := &jammerTrace{pos: phy.Position{X: 1}}
+	md.Attach(trace)
+
+	inj := NewInjector(k)
+	j := inj.NewJammer(md, JammerConfig{
+		Freq:      2460,
+		Power:     -10,
+		MeanBurst: 100 * time.Millisecond,
+		MeanGap:   200 * time.Millisecond,
+		Stop:      2 * time.Second,
+	})
+	j.Start()
+	k.RunUntil(sim.FromDuration(5 * time.Second))
+
+	if j.Bursts() == 0 || len(trace.events) == 0 {
+		t.Fatalf("bursts = %d, frames = %d; want activity", j.Bursts(), len(trace.events))
+	}
+	if inj.Stats().JammerBursts != j.Bursts() {
+		t.Fatalf("injector bursts = %d, jammer reports %d", inj.Stats().JammerBursts, j.Bursts())
+	}
+	limit := sim.FromDuration(2*time.Second + 10*time.Millisecond)
+	for _, at := range trace.events {
+		if at > limit {
+			t.Fatalf("frame started at %v, after Stop", at)
+		}
+	}
+}
+
+func TestJammerScheduleIsDeterministic(t *testing.T) {
+	run := func() []sim.Time {
+		k, md := world(t, 99)
+		trace := &jammerTrace{pos: phy.Position{X: 1}}
+		md.Attach(trace)
+		inj := NewInjector(k)
+		j := inj.NewJammer(md, JammerConfig{
+			Freq:      2460,
+			Power:     -10,
+			Bandwidth: 22,
+			MeanBurst: 50 * time.Millisecond,
+			MeanGap:   150 * time.Millisecond,
+		})
+		j.Start()
+		k.RunUntil(sim.FromDuration(3 * time.Second))
+		return trace.events
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("jammer schedule differs across identical runs: %d vs %d frames", len(a), len(b))
+	}
+}
+
+func TestJammerDetachLeavesMediumClean(t *testing.T) {
+	k, md := world(t, 3)
+	inj := NewInjector(k)
+	j := inj.NewJammer(md, JammerConfig{Freq: 2460, Power: -10})
+	j.Start()
+	k.RunUntil(sim.FromDuration(100 * time.Millisecond))
+	j.Detach()
+	k.RunUntil(sim.FromDuration(2 * time.Second))
+	if n := md.ActiveCount(); n != 0 {
+		t.Fatalf("active transmissions after detach = %d, want 0", n)
+	}
+}

@@ -129,10 +129,11 @@ type MAC struct {
 	cfg    Config
 	rng    *sim.RNG
 
-	queue    []*frame.Frame
-	inFlight bool
-	seq      uint8
-	counters Counters
+	queue     []*frame.Frame
+	inFlight  bool
+	suspended bool
+	seq       uint8
+	counters  Counters
 
 	// pending ACK state
 	awaitingAck bool
@@ -198,13 +199,50 @@ func (m *MAC) Send(f *frame.Frame) bool {
 }
 
 func (m *MAC) kick() {
-	if m.inFlight || len(m.queue) == 0 {
+	if m.suspended || m.inFlight || len(m.queue) == 0 {
 		return
 	}
 	m.inFlight = true
 	m.retries = 0
 	m.startCSMA()
 }
+
+// Suspend models an MCU halt (node crash): the pending ACK timer is
+// cancelled, CSMA state is cleared and every queued frame is flushed via
+// OnDropped — RAM contents do not survive a reboot. Frames may still be
+// enqueued with Send while suspended (a traffic source refilling its
+// queue), but nothing is transmitted and incoming receptions are ignored
+// until Resume.
+func (m *MAC) Suspend() {
+	if m.suspended {
+		return
+	}
+	m.suspended = true
+	m.awaitingAck = false
+	m.kernel.Cancel(m.ackTimer)
+	m.inFlight = false
+	m.retries = 0
+	flushed := m.queue
+	m.queue = nil
+	for _, f := range flushed {
+		if m.OnDropped != nil {
+			m.OnDropped(f)
+		}
+	}
+}
+
+// Resume restarts a suspended MAC (node reboot) and kicks the transmit
+// queue if frames accumulated during the outage.
+func (m *MAC) Resume() {
+	if !m.suspended {
+		return
+	}
+	m.suspended = false
+	m.kick()
+}
+
+// Suspended reports whether the MAC is halted by Suspend.
+func (m *MAC) Suspended() bool { return m.suspended }
 
 // startCSMA begins the unslotted CSMA/CA procedure for the head-of-queue
 // frame: NB=0, BE=minBE, random backoff, CCA, transmit or retreat.
@@ -216,8 +254,14 @@ func (m *MAC) csmaAttempt(nb, be int) {
 	slots := m.rng.Intn(1 << be)
 	delay := time.Duration(slots) * frame.BackoffPeriod
 	m.kernel.After(delay, func() {
+		if m.suspended {
+			return
+		}
 		// The CCA result is read at the end of the 8-symbol window.
 		m.kernel.After(frame.CCATime, func() {
+			if m.suspended {
+				return
+			}
 			if m.cfg.CCA.Clear(m.radio) {
 				m.counters.ClearCCA++
 				m.kernel.After(frame.TurnaroundTime, m.transmitHead)
@@ -238,6 +282,9 @@ func (m *MAC) csmaAttempt(nb, be int) {
 }
 
 func (m *MAC) transmitHead() {
+	if m.suspended {
+		return
+	}
 	if len(m.queue) == 0 {
 		m.inFlight = false
 		return
@@ -275,6 +322,9 @@ func (m *MAC) completeHead() {
 }
 
 func (m *MAC) handleTxDone(tx *medium.Transmission) {
+	if m.suspended {
+		return // the MCU halted while our frame's tail was still on air
+	}
 	f := tx.Frame
 	if f.Type == frame.TypeAck {
 		return // our own ACK; not a queued frame
@@ -306,6 +356,9 @@ func (m *MAC) ackTimeout() {
 }
 
 func (m *MAC) handleReception(r radio.Reception) {
+	if m.suspended {
+		return
+	}
 	if m.OnOverhear != nil {
 		m.OnOverhear(r)
 	}

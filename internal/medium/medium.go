@@ -136,6 +136,24 @@ func (m *Medium) Attach(l Listener) int {
 	return len(m.listeners) - 1
 }
 
+// Detach removes a listener from the medium: it receives no further
+// OnAir/OffAir notifications and contributes nothing to power sums. Its ID
+// is never reused. Detaching mid-transmission is safe — a transmission the
+// listener originated stays on the air until its scheduled end (the energy
+// is already radiated) but completes without notifying the departed
+// listener. Detaching an unknown or already-detached ID is a no-op.
+func (m *Medium) Detach(id int) {
+	if id < 0 || id >= len(m.listeners) {
+		return
+	}
+	m.listeners[id] = nil
+}
+
+// Attached reports whether the ID currently belongs to a live listener.
+func (m *Medium) Attached(id int) bool {
+	return id >= 0 && id < len(m.listeners) && m.listeners[id] != nil
+}
+
 // Transmit puts a frame on the air from listener src at the given power and
 // channel. It returns the transmission handle; OffAir fires automatically
 // when the airtime elapses.
@@ -165,6 +183,9 @@ func (m *Medium) TransmitShaped(src int, pos phy.Position, power phy.DBm, freq, 
 	}
 	m.nextTxID++
 	for _, l := range m.listeners {
+		if l == nil {
+			continue // detached
+		}
 		l.OnAir(tx)
 	}
 	m.active = append(m.active, tx)
@@ -174,6 +195,9 @@ func (m *Medium) TransmitShaped(src int, pos phy.Position, power phy.DBm, freq, 
 
 func (m *Medium) finish(tx *Transmission) {
 	for _, l := range m.listeners {
+		if l == nil {
+			continue // detached
+		}
 		l.OffAir(tx)
 	}
 	for i, a := range m.active {
@@ -197,6 +221,9 @@ func (m *Medium) ActiveCount() int { return len(m.active) }
 // integration observe a consistent channel.
 func (m *Medium) RxPower(tx *Transmission, listenerID int) phy.DBm {
 	l := m.listeners[listenerID]
+	if l == nil {
+		return phy.Silent // detached listener measures nothing
+	}
 	base := phy.ReceivedPower(m.pathLoss, tx.Power, tx.Pos, l.Position())
 	return base + phy.DBm(m.staticFade(tx.Src, listenerID)) + phy.DBm(m.fade(tx.ID, listenerID))
 }
@@ -247,6 +274,9 @@ func (m *Medium) InChannelPower(tx *Transmission, listenerID int, freq phy.MHz) 
 // It includes the noise floor; exclude (may be nil) is omitted from the sum,
 // which a transmitting radio uses to ignore its own signal.
 func (m *Medium) SensedPower(listenerID int, freq phy.MHz, exclude *Transmission) phy.DBm {
+	if m.listeners[listenerID] == nil {
+		return phy.Silent // detached listener measures nothing
+	}
 	total := phy.NoiseFloor.Milliwatts()
 	for _, tx := range m.active {
 		if exclude != nil && tx.ID == exclude.ID {
@@ -267,6 +297,9 @@ func (m *Medium) SensedPower(listenerID int, freq phy.MHz, exclude *Transmission
 // bandwidth — so this accessor exists for the oracle CCA policy that
 // quantifies the paper's Section VII-C future-work upper bound.
 func (m *Medium) SensedCoChannelPower(listenerID int, freq phy.MHz, exclude *Transmission) phy.DBm {
+	if m.listeners[listenerID] == nil {
+		return phy.Silent // detached listener measures nothing
+	}
 	total := phy.NoiseFloor.Milliwatts()
 	for _, tx := range m.active {
 		if exclude != nil && tx.ID == exclude.ID {

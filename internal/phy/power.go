@@ -23,7 +23,26 @@ const (
 	MaxTxPower DBm = 0
 	// MinTxPower is the weakest setting used in the paper's sweeps.
 	MinTxPower DBm = -33
+	// CCARegisterMin and CCARegisterMax bound the CC2420's programmable
+	// CCA threshold. The CCA_THR register is an 8-bit signed value offset
+	// by the -45 dB RSSI offset, but the energy detector only produces
+	// meaningful readings over roughly [-110, 0] dBm; writes outside this
+	// span program a threshold the hardware cannot honour.
+	CCARegisterMin DBm = -110
+	CCARegisterMax DBm = 0
 )
+
+// ClampCCAThreshold confines a requested CCA threshold to the CC2420's
+// programmable register range and reports whether clamping was needed.
+func ClampCCAThreshold(t DBm) (DBm, bool) {
+	switch {
+	case t < CCARegisterMin:
+		return CCARegisterMin, true
+	case t > CCARegisterMax:
+		return CCARegisterMax, true
+	}
+	return t, false
+}
 
 // Milliwatts converts a dBm level to linear milliwatts.
 func (p DBm) Milliwatts() float64 {

@@ -1,0 +1,97 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"nonortho/internal/phy"
+)
+
+func TestSetCCAThresholdClampsToRegisterRange(t *testing.T) {
+	k, m := world(t)
+	r := New(k, m, Config{Freq: 2460, Address: 1})
+
+	r.SetCCAThreshold(-150)
+	if got := r.CCAThreshold(); got != phy.CCARegisterMin {
+		t.Fatalf("threshold = %v, want clamped to %v", got, phy.CCARegisterMin)
+	}
+	r.SetCCAThreshold(10)
+	if got := r.CCAThreshold(); got != phy.CCARegisterMax {
+		t.Fatalf("threshold = %v, want clamped to %v", got, phy.CCARegisterMax)
+	}
+	if got := r.RegisterStats().OutOfRangeWrites; got != 2 {
+		t.Fatalf("OutOfRangeWrites = %d, want 2", got)
+	}
+	// In-range writes are not counted.
+	r.SetCCAThreshold(-77)
+	if got := r.RegisterStats().OutOfRangeWrites; got != 2 {
+		t.Fatalf("OutOfRangeWrites = %d after an in-range write, want 2", got)
+	}
+}
+
+func TestNewClampsInitialThreshold(t *testing.T) {
+	k, m := world(t)
+	r := New(k, m, Config{Freq: 2460, Address: 1, CCAThreshold: -200})
+	if got := r.CCAThreshold(); got != phy.CCARegisterMin {
+		t.Fatalf("initial threshold = %v, want clamped to %v", got, phy.CCARegisterMin)
+	}
+}
+
+func TestStuckRegisterIgnoresWritesAndCounts(t *testing.T) {
+	k, m := world(t)
+	r := New(k, m, Config{Freq: 2460, Address: 1, CCAThreshold: -77})
+
+	r.SetCCAStuck(true)
+	if !r.CCAStuck() {
+		t.Fatal("CCAStuck not reported")
+	}
+	r.SetCCAThreshold(-60)
+	r.SetCCAThreshold(-50)
+	if got := r.CCAThreshold(); got != -77 {
+		t.Fatalf("stuck register moved to %v", got)
+	}
+	if got := r.RegisterStats().IgnoredWrites; got != 2 {
+		t.Fatalf("IgnoredWrites = %d, want 2", got)
+	}
+	r.SetCCAStuck(false)
+	r.SetCCAThreshold(-60)
+	if got := r.CCAThreshold(); got != -60 {
+		t.Fatalf("released register still stuck at %v", got)
+	}
+}
+
+func TestRSSICalibrationShiftsMeasurementsNotPhysics(t *testing.T) {
+	k, m := world(t)
+	tx := New(k, m, Config{Pos: phy.Position{X: 0}, Freq: 2460, TxPower: 0, Address: 1})
+	rx := New(k, m, Config{Pos: phy.Position{X: 1}, Freq: 2460, Address: 2})
+
+	rx.SetRSSICalibration(5)
+	if got := rx.RSSICalibration(); got != 5 {
+		t.Fatalf("RSSICalibration = %v, want 5", got)
+	}
+
+	// A quiet medium measures the noise floor plus the calibration error.
+	if got := rx.SensedPower(); math.Abs(float64(got-(phy.NoiseFloor+5))) > 0.01 {
+		t.Fatalf("sensed power = %v, want noise floor %v + 5", got, phy.NoiseFloor)
+	}
+
+	var got []Reception
+	rx.OnReceive = func(r Reception) { got = append(got, r) }
+	if _, err := tx.Transmit(dataFrame(64, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+
+	if len(got) != 1 {
+		t.Fatalf("receptions = %d, want 1", len(got))
+	}
+	// 1 m at 0 dBm through the 40 dB reference loss is -40; the register
+	// reads 5 dB high. Decoding itself is unaffected: the true signal is
+	// far above the noise floor.
+	if math.Abs(float64(got[0].RSSI)+35) > 0.01 {
+		t.Fatalf("reported RSSI = %v, want ≈ -35", got[0].RSSI)
+	}
+	if !got[0].CRCOK {
+		t.Fatal("calibration error corrupted a clean frame")
+	}
+}

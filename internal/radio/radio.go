@@ -98,6 +98,17 @@ type Config struct {
 	CaptureMargin phy.DBm
 }
 
+// RegisterStats counts anomalous interactions with the CCA threshold
+// register — the observability the fault-injection subsystem relies on.
+type RegisterStats struct {
+	// OutOfRangeWrites counts SetCCAThreshold calls whose value had to be
+	// clamped into the CC2420 programmable range.
+	OutOfRangeWrites int
+	// IgnoredWrites counts writes silently dropped while the register was
+	// stuck (fault injection).
+	IgnoredWrites int
+}
+
 // Radio is one transceiver attached to a medium. Single-threaded, like the
 // rest of the simulation.
 type Radio struct {
@@ -107,6 +118,15 @@ type Radio struct {
 	cfg    Config
 	state  State
 	rng    *sim.RNG
+
+	// rssiOffset is a calibration error added to every measured power
+	// (sensed energy and reported packet RSSI). It shifts what the radio
+	// *reads*, never the physics: SINR integration uses true powers.
+	rssiOffset phy.DBm
+	// ccaStuck, when set, makes the CCA threshold register ignore writes —
+	// the stuck-register fault model.
+	ccaStuck bool
+	regStats RegisterStats
 
 	rx     *receptionState
 	ownTx  *medium.Transmission
@@ -138,6 +158,9 @@ func New(k *sim.Kernel, m *medium.Medium, cfg Config) *Radio {
 		state:  StateIdle,
 		rng:    k.Stream(fmt.Sprintf("radio.%d.bits", cfg.Address)),
 	}
+	// The hardware register cannot hold an out-of-range threshold, however
+	// the radio was configured.
+	r.cfg.CCAThreshold, _ = phy.ClampCCAThreshold(cfg.CCAThreshold)
 	r.energy.account(r.state, cfg.TxPower, k.Now()) // start the meter
 	r.id = m.Attach(r)
 	return r
@@ -162,11 +185,42 @@ func (r *Radio) Freq() phy.MHz { return r.cfg.Freq }
 func (r *Radio) Address() frame.Address { return r.cfg.Address }
 
 // SetCCAThreshold reprograms the CCA threshold register, the knob the DCN
-// CCA-Adjustor turns.
-func (r *Radio) SetCCAThreshold(t phy.DBm) { r.cfg.CCAThreshold = t }
+// CCA-Adjustor turns. Values outside the CC2420 programmable range are
+// clamped (and counted), so injected drift can never program an impossible
+// threshold. While the register is stuck (fault injection) the write is
+// silently ignored, exactly as the fault model prescribes.
+func (r *Radio) SetCCAThreshold(t phy.DBm) {
+	if r.ccaStuck {
+		r.regStats.IgnoredWrites++
+		return
+	}
+	v, clamped := phy.ClampCCAThreshold(t)
+	if clamped {
+		r.regStats.OutOfRangeWrites++
+	}
+	r.cfg.CCAThreshold = v
+}
 
 // CCAThreshold reads the current threshold register.
 func (r *Radio) CCAThreshold() phy.DBm { return r.cfg.CCAThreshold }
+
+// RegisterStats returns the CCA register write anomaly counters.
+func (r *Radio) RegisterStats() RegisterStats { return r.regStats }
+
+// SetCCAStuck injects (true) or clears (false) the stuck-register fault:
+// while stuck, SetCCAThreshold writes are silently ignored.
+func (r *Radio) SetCCAStuck(stuck bool) { r.ccaStuck = stuck }
+
+// CCAStuck reports whether the stuck-register fault is active.
+func (r *Radio) CCAStuck() bool { return r.ccaStuck }
+
+// SetRSSICalibration injects an additive calibration error, in dB, into
+// every power measurement the radio reports (sensed energy, packet RSSI).
+// Zero restores a perfectly calibrated radio.
+func (r *Radio) SetRSSICalibration(offset phy.DBm) { r.rssiOffset = offset }
+
+// RSSICalibration returns the current calibration error.
+func (r *Radio) RSSICalibration() phy.DBm { return r.rssiOffset }
 
 // SetTxPower reprograms the transmit power.
 func (r *Radio) SetTxPower(p phy.DBm) { r.cfg.TxPower = p }
@@ -205,9 +259,10 @@ func (r *Radio) SetOn() {
 // SensedPower reads the RSSI register: total in-channel energy, the
 // quantity CCA compares against the threshold. A transmitting radio does
 // not hear the medium; reading during TX returns the last meaningful value
-// semantics-free, so we simply exclude our own signal.
+// semantics-free, so we simply exclude our own signal. The reading includes
+// any injected calibration error.
 func (r *Radio) SensedPower() phy.DBm {
-	return r.medium.SensedPower(r.id, r.cfg.Freq, r.ownTx)
+	return r.medium.SensedPower(r.id, r.cfg.Freq, r.ownTx) + r.rssiOffset
 }
 
 // CCAClear performs a clear-channel assessment: true when the sensed
@@ -345,7 +400,7 @@ func (r *Radio) finishRx() {
 	}
 	rcv := Reception{
 		Frame:     rx.tx.Frame,
-		RSSI:      rx.signal,
+		RSSI:      rx.signal + r.rssiOffset,
 		BitErrors: errs,
 		TotalBits: total,
 		CRCOK:     errs == 0,

@@ -1,0 +1,65 @@
+package recovery
+
+import "testing"
+
+func TestAdaptiveEmptyWindowIsDemandNone(t *testing.T) {
+	for _, w := range []int{1, 2, 100} {
+		a := NewAdaptive(AdaptiveConfig{Window: w})
+		if got := a.Demand(); got != DemandNone {
+			t.Errorf("window=%d: empty-window demand = %v, want none", w, got)
+		}
+		if a.Recovered() != 0 {
+			t.Errorf("window=%d: recovered on an empty window", w)
+		}
+	}
+}
+
+func TestAdaptiveAllRepairableFailuresActivate(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{Window: 10})
+	for i := 0; i < 10; i++ {
+		a.Observe(failed(5, 100))
+	}
+	if got := a.Demand(); got != DemandActive {
+		t.Fatalf("demand = %v on an all-repairable-failure window, want active", got)
+	}
+}
+
+func TestAdaptiveAllHopelessFailuresStayHopeless(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{Window: 10})
+	for i := 0; i < 10; i++ {
+		if a.Observe(failed(80, 100)) {
+			t.Fatal("beyond-budget packet delivered")
+		}
+	}
+	if got := a.Demand(); got != DemandHopeless {
+		t.Fatalf("demand = %v on an all-unrepairable window, want hopeless", got)
+	}
+	if a.Recovered() != 0 {
+		t.Fatal("recovered counted on a hopeless link")
+	}
+}
+
+func TestAdaptiveWindowOfOneFlipsPerPacket(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{Window: 1})
+	// One repairable failure fills the whole window: rate 100 %, all
+	// repairable → active.
+	a.Observe(failed(5, 100))
+	if got := a.Demand(); got != DemandActive {
+		t.Fatalf("demand = %v after a repairable failure, want active", got)
+	}
+	// With the demand now active, the next repairable failure is
+	// delivered through recovery.
+	if !a.Observe(failed(5, 100)) {
+		t.Fatal("active window-1 detector did not recover a repairable packet")
+	}
+	// A clean packet displaces the failure: demand subsides immediately.
+	a.Observe(clean())
+	if got := a.Demand(); got != DemandNone {
+		t.Fatalf("demand = %v after a clean packet, want none", got)
+	}
+	// A beyond-budget failure flips it to hopeless.
+	a.Observe(failed(80, 100))
+	if got := a.Demand(); got != DemandHopeless {
+		t.Fatalf("demand = %v after an unrepairable failure, want hopeless", got)
+	}
+}

@@ -54,6 +54,16 @@ func (g *RNG) UniformRange(lo, hi float64) float64 {
 	return lo + (hi-lo)*g.r.Float64()
 }
 
+// Exponential returns an exponentially distributed draw with the given
+// mean — the dwell-time distribution of memoryless on/off processes such
+// as the Gilbert–Elliott jammer. A non-positive mean returns 0.
+func (g *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return -mean * math.Log(1-g.r.Float64())
+}
+
 // Bernoulli returns true with probability p.
 func (g *RNG) Bernoulli(p float64) bool {
 	if p <= 0 {
