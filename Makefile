@@ -1,9 +1,12 @@
 GO ?= go
+BENCH ?= .
+BENCH_OUT ?= BENCH_PR2.json
 
-.PHONY: check vet build test race fuzz
+.PHONY: check vet build test race fuzz bench benchsmoke
 
-## check: the full local gate — vet, build, tests under the race detector.
-check: vet build race
+## check: the full local gate — vet, build, tests under the race
+## detector, and a one-iteration smoke run of the fast benchmarks.
+check: vet build race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -20,3 +23,13 @@ race:
 ## fuzz: a short fuzzing pass over the frame codec invariants.
 fuzz:
 	$(GO) test ./internal/frame -run FuzzFCS -fuzz FuzzFCS -fuzztime 30s
+
+## bench: run the microbenchmarks and write parsed JSON to $(BENCH_OUT).
+bench:
+	$(GO) run ./cmd/dcnbench -bench '$(BENCH)' -out $(BENCH_OUT)
+
+## benchsmoke: one iteration of the fast kernel/medium benchmarks, to
+## catch benchmark-code rot without paying full measurement time.
+benchsmoke:
+	$(GO) run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense' \
+		-benchtime 1x -pkgs ./internal/sim,./internal/medium -out /dev/null

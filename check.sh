@@ -10,4 +10,7 @@ echo "== go build ./..."
 go build ./...
 echo "== go test -race ./..."
 go test -race ./...
+echo "== bench smoke (1 iteration)"
+go run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense' \
+	-benchtime 1x -pkgs ./internal/sim,./internal/medium -out /dev/null
 echo "check: OK"

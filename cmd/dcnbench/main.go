@@ -1,0 +1,155 @@
+// Command dcnbench runs the repository's microbenchmarks through
+// `go test -bench` and writes the parsed results as JSON, so perf
+// changes can be tracked as committed artifacts (see BENCH_PR2.json).
+//
+// Usage:
+//
+//	dcnbench -out BENCH.json
+//	dcnbench -bench 'SensedPower|Kernel' -benchtime 100000x -out /dev/stdout
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Package    string `json:"package"`
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit -> value, e.g. "ns/op": 53.7, "allocs/op": 0,
+	// including any custom testing.B metrics the benchmark reports.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Bench      string      `json:"bench_regexp"`
+	BenchTime  string      `json:"benchtime"`
+	Packages   []string    `json:"packages"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcnbench", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "", "output JSON path (default stdout)")
+		bench     = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
+		benchtime = fs.String("benchtime", "", "passed to go test -benchtime (default go's own)")
+		pkgs      = fs.String("pkgs", "./...", "comma-separated package patterns to benchmark")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	patterns := strings.Split(*pkgs, ",")
+	cmdArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem"}
+	if *benchtime != "" {
+		cmdArgs = append(cmdArgs, "-benchtime", *benchtime)
+	}
+	cmdArgs = append(cmdArgs, patterns...)
+
+	cmd := exec.Command("go", cmdArgs...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(cmdArgs, " "), err)
+	}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     *bench,
+		BenchTime: *benchtime,
+		Packages:  patterns,
+	}
+	if err := parseInto(&rep, &buf); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines matched -bench %q", *bench)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// parseInto scans `go test -bench` output. Relevant lines:
+//
+//	cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+//	pkg: nonortho/internal/sim
+//	BenchmarkKernelScheduleCancel  2000000  150.3 ns/op  0 B/op  0 allocs/op
+//
+// Benchmark lines are NAME ITERATIONS then (value unit) pairs; custom
+// testing.B metrics use the same pair form.
+func parseInto(rep *Report, buf *bytes.Buffer) error {
+	pkg := ""
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			b.Package = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return sc.Err()
+}
+
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: nonortho/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkKernelScheduleCancel-8   	 2000000	       150.3 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	nonortho/internal/sim	0.5s
+pkg: nonortho/internal/medium
+BenchmarkSensedPowerDense-8       	21474836	        53.75 ns/op	       3 B/op	       0 allocs/op
+PASS
+`
+	var rep Report
+	if err := parseInto(&rep, bytes.NewBufferString(out)); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	k := rep.Benchmarks[0]
+	if k.Package != "nonortho/internal/sim" || k.Name != "BenchmarkKernelScheduleCancel-8" {
+		t.Fatalf("first benchmark = %q in %q", k.Name, k.Package)
+	}
+	if k.Iterations != 2000000 || k.Metrics["ns/op"] != 150.3 || k.Metrics["allocs/op"] != 0 {
+		t.Fatalf("first benchmark parsed as %+v", k)
+	}
+	m := rep.Benchmarks[1]
+	if m.Package != "nonortho/internal/medium" || m.Metrics["ns/op"] != 53.75 {
+		t.Fatalf("second benchmark parsed as %+v", m)
+	}
+	if rep.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", rep.CPU)
+	}
+}
+
+func TestParseBenchLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanumber 5 ns/op",
+		"BenchmarkX 10 bad ns/op",
+		"BenchmarkX 10 5", // odd pair
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) accepted malformed line", line)
+		}
+	}
+}
+
+func TestParseBenchLineCustomMetrics(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkTput-4  100  12.5 ns/op  340.2 dcn-pkt/s")
+	if !ok {
+		t.Fatal("rejected valid line with custom metric")
+	}
+	if b.Metrics["dcn-pkt/s"] != 340.2 {
+		t.Fatalf("custom metric = %v", b.Metrics)
+	}
+}

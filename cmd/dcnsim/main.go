@@ -130,6 +130,7 @@ func run(args []string) error {
 		measure  = fs.Duration("measure", 8*time.Second, "virtual measurement time per run")
 		quick    = fs.Bool("quick", false, "short single-seed runs (overrides -seeds/-measure)")
 		faults   = fs.Bool("faults", false, "run the fault-injection robustness evaluation (shorthand for -exp faulteval)")
+		workers  = fs.Int("workers", 0, "simulation cells run concurrently (0 = one per CPU; results are identical at any setting)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,10 +163,11 @@ func run(args []string) error {
 		return fmt.Errorf("no experiment selected; use -exp <name>, -scenario <file>, or -list")
 	}
 
-	opts := experiments.Options{Seed: *seed, Seeds: *seeds, Warmup: *warmup, Measure: *measure}
+	opts := experiments.Options{Seed: *seed, Seeds: *seeds, Warmup: *warmup, Measure: *measure, Workers: *workers}
 	if *quick {
 		opts = experiments.Quick()
 		opts.Seed = *seed
+		opts.Workers = *workers
 	}
 
 	if *exp == "all" {

@@ -224,7 +224,7 @@ type Adjustor struct {
 	initHasRSSI   bool
 	initMaxSensed phy.DBm
 	sampler       *sim.Ticker
-	initDone      *sim.Event
+	initDone      sim.Event
 
 	// Updating Phase state.
 	window      []record
@@ -382,10 +382,8 @@ func (a *Adjustor) stopTimers() {
 		a.sampler.Stop()
 		a.sampler = nil
 	}
-	if a.initDone != nil {
-		a.kernel.Cancel(a.initDone)
-		a.initDone = nil
-	}
+	a.kernel.Cancel(a.initDone)
+	a.initDone = sim.Event{}
 	if a.checkTicker != nil {
 		a.checkTicker.Stop()
 		a.checkTicker = nil
@@ -401,7 +399,7 @@ func (a *Adjustor) finishInit() {
 		a.sampler.Stop()
 		a.sampler = nil
 	}
-	a.initDone = nil
+	a.initDone = sim.Event{}
 
 	// Eq. 2: CCA_I = min{ S_1, S_2, ..., max{P_1, P_2, ...} }.
 	threshold := a.initMaxSensed

@@ -50,15 +50,12 @@ func AblationDCN(opts Options) (AblationResult, *Table) {
 	}
 
 	var res AblationResult
+	grid := runGrid(opts, len(variants), func(cell int, seed int64) float64 {
+		return ablationRun(seed, variants[cell].cfg, opts).OverallThroughput()
+	})
 	totals := make(map[string]float64, len(variants))
-	for _, v := range variants {
-		var total float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
-			tb := ablationRun(seed, v.cfg, opts)
-			total += tb.OverallThroughput()
-		}
-		totals[v.name] = total / float64(opts.Seeds)
+	for i, v := range variants {
+		totals[v.name] = sum(grid[i]) / float64(opts.Seeds)
 	}
 	full := totals["full"]
 	for _, v := range variants {
@@ -126,25 +123,33 @@ type EnergyResult struct{ Rows []EnergyRow }
 func EnergyComparison(opts Options) (EnergyResult, *Table) {
 	opts = opts.withDefaults()
 
-	run := func(nonOrtho, dcnOn bool) (throughput, mjPerPkt float64) {
-		var totalPkts, totalMJ float64
-		var seconds float64
-		// Energy meters run from t=0 but packet counters only during the
-		// measurement window; radios draw power near-uniformly, so scale
-		// the consumption to the measured share of the run.
-		share := opts.Measure.Seconds() / (opts.Warmup + opts.Measure).Seconds()
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
-			tb := bandDesign(seed, nonOrtho, dcnOn, topology.LayoutColocated, nil)
-			tb.Run(opts.Warmup, opts.Measure)
-			seconds += tb.MeasuredDuration().Seconds()
-			for _, n := range tb.Networks() {
-				totalPkts += float64(n.Stats().Received)
-				for _, node := range n.Senders {
-					totalMJ += share * node.Radio.EnergyReport().Millijoules
-				}
-				totalMJ += share * n.Sink.Radio.EnergyReport().Millijoules
+	type cellSums struct{ pkts, mj, seconds float64 }
+	// Energy meters run from t=0 but packet counters only during the
+	// measurement window; radios draw power near-uniformly, so scale
+	// the consumption to the measured share of the run.
+	share := opts.Measure.Seconds() / (opts.Warmup + opts.Measure).Seconds()
+	// Cell 0 = ZigBee design, cell 1 = DCN design.
+	grid := runGrid(opts, 2, func(cell int, seed int64) cellSums {
+		nonOrtho := cell == 1
+		tb := bandDesign(seed, nonOrtho, nonOrtho, topology.LayoutColocated, nil)
+		tb.Run(opts.Warmup, opts.Measure)
+		var c cellSums
+		c.seconds = tb.MeasuredDuration().Seconds()
+		for _, n := range tb.Networks() {
+			c.pkts += float64(n.Stats().Received)
+			for _, node := range n.Senders {
+				c.mj += share * node.Radio.EnergyReport().Millijoules
 			}
+			c.mj += share * n.Sink.Radio.EnergyReport().Millijoules
+		}
+		return c
+	})
+	aggregate := func(cells []cellSums) (throughput, mjPerPkt float64) {
+		var totalPkts, totalMJ, seconds float64
+		for _, c := range cells {
+			totalPkts += c.pkts
+			totalMJ += c.mj
+			seconds += c.seconds
 		}
 		if totalPkts == 0 {
 			return 0, 0
@@ -153,9 +158,9 @@ func EnergyComparison(opts Options) (EnergyResult, *Table) {
 	}
 
 	var res EnergyResult
-	zt, zmj := run(false, false)
+	zt, zmj := aggregate(grid[0])
 	res.Rows = append(res.Rows, EnergyRow{Design: "ZigBee (CFD=5, fixed)", Throughput: zt, MJPerDelivered: zmj})
-	dt, dmj := run(true, true)
+	dt, dmj := aggregate(grid[1])
 	res.Rows = append(res.Rows, EnergyRow{Design: "DCN (CFD=3)", Throughput: dt, MJPerDelivered: dmj})
 
 	t := &Table{
@@ -190,11 +195,12 @@ type CaseIIRecoveryResult struct {
 func CaseIIRecovery(opts Options) (CaseIIRecoveryResult, *Table) {
 	opts = opts.withDefaults()
 
-	run := func(disableCaseII bool) (throughput, threshold float64) {
-		var tput, th float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
-			tb := testbed.New(testbed.Options{Seed: seed})
+	type cellResult struct{ tput, th float64 }
+	// Cell 0 = with Case II, cell 1 = Case II ablated.
+	grid := runGrid(opts, 2, func(cell int, seed int64) cellResult {
+		disableCaseII := cell == 1
+		tb := testbed.New(testbed.Options{Seed: seed})
+		{
 			plan := evalPlan(3, 3) // observed network flanked by two neighbours
 			rng := sim.NewRNG(seed)
 			nets, err := topology.Generate(topology.Config{
@@ -233,16 +239,25 @@ func CaseIIRecovery(opts Options) (CaseIIRecoveryResult, *Table) {
 			tb.Kernel.RunFor(4 * time.Second) // T_U + settling, unmeasured
 			tb.Run(0, opts.Measure)
 
-			tput += observed.Throughput(tb.MeasuredDuration())
-			th += float64(observed.Senders[0].Radio.CCAThreshold())
+			return cellResult{
+				tput: observed.Throughput(tb.MeasuredDuration()),
+				th:   float64(observed.Senders[0].Radio.CCAThreshold()),
+			}
+		}
+	})
+	aggregate := func(cells []cellResult) (throughput, threshold float64) {
+		var tput, th float64
+		for _, c := range cells {
+			tput += c.tput
+			th += c.th
 		}
 		n := float64(opts.Seeds)
 		return tput / n, th / n
 	}
 
 	var res CaseIIRecoveryResult
-	res.WithCaseII, res.ThresholdWith = run(false)
-	res.WithoutCaseII, res.ThresholdWithout = run(true)
+	res.WithCaseII, res.ThresholdWith = aggregate(grid[0])
+	res.WithoutCaseII, res.ThresholdWithout = aggregate(grid[1])
 
 	t := &Table{
 		Title:   "Ablation: Case II recovery after a weak co-channel node departs",

@@ -34,10 +34,10 @@ type BeaconModeResult struct {
 func BeaconMode(opts Options) (BeaconModeResult, *Table) {
 	opts = opts.withDefaults()
 
-	run := func(useDCN bool) float64 {
-		var total float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
+	// Cell 0 = fixed threshold, cell 1 = DCN.
+	grid := runGrid(opts, 2, func(cell int, seed int64) float64 {
+		useDCN := cell == 1
+		{
 			k := sim.NewKernel(seed)
 			m := medium.New(k)
 			sched := beacon.Schedule{BeaconOrder: 3, SuperframeOrder: 3}
@@ -105,13 +105,12 @@ func BeaconMode(opts Options) (BeaconModeResult, *Table) {
 			for _, c := range coords {
 				after += c.Received()
 			}
-			total += float64(after-before) / opts.Measure.Seconds()
+			return float64(after-before) / opts.Measure.Seconds()
 		}
-		return total / float64(opts.Seeds)
-	}
+	})
 
-	fixed := run(false)
-	withDCN := run(true)
+	fixed := sum(grid[0]) / float64(opts.Seeds)
+	withDCN := sum(grid[1]) / float64(opts.Seeds)
 	res := BeaconModeResult{
 		Rows: []BeaconModeRow{
 			{Policy: "slotted, fixed -77 dBm", Delivered: fixed},

@@ -40,27 +40,18 @@ func caseGeometry(layout topology.Layout) (regionRadius, linkRadius float64) {
 func runCase(layout topology.Layout, opts Options) CaseResult {
 	power := topology.UniformPower(-22, 0)
 	region, link := caseGeometry(layout)
-	var zig, without, with float64
-	for s := 0; s < opts.Seeds; s++ {
-		seed := opts.Seed + int64(s)
-		z := caseDesign(seed, false, false, layout, power, region, link)
-		z.Run(opts.Warmup, opts.Measure)
-		zig += z.OverallThroughput()
-
-		wo := caseDesign(seed, true, false, layout, power, region, link)
-		wo.Run(opts.Warmup, opts.Measure)
-		without += wo.OverallThroughput()
-
-		wi := caseDesign(seed, true, true, layout, power, region, link)
-		wi.Run(opts.Warmup, opts.Measure)
-		with += wi.OverallThroughput()
-	}
+	// Cells: 0 = ZigBee, 1 = CFD 3 without DCN, 2 = CFD 3 with DCN.
+	grid := runGrid(opts, 3, func(cell int, seed int64) float64 {
+		tb := caseDesign(seed, cell >= 1, cell == 2, layout, power, region, link)
+		tb.Run(opts.Warmup, opts.Measure)
+		return tb.OverallThroughput()
+	})
 	n := float64(opts.Seeds)
 	res := CaseResult{
 		Layout:     layout,
-		ZigBee:     zig / n,
-		WithoutDCN: without / n,
-		WithDCN:    with / n,
+		ZigBee:     sum(grid[0]) / n,
+		WithoutDCN: sum(grid[1]) / n,
+		WithDCN:    sum(grid[2]) / n,
 	}
 	res.GainOverWithout = res.WithDCN/res.WithoutDCN - 1
 	res.GainOverZigBee = res.WithDCN/res.ZigBee - 1

@@ -126,11 +126,14 @@ type Fig6Result struct{ Rows []Fig6Row }
 // tolerable.
 func Fig6(opts Options) (Fig6Result, *Table) {
 	opts = opts.withDefaults()
+	ths := sweepThresholds()
+	grid := runGrid(opts, len(ths), func(cell int, seed int64) ccaSweepResultRow {
+		return ccaSweepRun(seed, ths[cell], 0, false, opts)
+	})
 	var res Fig6Result
-	for _, th := range sweepThresholds() {
+	for i, th := range ths {
 		var sent, recv float64
-		for s := 0; s < opts.Seeds; s++ {
-			row := ccaSweepRun(opts.Seed+int64(s), th, 0, false, opts)
+		for _, row := range grid[i] {
 			sent += row.SentRate
 			recv += row.RecvRate
 		}
@@ -164,13 +167,13 @@ type Fig7Result struct{ Rows []Fig7Row }
 // threshold must not degrade the neighbours, so the overall curve grows.
 func Fig7(opts Options) (Fig7Result, *Table) {
 	opts = opts.withDefaults()
+	ths := sweepThresholds()
+	grid := runGrid(opts, len(ths), func(cell int, seed int64) float64 {
+		return ccaSweepRun(seed, ths[cell], 0, false, opts).OverallRate
+	})
 	var res Fig7Result
-	for _, th := range sweepThresholds() {
-		var overall float64
-		for s := 0; s < opts.Seeds; s++ {
-			overall += ccaSweepRun(opts.Seed+int64(s), th, 0, false, opts).OverallRate
-		}
-		res.Rows = append(res.Rows, Fig7Row{Threshold: th, Overall: overall / float64(opts.Seeds)})
+	for i, th := range ths {
+		res.Rows = append(res.Rows, Fig7Row{Threshold: th, Overall: mean(grid[i])})
 	}
 	t := &Table{
 		Title:   "Fig 7: Overall throughput vs CCA threshold (no co-channel interference)",
@@ -198,11 +201,14 @@ type Fig8Result struct{ Rows []Fig8Row }
 // keeps rising.
 func Fig8(opts Options) (Fig8Result, *Table) {
 	opts = opts.withDefaults()
+	ths := sweepThresholds()
+	grid := runGrid(opts, len(ths), func(cell int, seed int64) ccaSweepResultRow {
+		return ccaSweepRun(seed, ths[cell], 0, true, opts)
+	})
 	var res Fig8Result
-	for _, th := range sweepThresholds() {
+	for i, th := range ths {
 		var sent, recv float64
-		for s := 0; s < opts.Seeds; s++ {
-			row := ccaSweepRun(opts.Seed+int64(s), th, 0, true, opts)
+		for _, row := range grid[i] {
 			sent += row.SentRate
 			recv += row.RecvRate
 		}
@@ -241,12 +247,15 @@ type Fig9Result struct{ Rows []Fig9Row }
 func Fig9and10(opts Options) (Fig9Result, *Table, *Table) {
 	opts = opts.withDefaults()
 	powers := []phy.DBm{-8, -11, -15, -22, -33}
+	ths := sweepThresholds()
+	grid := runGrid(opts, len(powers)*len(ths), func(cell int, seed int64) ccaSweepResultRow {
+		return ccaSweepRun(seed, ths[cell%len(ths)], powers[cell/len(ths)], true, opts)
+	})
 	var res Fig9Result
-	for _, p := range powers {
-		for _, th := range sweepThresholds() {
+	for pi, p := range powers {
+		for ti, th := range ths {
 			var recv, prr float64
-			for s := 0; s < opts.Seeds; s++ {
-				row := ccaSweepRun(opts.Seed+int64(s), th, p, true, opts)
+			for _, row := range grid[pi*len(ths)+ti] {
 				recv += row.RecvRate
 				prr += row.PRR
 			}

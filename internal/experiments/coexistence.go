@@ -37,45 +37,45 @@ type CoexistenceResult struct {
 func Coexistence(opts Options) (CoexistenceResult, *Table) {
 	opts = opts.withDefaults()
 
-	run := func(dcnOn, wifi bool) float64 {
-		var total float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
-			plan := evalPlan(6, 3)
-			rng := sim.NewRNG(seed)
-			nets, err := topology.Generate(topology.Config{
-				Plan:   plan,
-				Layout: topology.LayoutColocated,
-			}, rng)
-			if err != nil {
-				panic(err) // static configuration; cannot fail
-			}
-			tb := testbed.New(testbed.Options{Seed: seed})
-			scheme := testbed.SchemeFixed
-			if dcnOn {
-				scheme = testbed.SchemeDCN
-			}
-			for _, spec := range nets {
-				tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
-			}
-			if wifi {
-				// A busy Wi-Fi cell 5 m away at +15 dBm on channel 11
-				// (2462 MHz): its in-band share arrives well above the
-				// -77 dBm CCA default across the whole WSN band.
-				intf := net80211.NewInterferer(tb.Kernel, tb.Medium,
-					phy.Position{X: 5, Y: 5}, 11, 15)
-				intf.Start()
-			}
-			tb.Run(opts.Warmup, opts.Measure)
-			total += tb.OverallThroughput()
-		}
-		return total / float64(opts.Seeds)
+	// Cells: (design, Wi-Fi state) in the table's row order.
+	variants := []struct{ dcnOn, wifi bool }{
+		{false, false}, {false, true}, {true, false}, {true, true},
 	}
-
-	zigOff := run(false, false)
-	zigOn := run(false, true)
-	dcnOff := run(true, false)
-	dcnOn := run(true, true)
+	grid := runGrid(opts, len(variants), func(cell int, seed int64) float64 {
+		v := variants[cell]
+		plan := evalPlan(6, 3)
+		rng := sim.NewRNG(seed)
+		nets, err := topology.Generate(topology.Config{
+			Plan:   plan,
+			Layout: topology.LayoutColocated,
+		}, rng)
+		if err != nil {
+			panic(err) // static configuration; cannot fail
+		}
+		tb := testbed.New(testbed.Options{Seed: seed})
+		scheme := testbed.SchemeFixed
+		if v.dcnOn {
+			scheme = testbed.SchemeDCN
+		}
+		for _, spec := range nets {
+			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
+		}
+		if v.wifi {
+			// A busy Wi-Fi cell 5 m away at +15 dBm on channel 11
+			// (2462 MHz): its in-band share arrives well above the
+			// -77 dBm CCA default across the whole WSN band.
+			intf := net80211.NewInterferer(tb.Kernel, tb.Medium,
+				phy.Position{X: 5, Y: 5}, 11, 15)
+			intf.Start()
+		}
+		tb.Run(opts.Warmup, opts.Measure)
+		return tb.OverallThroughput()
+	})
+	n := float64(opts.Seeds)
+	zigOff := sum(grid[0]) / n
+	zigOn := sum(grid[1]) / n
+	dcnOff := sum(grid[2]) / n
+	dcnOn := sum(grid[3]) / n
 
 	res := CoexistenceResult{
 		Rows: []CoexistenceRow{

@@ -61,19 +61,25 @@ type Fig19Result struct {
 // configurations).
 func Fig19(opts Options) (Fig19Result, *Table) {
 	opts = opts.withDefaults()
+	type cellResult struct {
+		per   []float64
+		total float64
+	}
+	// Cell 0 = ZigBee design, cell 1 = non-orthogonal DCN design; every
+	// (design, seed) simulation runs concurrently.
+	grid := runGrid(opts, 2, func(cell int, seed int64) cellResult {
+		nonOrtho := cell == 1
+		tb := bandDesign(seed, nonOrtho, nonOrtho, topology.LayoutColocated, nil)
+		tb.Run(opts.Warmup, opts.Measure)
+		return cellResult{per: tb.PerNetworkThroughput(), total: tb.OverallThroughput()}
+	})
 	var zigRows, dcnRows [][]float64
 	var zigTotals, dcnTotals []float64
 	for s := 0; s < opts.Seeds; s++ {
-		seed := opts.Seed + int64(s)
-		z := bandDesign(seed, false, false, topology.LayoutColocated, nil)
-		z.Run(opts.Warmup, opts.Measure)
-		zigRows = append(zigRows, z.PerNetworkThroughput())
-		zigTotals = append(zigTotals, z.OverallThroughput())
-
-		d := bandDesign(seed, true, true, topology.LayoutColocated, nil)
-		d.Run(opts.Warmup, opts.Measure)
-		dcnRows = append(dcnRows, d.PerNetworkThroughput())
-		dcnTotals = append(dcnTotals, d.OverallThroughput())
+		zigRows = append(zigRows, grid[0][s].per)
+		zigTotals = append(zigTotals, grid[0][s].total)
+		dcnRows = append(dcnRows, grid[1][s].per)
+		dcnTotals = append(dcnTotals, grid[1][s].total)
 	}
 	res := Fig19Result{
 		ZigBeePerNetwork: meanRows(zigRows),
@@ -133,38 +139,45 @@ func Fig20and21(opts Options) (Fig20Result, *Table, *Table) {
 	powers := []phy.DBm{-33, -15, -6, -3, -0.6}
 	const othersPower = -0.6
 
+	type pair struct{ n0, others float64 }
+	grid := runGrid(opts, len(powers), func(cell int, seed int64) pair {
+		p := powers[cell]
+		plan := evalPlan(6, 3)
+		rng := sim.NewRNG(seed)
+		nets, err := topology.Generate(topology.Config{
+			Plan:   plan,
+			Layout: topology.LayoutColocated,
+			Power:  topology.FixedPower(othersPower),
+		}, rng)
+		if err != nil {
+			panic(err)
+		}
+		mid := plan.MiddleIndex()
+		for i := range nets[mid].Senders {
+			nets[mid].Senders[i].TxPower = p
+		}
+		nets[mid].Sink.TxPower = p
+		tb := testbed.New(testbed.Options{Seed: seed})
+		for _, spec := range nets {
+			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeDCN})
+		}
+		tb.Run(opts.Warmup, opts.Measure)
+		per := tb.PerNetworkThroughput()
+		out := pair{n0: per[mid]}
+		for i, v := range per {
+			if i != mid {
+				out.others += v
+			}
+		}
+		return out
+	})
+
 	var res Fig20Result
-	for _, p := range powers {
+	for i, p := range powers {
 		var n0, others float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
-			plan := evalPlan(6, 3)
-			rng := sim.NewRNG(seed)
-			nets, err := topology.Generate(topology.Config{
-				Plan:   plan,
-				Layout: topology.LayoutColocated,
-				Power:  topology.FixedPower(othersPower),
-			}, rng)
-			if err != nil {
-				panic(err)
-			}
-			mid := plan.MiddleIndex()
-			for i := range nets[mid].Senders {
-				nets[mid].Senders[i].TxPower = p
-			}
-			nets[mid].Sink.TxPower = p
-			tb := testbed.New(testbed.Options{Seed: seed})
-			for _, spec := range nets {
-				tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeDCN})
-			}
-			tb.Run(opts.Warmup, opts.Measure)
-			per := tb.PerNetworkThroughput()
-			n0 += per[mid]
-			for i, v := range per {
-				if i != mid {
-					others += v
-				}
-			}
+		for _, c := range grid[i] {
+			n0 += c.n0
+			others += c.others
 		}
 		res.Rows = append(res.Rows, Fig20Row{
 			Power:  p,
@@ -203,12 +216,11 @@ type TableIResult struct {
 // most inter-channel interference.
 func TableI(opts Options) (TableIResult, *Table) {
 	opts = opts.withDefaults()
-	var rows [][]float64
-	for s := 0; s < opts.Seeds; s++ {
-		tb := bandDesign(opts.Seed+int64(s), true, true, topology.LayoutColocated, nil)
+	rows := runSeeds(opts, func(seed int64) []float64 {
+		tb := bandDesign(seed, true, true, topology.LayoutColocated, nil)
 		tb.Run(opts.Warmup, opts.Measure)
-		rows = append(rows, tb.PerNetworkThroughput())
-	}
+		return tb.PerNetworkThroughput()
+	})
 	res := TableIResult{PerNetwork: meanRows(rows)}
 	res.Spread = stats.Spread(res.PerNetwork)
 	res.Jain = stats.JainIndex(res.PerNetwork)

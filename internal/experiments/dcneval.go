@@ -35,15 +35,28 @@ func fiveNetworks(seed int64, cfd phy.MHz, dcnOn func(i int) bool, opts Options)
 // five-network strip.
 const middleIndex = 2
 
-// runFiveNetworks measures per-network throughput averaged over seeds.
-func runFiveNetworks(cfd phy.MHz, dcnOn func(i int) bool, opts Options) []float64 {
-	var rows [][]float64
-	for s := 0; s < opts.Seeds; s++ {
-		tb := fiveNetworks(opts.Seed+int64(s), cfd, dcnOn, opts)
+// fiveNetsVariant is one (CFD, scheme-assignment) configuration of the
+// five-network evaluation.
+type fiveNetsVariant struct {
+	cfd   phy.MHz
+	dcnOn func(i int) bool
+}
+
+// runFiveNetworksSet measures per-network throughput for every variant,
+// averaged over seeds, fanning all variant×seed simulations across the
+// worker pool in one grid.
+func runFiveNetworksSet(variants []fiveNetsVariant, opts Options) [][]float64 {
+	grid := runGrid(opts, len(variants), func(cell int, seed int64) []float64 {
+		v := variants[cell]
+		tb := fiveNetworks(seed, v.cfd, v.dcnOn, opts)
 		tb.Run(opts.Warmup, opts.Measure)
-		rows = append(rows, tb.PerNetworkThroughput())
+		return tb.PerNetworkThroughput()
+	})
+	out := make([][]float64, len(variants))
+	for i := range variants {
+		out[i] = meanRows(grid[i])
 	}
-	return meanRows(rows)
+	return out
 }
 
 // Fig14Row compares N0's throughput with and without DCN at one CFD.
@@ -64,10 +77,13 @@ type Fig14Result struct{ Rows []Fig14Row }
 // lose a little (~5 %) to the extra concurrency.
 func Fig14and15(opts Options) (Fig14Result, *Table, *Table) {
 	opts = opts.withDefaults()
+	onN0 := func(i int) bool { return i == middleIndex }
+	per := runFiveNetworksSet([]fiveNetsVariant{
+		{2, nil}, {2, onN0}, {3, nil}, {3, onN0},
+	}, opts)
 	var res Fig14Result
-	for _, cfd := range []phy.MHz{2, 3} {
-		baseline := runFiveNetworks(cfd, nil, opts)
-		dcnOnN0 := runFiveNetworks(cfd, func(i int) bool { return i == middleIndex }, opts)
+	for ci, cfd := range []phy.MHz{2, 3} {
+		baseline, dcnOnN0 := per[2*ci], per[2*ci+1]
 		row := Fig14Row{
 			CFD:       cfd,
 			N0Without: baseline[middleIndex],
@@ -113,8 +129,10 @@ type Fig16Result struct {
 
 // figAllNetworks runs the DCN-on-all-networks comparison at one CFD.
 func figAllNetworks(cfd phy.MHz, opts Options) Fig16Result {
-	baseline := runFiveNetworks(cfd, nil, opts)
-	withDCN := runFiveNetworks(cfd, func(int) bool { return true }, opts)
+	per := runFiveNetworksSet([]fiveNetsVariant{
+		{cfd, nil}, {cfd, func(int) bool { return true }},
+	}, opts)
+	baseline, withDCN := per[0], per[1]
 	res := Fig16Result{CFD: cfd}
 	for i := range baseline {
 		res.Rows = append(res.Rows, Fig16Row{
@@ -170,10 +188,13 @@ type Fig18Result struct{ Rows []Fig18Row }
 // CFD = 3 MHz for the non-orthogonal design.
 func Fig18(opts Options) (Fig18Result, *Table) {
 	opts = opts.withDefaults()
+	all := func(int) bool { return true }
+	per := runFiveNetworksSet([]fiveNetsVariant{
+		{2, nil}, {2, all}, {3, nil}, {3, all},
+	}, opts)
 	var res Fig18Result
-	for _, cfd := range []phy.MHz{2, 3} {
-		baseline := runFiveNetworks(cfd, nil, opts)
-		withDCN := runFiveNetworks(cfd, func(int) bool { return true }, opts)
+	for ci, cfd := range []phy.MHz{2, 3} {
+		baseline, withDCN := per[2*ci], per[2*ci+1]
 		var wo, wi float64
 		for i := range baseline {
 			wo += baseline[i]

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// Worker-count independence: every experiment's rendered table must be
+// byte-identical no matter how many workers run the grid. Each cell owns
+// its kernel, medium, and RNG streams, and the drivers aggregate in
+// cell-index order after the join, so the schedule of workers must not be
+// observable in the output.
+func determinismOpts(seed int64) Options {
+	return Options{
+		Seed:    seed,
+		Seeds:   3,
+		Warmup:  1 * time.Second,
+		Measure: 1 * time.Second,
+	}
+}
+
+func assertWorkerInvariant(t *testing.T, name string, run func(Options) string) {
+	t.Helper()
+	for _, seed := range []int64{1, 7, 42} {
+		serial := determinismOpts(seed)
+		serial.Workers = 1
+		fanned := determinismOpts(seed)
+		fanned.Workers = 8
+		got1 := run(serial)
+		got8 := run(fanned)
+		if got1 != got8 {
+			t.Errorf("%s seed %d: Workers=1 and Workers=8 outputs differ\n--- Workers=1 ---\n%s\n--- Workers=8 ---\n%s",
+				name, seed, got1, got8)
+		}
+	}
+}
+
+func TestFig19WorkerCountInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "Fig19", func(o Options) string {
+		_, tbl := Fig19(o)
+		return tbl.String()
+	})
+}
+
+func TestFig16WorkerCountInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "Fig16", func(o Options) string {
+		_, tbl := Fig16(o)
+		return tbl.String()
+	})
+}
+
+func TestFaultEvalWorkerCountInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "FaultEval", func(o Options) string {
+		_, tbl := FaultEval(o)
+		return tbl.String()
+	})
+}
+
+func TestTableIWorkerCountInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "TableI", func(o Options) string {
+		_, tbl := TableI(o)
+		return tbl.String()
+	})
+}
+
+// BenchmarkFig19 measures the headline comparison end to end. Run it at
+// contrasting worker counts to see the parallel engine's speedup:
+//
+//	go test ./internal/experiments -bench=Fig19 -benchtime=3x
+func BenchmarkFig19(b *testing.B) {
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			opts := determinismOpts(1)
+			opts.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Fig19(opts)
+			}
+		}
+	}
+	b.Run("workers=1", bench(1))
+	b.Run("workers=4", bench(4))
+}

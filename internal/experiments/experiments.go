@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"nonortho/internal/parallel"
 	"nonortho/internal/phy"
 )
 
@@ -27,6 +28,13 @@ type Options struct {
 	Warmup time.Duration
 	// Measure is the measurement window per run (default 8 s).
 	Measure time.Duration
+	// Workers bounds the number of simulation cells run concurrently.
+	// Zero means one worker per logical CPU; 1 runs everything inline.
+	// Results are independent of the worker count: every cell builds its
+	// own kernel, medium and testbed, and all aggregation happens after
+	// the join in cell-index order, so output is bit-identical at any
+	// setting.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +57,45 @@ func (o Options) withDefaults() Options {
 // windows) — used by benchmarks and smoke tests.
 func Quick() Options {
 	return Options{Seed: 1, Seeds: 1, Warmup: 2 * time.Second, Measure: 3 * time.Second}
+}
+
+// workerCount resolves Workers to a concrete pool size.
+func (o Options) workerCount() int {
+	if o.Workers <= 0 {
+		return parallel.DefaultWorkers()
+	}
+	return o.Workers
+}
+
+// runSeeds evaluates run once per seed (opts.Seed+i) across the worker
+// pool and returns the results in seed order. run must be self-contained:
+// it builds its own kernel/medium/testbed from the seed and touches no
+// shared mutable state.
+func runSeeds[T any](opts Options, run func(seed int64) T) []T {
+	return parallel.Run(opts.workerCount(), opts.Seeds, func(i int) T {
+		return run(opts.Seed + int64(i))
+	})
+}
+
+// runGrid evaluates run for every (cell, seed) pair of a cells×Seeds grid
+// across the worker pool and returns results as [cell][seed], both in
+// order. This is the workhorse of the sweep-style drivers: each parameter
+// value × seed is an independent simulation.
+func runGrid[T any](opts Options, cells int, run func(cell int, seed int64) T) [][]T {
+	flat := parallel.Run(opts.workerCount(), cells*opts.Seeds, func(i int) T {
+		return run(i/opts.Seeds, opts.Seed+int64(i%opts.Seeds))
+	})
+	out := make([][]T, cells)
+	for c := 0; c < cells; c++ {
+		out[c] = flat[c*opts.Seeds : (c+1)*opts.Seeds]
+	}
+	return out
+}
+
+// runCells evaluates run once per cell with no per-seed fan-out, for
+// drivers whose cells iterate seeds internally or have none.
+func runCells[T any](opts Options, cells int, run func(cell int) T) []T {
+	return parallel.Run(opts.workerCount(), cells, run)
 }
 
 // Table is a printable experiment result.
@@ -121,6 +168,15 @@ func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
 // pct formats a ratio as a percentage.
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// sum totals a slice.
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
 
 // mean averages a slice.
 func mean(xs []float64) float64 {

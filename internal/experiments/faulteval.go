@@ -191,12 +191,16 @@ func faultRun(seed int64, fs faultScheme, model FaultModel, opts Options) FaultR
 // most of the fault-free DCN throughput.
 func FaultEval(opts Options) (FaultEvalResult, *Table) {
 	opts = opts.withDefaults()
+	models := FaultModels()
+	schemes := faultSchemes()
+	grid := runGrid(opts, len(models)*len(schemes), func(cell int, seed int64) FaultRow {
+		return faultRun(seed, schemes[cell%len(schemes)], models[cell/len(schemes)], opts)
+	})
 	var res FaultEvalResult
-	for _, model := range FaultModels() {
-		for _, fs := range faultSchemes() {
+	for mi, model := range models {
+		for si, fs := range schemes {
 			var acc FaultRow
-			for s := 0; s < opts.Seeds; s++ {
-				r := faultRun(opts.Seed+int64(s), fs, model, opts)
+			for _, r := range grid[mi*len(schemes)+si] {
 				acc.Overall += r.Overall
 				acc.Target += r.Target
 				acc.Recoveries += r.Recoveries

@@ -43,9 +43,12 @@ type LPLResult struct {
 func LPL(opts Options) (LPLResult, *Table) {
 	opts = opts.withDefaults()
 
+	type seedResult struct {
+		delivered         int
+		falsePerS, mjPerS float64
+	}
 	run := func(threshold phy.DBm) (delivered int, falsePerS, mjPerS float64) {
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
+		cells := runSeeds(opts, func(seed int64) seedResult {
 			k := sim.NewKernel(seed)
 			m := medium.New(k)
 
@@ -80,10 +83,17 @@ func LPL(opts Options) (LPLResult, *Table) {
 			k.NewTicker(time.Second, func() { snd.Send(2, make([]byte, 32)) })
 
 			k.RunFor(opts.Warmup + opts.Measure)
-			delivered += rcv.Received()
 			secs := (opts.Warmup + opts.Measure).Seconds()
-			falsePerS += float64(rcv.FalseWakeups()) / secs
-			mjPerS += rcv.Radio().EnergyReport().Millijoules / secs
+			return seedResult{
+				delivered: rcv.Received(),
+				falsePerS: float64(rcv.FalseWakeups()) / secs,
+				mjPerS:    rcv.Radio().EnergyReport().Millijoules / secs,
+			}
+		})
+		for _, c := range cells {
+			delivered += c.delivered
+			falsePerS += c.falsePerS
+			mjPerS += c.mjPerS
 		}
 		n := float64(opts.Seeds)
 		return delivered, falsePerS / n, mjPerS / n

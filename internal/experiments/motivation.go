@@ -36,28 +36,28 @@ func Fig1(opts Options) (Fig1Result, *Table) {
 		n   int
 	}{{9, 1}, {5, 2}, {4, 3}, {3, 4}, {2, 6}}
 
-	var res Fig1Result
-	for _, c := range cases {
-		var perSeed [][]float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
-			plan := evalPlan(c.n, c.cfd)
-			rng := sim.NewRNG(seed)
-			nets, err := topology.Generate(topology.Config{
-				Plan:   plan,
-				Layout: topology.LayoutColocated,
-			}, rng)
-			if err != nil {
-				panic(err) // static config; cannot fail
-			}
-			tb := testbed.New(testbed.Options{Seed: seed})
-			for _, spec := range nets {
-				tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeFixed})
-			}
-			tb.Run(opts.Warmup, opts.Measure)
-			perSeed = append(perSeed, tb.PerNetworkThroughput())
+	grid := runGrid(opts, len(cases), func(cell int, seed int64) []float64 {
+		c := cases[cell]
+		plan := evalPlan(c.n, c.cfd)
+		rng := sim.NewRNG(seed)
+		nets, err := topology.Generate(topology.Config{
+			Plan:   plan,
+			Layout: topology.LayoutColocated,
+		}, rng)
+		if err != nil {
+			panic(err) // static config; cannot fail
 		}
-		per := meanRows(perSeed)
+		tb := testbed.New(testbed.Options{Seed: seed})
+		for _, spec := range nets {
+			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeFixed})
+		}
+		tb.Run(opts.Warmup, opts.Measure)
+		return tb.PerNetworkThroughput()
+	})
+
+	var res Fig1Result
+	for i, c := range cases {
+		per := meanRows(grid[i])
 		total := 0.0
 		for _, v := range per {
 			total += v
@@ -103,13 +103,20 @@ type Fig2Result struct {
 func Fig2(opts Options) (Fig2Result, *Table) {
 	opts = opts.withDefaults()
 
+	type pair struct{ wifi, wpan float64 }
+	grid := runGrid(opts, 11, func(sep int, seed int64) pair {
+		return pair{
+			wifi: wifiPairThroughput(seed, sep, opts) / wifiPairThroughput(seed+1000, 99, opts),
+			wpan: wpanPairThroughput(seed, sep, opts) / wpanPairThroughput(seed+1000, 99, opts),
+		}
+	})
+
 	var res Fig2Result
 	for sep := 0; sep <= 10; sep++ {
 		var wifi, wpan float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
-			wifi += wifiPairThroughput(seed, sep, opts) / wifiPairThroughput(seed+1000, 99, opts)
-			wpan += wpanPairThroughput(seed, sep, opts) / wpanPairThroughput(seed+1000, 99, opts)
+		for _, p := range grid[sep] {
+			wifi += p.wifi
+			wpan += p.wpan
 		}
 		res.Rows = append(res.Rows, Fig2Row{
 			ChannelSep: sep,
@@ -191,14 +198,19 @@ type Fig4Result struct {
 func Fig4(opts Options) (Fig4Result, *Table) {
 	opts = opts.withDefaults()
 
+	cfds := []phy.MHz{5, 4, 3, 2, 1}
+	type pair struct{ normal, attacker float64 }
+	grid := runGrid(opts, len(cfds), func(cell int, seed int64) pair {
+		n, a := cprrRun(seed, cfds[cell], opts)
+		return pair{normal: n, attacker: a}
+	})
+
 	var res Fig4Result
-	for _, cfd := range []phy.MHz{5, 4, 3, 2, 1} {
+	for i, cfd := range cfds {
 		var normal, attacker float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
-			n, a := cprrRun(seed, cfd, opts)
-			normal += n
-			attacker += a
+		for _, p := range grid[i] {
+			normal += p.normal
+			attacker += p.attacker
 		}
 		res.Rows = append(res.Rows, Fig4Row{
 			CFD:          cfd,

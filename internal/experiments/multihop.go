@@ -83,10 +83,8 @@ func multihopTreeLayout(cluster int) (pos []phy.Position, root int) {
 
 func multihopRun(opts Options, useDCN bool) MultihopRow {
 	const trees = 6
-	var delivered, generated, hopsW float64
-	var seconds float64
-	for s := 0; s < opts.Seeds; s++ {
-		seed := opts.Seed + int64(s)
+	type seedSums struct{ delivered, generated, hopsW, seconds float64 }
+	cells := runSeeds(opts, func(seed int64) seedSums {
 		k := sim.NewKernel(seed)
 		m := medium.New(k)
 
@@ -147,12 +145,21 @@ func multihopRun(opts Options, useDCN bool) MultihopRow {
 		}
 		k.RunUntil(sim.FromDuration(opts.Warmup + opts.Measure))
 
-		seconds += opts.Measure.Seconds()
+		var s seedSums
+		s.seconds = opts.Measure.Seconds()
 		for _, c := range collectors {
-			delivered += float64(c.Delivered())
-			generated += float64(c.Generated())
-			hopsW += c.MeanHops() * float64(c.Delivered())
+			s.delivered += float64(c.Delivered())
+			s.generated += float64(c.Generated())
+			s.hopsW += c.MeanHops() * float64(c.Delivered())
 		}
+		return s
+	})
+	var delivered, generated, hopsW, seconds float64
+	for _, s := range cells {
+		delivered += s.delivered
+		generated += s.generated
+		hopsW += s.hopsW
+		seconds += s.seconds
 	}
 	row := MultihopRow{}
 	if seconds > 0 {

@@ -28,11 +28,16 @@ type Fig28Result struct {
 // curve.
 func Fig28(opts Options) (Fig28Result, *Table) {
 	opts = opts.withDefaults()
+	ths := sweepThresholds()
+	grid := runGrid(opts, len(ths), func(cell int, seed int64) ccaSweepResultRow {
+		return ccaSweepRun(seed, ths[cell], -22, false, opts)
+	})
 	var res Fig28Result
-	for _, th := range sweepThresholds() {
+	for i, th := range ths {
 		var sent, recv, recov float64
-		for s := 0; s < opts.Seeds; s++ {
-			row := ccaSweepRun(opts.Seed+int64(s), th, -22, false, opts)
+		// ErrFractions keeps the (threshold, seed) pooling order Fig29
+		// consumes.
+		for _, row := range grid[i] {
 			sent += row.SentRate
 			recv += row.RecvRate
 			recov += row.RecoverableRate

@@ -41,48 +41,52 @@ func Scarcity(opts Options) (ScarcityResult, *Table) {
 
 	orthogonal := []phy.MHz{2458, 2463, 2468, 2473} // 4 channels at CFD=5
 
-	run := func(assignFn func(m assign.CouplingMatrix, nets []topology.NetworkSpec) assign.Assignment, dcnInstead bool) float64 {
-		var total float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
-			rng := sim.NewRNG(seed)
-			// Six network clusters; the plan's frequencies are
-			// placeholders that the assignment rewrites.
-			nets, err := topology.Generate(topology.Config{
-				Plan:   evalPlan(6, 3),
-				Layout: topology.LayoutColocated,
-			}, rng)
-			if err != nil {
-				panic(err) // static configuration; cannot fail
-			}
-			scheme := testbed.SchemeFixed
-			if dcnInstead {
-				scheme = testbed.SchemeDCN
-			} else {
-				m := assign.Coupling(nets, phy.DefaultPathLoss())
-				a := assignFn(m, nets)
-				nets, err = assign.Apply(nets, a, orthogonal)
-				if err != nil {
-					panic(err)
-				}
-			}
-			tb := testbed.New(testbed.Options{Seed: seed})
-			for _, spec := range nets {
-				tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
-			}
-			tb.Run(opts.Warmup, opts.Measure)
-			total += tb.OverallThroughput()
-		}
-		return total / float64(opts.Seeds)
+	type strategy struct {
+		assignFn   func(m assign.CouplingMatrix, nets []topology.NetworkSpec) assign.Assignment
+		dcnInstead bool
 	}
-
-	rr := run(func(m assign.CouplingMatrix, nets []topology.NetworkSpec) assign.Assignment {
-		return assign.RoundRobin(len(nets), len(orthogonal))
-	}, false)
-	greedy := run(func(m assign.CouplingMatrix, nets []topology.NetworkSpec) assign.Assignment {
-		return assign.Greedy(m, len(orthogonal))
-	}, false)
-	dcnTotal := run(nil, true)
+	strategies := []strategy{
+		{assignFn: func(m assign.CouplingMatrix, nets []topology.NetworkSpec) assign.Assignment {
+			return assign.RoundRobin(len(nets), len(orthogonal))
+		}},
+		{assignFn: func(m assign.CouplingMatrix, nets []topology.NetworkSpec) assign.Assignment {
+			return assign.Greedy(m, len(orthogonal))
+		}},
+		{dcnInstead: true},
+	}
+	grid := runGrid(opts, len(strategies), func(cell int, seed int64) float64 {
+		st := strategies[cell]
+		rng := sim.NewRNG(seed)
+		// Six network clusters; the plan's frequencies are
+		// placeholders that the assignment rewrites.
+		nets, err := topology.Generate(topology.Config{
+			Plan:   evalPlan(6, 3),
+			Layout: topology.LayoutColocated,
+		}, rng)
+		if err != nil {
+			panic(err) // static configuration; cannot fail
+		}
+		scheme := testbed.SchemeFixed
+		if st.dcnInstead {
+			scheme = testbed.SchemeDCN
+		} else {
+			m := assign.Coupling(nets, phy.DefaultPathLoss())
+			a := st.assignFn(m, nets)
+			nets, err = assign.Apply(nets, a, orthogonal)
+			if err != nil {
+				panic(err)
+			}
+		}
+		tb := testbed.New(testbed.Options{Seed: seed})
+		for _, spec := range nets {
+			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
+		}
+		tb.Run(opts.Warmup, opts.Measure)
+		return tb.OverallThroughput()
+	})
+	rr := sum(grid[0]) / float64(opts.Seeds)
+	greedy := sum(grid[1]) / float64(opts.Seeds)
+	dcnTotal := sum(grid[2]) / float64(opts.Seeds)
 
 	best := greedy
 	if rr > best {

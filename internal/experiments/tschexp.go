@@ -35,10 +35,9 @@ type TSCHResult struct {
 func TSCH(opts Options) (TSCHResult, *Table) {
 	opts = opts.withDefaults()
 
+	type seedSums struct{ delivered, generated float64 }
 	run := func(hops []phy.MHz, offsets []int) (rate, ratio float64) {
-		var delivered, generated float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
+		cells := runSeeds(opts, func(seed int64) seedSums {
 			k := sim.NewKernel(seed)
 			m := medium.New(k)
 
@@ -89,8 +88,15 @@ func TSCH(opts Options) (TSCHResult, *Table) {
 				sentNow += senders[i].Sent()
 				recvNow += receivers[i].Received()
 			}
-			delivered += float64(recvNow - recvBase)
-			generated += float64(sentNow - sentBase)
+			return seedSums{
+				delivered: float64(recvNow - recvBase),
+				generated: float64(sentNow - sentBase),
+			}
+		})
+		var delivered, generated float64
+		for _, c := range cells {
+			delivered += c.delivered
+			generated += c.generated
 		}
 		secs := float64(opts.Seeds) * opts.Measure.Seconds()
 		if generated == 0 {

@@ -45,10 +45,26 @@ type UpperBoundResult struct {
 func UpperBound(opts Options) (UpperBoundResult, *Table) {
 	opts = opts.withDefaults()
 
-	run := func(scheme testbed.Scheme, sparse bool) float64 {
-		var total float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
+	policies := []struct {
+		name   string
+		scheme testbed.Scheme
+	}{
+		{"fixed -77 dBm", testbed.SchemeFixed},
+		{"DCN", testbed.SchemeDCN},
+		{"oracle", testbed.SchemeOracle},
+	}
+	geometries := []struct {
+		name   string
+		sparse bool
+	}{
+		{"dense, 0 dBm", false},
+		{"Case III, random power", true},
+	}
+	// Cells: geometry-major, policy-minor — the table's row order.
+	grid := runGrid(opts, len(geometries)*len(policies), func(cell int, seed int64) float64 {
+		scheme := policies[cell%len(policies)].scheme
+		sparse := geometries[cell/len(policies)].sparse
+		{
 			plan := evalPlan(6, 3)
 			rng := sim.NewRNG(seed)
 			cfg := topology.Config{Plan: plan, Layout: topology.LayoutColocated}
@@ -71,30 +87,15 @@ func UpperBound(opts Options) (UpperBoundResult, *Table) {
 				tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
 			}
 			tb.Run(opts.Warmup, opts.Measure)
-			total += tb.OverallThroughput()
+			return tb.OverallThroughput()
 		}
-		return total / float64(opts.Seeds)
-	}
+	})
 
 	var res UpperBoundResult
-	geometries := []struct {
-		name   string
-		sparse bool
-	}{
-		{"dense, 0 dBm", false},
-		{"Case III, random power", true},
-	}
 	totals := map[[2]string]float64{}
-	for _, g := range geometries {
-		for _, p := range []struct {
-			name   string
-			scheme testbed.Scheme
-		}{
-			{"fixed -77 dBm", testbed.SchemeFixed},
-			{"DCN", testbed.SchemeDCN},
-			{"oracle", testbed.SchemeOracle},
-		} {
-			total := run(p.scheme, g.sparse)
+	for gi, g := range geometries {
+		for pi, p := range policies {
+			total := sum(grid[gi*len(policies)+pi]) / float64(opts.Seeds)
 			totals[[2]string{g.name, p.name}] = total
 			res.Rows = append(res.Rows, UpperBoundRow{Geometry: g.name, Policy: p.name, Total: total})
 		}

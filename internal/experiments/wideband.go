@@ -88,35 +88,30 @@ func BandSweep(opts Options) (BandSweepResult, *Table) {
 }
 
 func widebandRun(nChannels int, opts Options) Fig30Result {
-	run := func(dcnEnabled bool) []float64 {
-		var rows [][]float64
-		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.Seed + int64(s)
-			plan := evalPlan(nChannels, 3)
-			rng := sim.NewRNG(seed)
-			nets, err := topology.Generate(topology.Config{
-				Plan:   plan,
-				Layout: topology.LayoutColocated,
-			}, rng)
-			if err != nil {
-				panic(err) // static configuration; cannot fail
-			}
-			tb := testbed.New(testbed.Options{Seed: seed})
-			scheme := testbed.SchemeFixed
-			if dcnEnabled {
-				scheme = testbed.SchemeDCN
-			}
-			for _, spec := range nets {
-				tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
-			}
-			tb.Run(opts.Warmup, opts.Measure)
-			rows = append(rows, tb.PerNetworkThroughput())
+	// Cell 0 = fixed threshold, cell 1 = DCN.
+	grid := runGrid(opts, 2, func(cell int, seed int64) []float64 {
+		plan := evalPlan(nChannels, 3)
+		rng := sim.NewRNG(seed)
+		nets, err := topology.Generate(topology.Config{
+			Plan:   plan,
+			Layout: topology.LayoutColocated,
+		}, rng)
+		if err != nil {
+			panic(err) // static configuration; cannot fail
 		}
-		return meanRows(rows)
-	}
-
-	without := run(false)
-	with := run(true)
+		tb := testbed.New(testbed.Options{Seed: seed})
+		scheme := testbed.SchemeFixed
+		if cell == 1 {
+			scheme = testbed.SchemeDCN
+		}
+		for _, spec := range nets {
+			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
+		}
+		tb.Run(opts.Warmup, opts.Measure)
+		return tb.PerNetworkThroughput()
+	})
+	without := meanRows(grid[0])
+	with := meanRows(grid[1])
 	res := Fig30Result{}
 	for i := range without {
 		res.Rows = append(res.Rows, Fig30Row{

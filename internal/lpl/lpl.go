@@ -50,7 +50,7 @@ type Receiver struct {
 	received     int
 
 	awake   bool
-	pending *sim.Event
+	pending sim.Event
 
 	// OnReceive delivers data frames addressed to this node.
 	OnReceive func(radio.Reception)
@@ -116,10 +116,8 @@ func (rx *Receiver) sample() {
 
 func (rx *Receiver) sleep() {
 	rx.awake = false
-	if rx.pending != nil {
-		rx.kernel.Cancel(rx.pending)
-		rx.pending = nil
-	}
+	rx.kernel.Cancel(rx.pending)
+	rx.pending = sim.Event{}
 	rx.radio.SetOff()
 }
 
@@ -130,9 +128,7 @@ func (rx *Receiver) handle(rcv radio.Reception) {
 	}
 	if isStrobe(rcv.Frame) {
 		// A strobe for us: extend the awake window until the data frame.
-		if rx.pending != nil {
-			rx.kernel.Cancel(rx.pending)
-		}
+		rx.kernel.Cancel(rx.pending)
 		rx.pending = rx.kernel.After(3*wakeListen, func() {
 			rx.falseWakeups++
 			rx.sleep()

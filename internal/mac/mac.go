@@ -138,7 +138,7 @@ type MAC struct {
 	// pending ACK state
 	awaitingAck bool
 	ackSeq      uint8
-	ackTimer    *sim.Event
+	ackTimer    sim.Event
 	retries     int
 
 	// OnReceive delivers CRC-clean frames addressed to this node (or

@@ -1,0 +1,84 @@
+package medium
+
+import (
+	"testing"
+
+	"nonortho/internal/frame"
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+// BenchmarkSensedPowerDense measures the CCA hot path on a dense 35-node
+// topology with several concurrent transmissions on neighbouring channels —
+// the landscape every carrier-sense sample integrates in the paper's
+// five-network experiments. The link-budget and per-transmission caches
+// make the steady-state sample alloc-free and skip the per-term
+// log-domain conversions.
+func BenchmarkSensedPowerDense(b *testing.B) {
+	k := sim.NewKernel(1)
+	m := New(k)
+	const nodes = 35
+	ids := make([]int, nodes)
+	probes := make([]*probe, nodes)
+	for i := 0; i < nodes; i++ {
+		p := &probe{pos: phy.Position{X: float64(i%7) * 3, Y: float64(i/7) * 3}}
+		probes[i] = p
+		ids[i] = m.Attach(p)
+	}
+	freqs := []phy.MHz{2460, 2461, 2463, 2465, 2467}
+	f := &frame.Frame{Type: frame.TypeData, Payload: make([]byte, 64)}
+	var active []*Transmission
+	startBatch := func() {
+		active = active[:0]
+		for j := 0; j < 5; j++ {
+			src := j * 7
+			active = append(active, m.Transmit(ids[src], probes[src].pos, 0, freqs[j], f))
+		}
+	}
+	startBatch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Periodic transmission churn so the benchmark also pays the
+		// cache-warming cost, as a live network does.
+		if i%4096 == 4095 {
+			b.StopTimer()
+			k.Run() // drain the old batch
+			startBatch()
+			b.StartTimer()
+		}
+		listener := ids[(i*11)%nodes]
+		_ = m.SensedPower(listener, freqs[i%len(freqs)], nil)
+	}
+}
+
+// BenchmarkInterferenceDense measures SINR integration over the same dense
+// landscape: the per-segment interference sum a receiver evaluates every
+// time the on-air set changes during a reception.
+func BenchmarkInterferenceDense(b *testing.B) {
+	k := sim.NewKernel(1)
+	m := New(k)
+	const nodes = 35
+	ids := make([]int, nodes)
+	probes := make([]*probe, nodes)
+	for i := 0; i < nodes; i++ {
+		p := &probe{pos: phy.Position{X: float64(i%7) * 3, Y: float64(i/7) * 3}}
+		probes[i] = p
+		ids[i] = m.Attach(p)
+	}
+	freqs := []phy.MHz{2460, 2461, 2463, 2465, 2467}
+	f := &frame.Frame{Type: frame.TypeData, Payload: make([]byte, 64)}
+	var wanted *Transmission
+	for j := 0; j < 5; j++ {
+		src := j * 7
+		tx := m.Transmit(ids[src], probes[src].pos, 0, freqs[j], f)
+		if j == 0 {
+			wanted = tx
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Interference(wanted, ids[(i*13)%nodes], 2460)
+	}
+}

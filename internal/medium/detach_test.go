@@ -82,6 +82,52 @@ func TestDetachedListenerSensesNothing(t *testing.T) {
 	}
 }
 
+// TestDetachDropsCachedLinkBudgets is the stale-cache regression test: a
+// listener that warmed the link-budget and per-transmission caches, then
+// detached mid-flight, must measure Silent — not a cached real power — and
+// the remaining listeners' cached values must be untouched.
+func TestDetachDropsCachedLinkBudgets(t *testing.T) {
+	_, m := newTestMedium(t)
+	src := &probe{pos: phy.Position{X: 0}}
+	gone := &probe{pos: phy.Position{X: 1}}
+	stay := &probe{pos: phy.Position{X: 2}}
+	srcID := m.Attach(src)
+	goneID := m.Attach(gone)
+	stayID := m.Attach(stay)
+
+	tx := m.Transmit(srcID, src.pos, 0, 2460, &frame.Frame{Type: frame.TypeData, Payload: make([]byte, 64)})
+
+	// Warm every cache layer: link budgets, fading draws and mW slots.
+	_ = m.SensedPower(goneID, 2460, nil)
+	stayBefore := m.SensedPower(stayID, 2460, nil)
+	if got := m.SensedPower(goneID, 2460, nil); got <= phy.Silent {
+		t.Fatalf("attached listener sensed %v, want real power", got)
+	}
+
+	m.Detach(goneID)
+
+	for key := range m.links {
+		if key.listener == goneID {
+			t.Fatalf("link-budget row for detached listener %d survived Detach", goneID)
+		}
+	}
+	if tx.perL[goneID] != (txListenerCache{}) {
+		t.Fatalf("in-flight transmission kept a cache slot for detached listener: %+v", tx.perL[goneID])
+	}
+	if got := m.SensedPower(goneID, 2460, nil); got != phy.Silent {
+		t.Fatalf("SensedPower at detached listener = %v, want Silent", got)
+	}
+	if got := m.RxPower(tx, goneID); got != phy.Silent {
+		t.Fatalf("RxPower at detached listener = %v, want Silent", got)
+	}
+	if got := m.Interference(tx, goneID, 2460); got != phy.Silent {
+		t.Fatalf("Interference at detached listener = %v, want Silent", got)
+	}
+	if got := m.SensedPower(stayID, 2460, nil); got != stayBefore {
+		t.Fatalf("remaining listener's sensed power drifted after Detach: %v, was %v", got, stayBefore)
+	}
+}
+
 // probe is a minimal listener counting notifications.
 type probe struct {
 	pos    phy.Position

@@ -43,6 +43,26 @@ type Transmission struct {
 	Frame *frame.Frame
 	// Start and End bound the on-air interval.
 	Start, End sim.Time
+
+	// perL caches per-listener quantities that are constant for the
+	// lifetime of the transmission (fading draw, received and in-channel
+	// power in milliwatts), indexed by listener ID. Lazily sized; dies
+	// with the transmission.
+	perL []txListenerCache
+}
+
+// txListenerCache holds one listener's memoized view of a transmission.
+// Everything here is a pure function of state frozen at Transmit time
+// (positions, powers, frequencies, the per-pair fading draws), so caching
+// is exact: the cached value is bit-identical to recomputation.
+type txListenerCache struct {
+	fade    float64 // per-transmission fading draw, dB
+	rxMW    float64 // RxPower in milliwatts
+	inMW    float64 // InChannelPower at inFreq, in milliwatts
+	inFreq  phy.MHz // receiver tuning inMW was computed for
+	hasFade bool
+	hasRx   bool
+	hasIn   bool
 }
 
 // Option configures a Medium.
@@ -88,21 +108,36 @@ type Medium struct {
 	// active holds in-flight transmissions ordered by ID, so that
 	// floating-point power sums are always evaluated in the same order —
 	// a map here would make runs non-deterministic.
-	active   []*Transmission
-	fading   map[fadeKey]float64
-	static   map[linkKey]float64
+	active []*Transmission
+	// links caches the per-(src, listener) link budget: the path-loss dB
+	// for the pair's geometry plus its persistent shadowing draw.
+	// Invalidated when either endpoint detaches or moves.
+	links map[linkKey]*linkBudget
+	// rejDB caches the rejection curve per signed frequency offset — the
+	// set of channel-pair offsets in a run is tiny and fixed.
+	rejDB    map[phy.MHz]float64
 	nextTxID uint64
-}
-
-type fadeKey struct {
-	tx       uint64
-	listener int
 }
 
 type linkKey struct {
 	src      int
 	listener int
 }
+
+// linkBudget is the cached static portion of a (src, listener) link: path
+// loss for the recorded geometry and the pair's one-time shadowing draw.
+// The positions are kept so a moved endpoint invalidates the loss while
+// the shadowing draw — a property of the pair, as before — persists.
+type linkBudget struct {
+	from, to phy.Position
+	loss     float64 // path loss, dB
+	static   float64 // persistent shadowing draw, dB
+	stale    bool    // set by Moved; forces a loss recompute on next use
+}
+
+// noiseFloorMW is phy.NoiseFloor converted once; the CCA hot path adds it
+// on every sample.
+var noiseFloorMW = phy.NoiseFloor.Milliwatts()
 
 // New creates a medium bound to the kernel. Defaults: indoor log-distance
 // path loss, the calibrated CC2420 rejection curve, 3 dB static per-link
@@ -118,8 +153,8 @@ func New(k *sim.Kernel, opts ...Option) *Medium {
 		staticSigma: 3,
 		fadingRNG:   k.Stream("medium.fading"),
 		staticRNG:   k.Stream("medium.static"),
-		fading:      make(map[fadeKey]float64),
-		static:      make(map[linkKey]float64),
+		links:       make(map[linkKey]*linkBudget),
+		rejDB:       make(map[phy.MHz]float64),
 	}
 	for _, o := range opts {
 		o(m)
@@ -147,6 +182,36 @@ func (m *Medium) Detach(id int) {
 		return
 	}
 	m.listeners[id] = nil
+	// Drop the departed listener's cached link-budget rows and its slots
+	// in every in-flight transmission's per-listener cache: a detached
+	// listener measures Silent, and a stale cached power must not survive
+	// to contradict that. Rows where the departed node is the *source*
+	// stay — a transmission it originated may still be on the air, and the
+	// remaining listeners must keep seeing the exact same link budget
+	// (including the pair's shadowing draw) for the rest of the flight.
+	for key := range m.links {
+		if key.listener == id {
+			delete(m.links, key)
+		}
+	}
+	for _, tx := range m.active {
+		if id < len(tx.perL) {
+			tx.perL[id] = txListenerCache{}
+		}
+	}
+}
+
+// Moved invalidates the cached path loss of every link-budget row that
+// touches the listener, for deployments whose nodes change position. The
+// pair shadowing draws persist (they model the pair, not the geometry);
+// per-transmission caches are untouched because a Transmission's Pos is
+// frozen at Transmit time.
+func (m *Medium) Moved(id int) {
+	for key, lb := range m.links {
+		if key.listener == id || key.src == id {
+			lb.stale = true
+		}
+	}
 }
 
 // Attached reports whether the ID currently belongs to a live listener.
@@ -206,10 +271,8 @@ func (m *Medium) finish(tx *Transmission) {
 			break
 		}
 	}
-	// Drop cached fading draws for this transmission.
-	for id := range m.listeners {
-		delete(m.fading, fadeKey{tx: tx.ID, listener: id})
-	}
+	// The per-listener cache (fading draws included) is carried by the
+	// Transmission itself and dies with it — nothing to clean up here.
 }
 
 // ActiveCount reports the number of transmissions currently on the air.
@@ -224,36 +287,56 @@ func (m *Medium) RxPower(tx *Transmission, listenerID int) phy.DBm {
 	if l == nil {
 		return phy.Silent // detached listener measures nothing
 	}
-	base := phy.ReceivedPower(m.pathLoss, tx.Power, tx.Pos, l.Position())
-	return base + phy.DBm(m.staticFade(tx.Src, listenerID)) + phy.DBm(m.fade(tx.ID, listenerID))
+	lb := m.link(tx.Src, listenerID, tx.Pos, l.Position())
+	base := tx.Power - phy.DBm(lb.loss)
+	return base + phy.DBm(lb.static) + phy.DBm(m.fade(tx, listenerID))
 }
 
-// staticFade returns the persistent shadowing offset of the (src, listener)
-// node pair, drawn lazily once per pair.
-func (m *Medium) staticFade(src, listenerID int) float64 {
-	if m.staticSigma == 0 {
-		return 0
+// link returns the cached budget of the (src, listener) pair, creating it
+// on first use: the path loss for the current geometry plus the pair's
+// one-time shadowing draw (drawn lazily, exactly when the first RxPower
+// for the pair used to draw it). A stale or moved geometry recomputes the
+// loss; the shadowing draw persists — it models the pair, not the path.
+func (m *Medium) link(src, listenerID int, from, to phy.Position) *linkBudget {
+	key := linkKey{src: src, listener: listenerID}
+	lb, ok := m.links[key]
+	if !ok {
+		lb = &linkBudget{from: from, to: to, loss: m.pathLoss.Loss(from.DistanceTo(to))}
+		if m.staticSigma != 0 {
+			lb.static = m.staticRNG.Gaussian(0, m.staticSigma)
+		}
+		m.links[key] = lb
+		return lb
 	}
-	k := linkKey{src: src, listener: listenerID}
-	if v, ok := m.static[k]; ok {
-		return v
+	if lb.stale || lb.from != from || lb.to != to {
+		lb.from, lb.to = from, to
+		lb.loss = m.pathLoss.Loss(from.DistanceTo(to))
+		lb.stale = false
 	}
-	v := m.staticRNG.Gaussian(0, m.staticSigma)
-	m.static[k] = v
-	return v
+	return lb
 }
 
-func (m *Medium) fade(txID uint64, listenerID int) float64 {
+// slot returns tx's cache slot for the listener, growing the table to the
+// medium's current listener count on first touch.
+func (m *Medium) slot(tx *Transmission, listenerID int) *txListenerCache {
+	if listenerID >= len(tx.perL) {
+		grown := make([]txListenerCache, len(m.listeners))
+		copy(grown, tx.perL)
+		tx.perL = grown
+	}
+	return &tx.perL[listenerID]
+}
+
+func (m *Medium) fade(tx *Transmission, listenerID int) float64 {
 	if m.fadingSigma == 0 {
 		return 0
 	}
-	k := fadeKey{tx: txID, listener: listenerID}
-	if v, ok := m.fading[k]; ok {
-		return v
+	s := m.slot(tx, listenerID)
+	if !s.hasFade {
+		s.fade = m.fadingRNG.Gaussian(0, m.fadingSigma)
+		s.hasFade = true
 	}
-	v := m.fadingRNG.Gaussian(0, m.fadingSigma)
-	m.fading[k] = v
-	return v
+	return s.fade
 }
 
 // InChannelPower returns the portion of tx's energy that lands inside a
@@ -266,7 +349,46 @@ func (m *Medium) InChannelPower(tx *Transmission, listenerID int, freq phy.MHz) 
 		// window is ~2 MHz wide).
 		return phy.WidebandInterference(m.rejection, rx, tx.Freq-freq, tx.Bandwidth, 2)
 	}
-	return phy.EffectiveInterference(m.rejection, rx, tx.Freq-freq)
+	if rx <= phy.Silent {
+		return phy.Silent
+	}
+	return rx - phy.DBm(m.rejectionDB(tx.Freq-freq))
+}
+
+// rejectionDB memoizes the rejection curve per signed frequency offset; the
+// curves in use are pure functions of the offset and a run only ever probes
+// a handful of channel-pair offsets.
+func (m *Medium) rejectionDB(deltaF phy.MHz) float64 {
+	if v, ok := m.rejDB[deltaF]; ok {
+		return v
+	}
+	v := m.rejection.RejectionDB(deltaF)
+	m.rejDB[deltaF] = v
+	return v
+}
+
+// inChannelMW returns InChannelPower in milliwatts, cached on the
+// transmission per listener. The cache keys on the receiver tuning because
+// a radio can retune mid-flight (channel-hopping MACs).
+func (m *Medium) inChannelMW(tx *Transmission, listenerID int, freq phy.MHz) float64 {
+	s := m.slot(tx, listenerID)
+	if !s.hasIn || s.inFreq != freq {
+		s.inMW = m.InChannelPower(tx, listenerID, freq).Milliwatts()
+		s.inFreq = freq
+		s.hasIn = true
+	}
+	return s.inMW
+}
+
+// rxMW returns RxPower in milliwatts, cached on the transmission per
+// listener.
+func (m *Medium) rxMW(tx *Transmission, listenerID int) float64 {
+	s := m.slot(tx, listenerID)
+	if !s.hasRx {
+		s.rxMW = m.RxPower(tx, listenerID).Milliwatts()
+		s.hasRx = true
+	}
+	return s.rxMW
 }
 
 // SensedPower returns the total in-channel energy a receiver tuned to freq
@@ -277,7 +399,7 @@ func (m *Medium) SensedPower(listenerID int, freq phy.MHz, exclude *Transmission
 	if m.listeners[listenerID] == nil {
 		return phy.Silent // detached listener measures nothing
 	}
-	total := phy.NoiseFloor.Milliwatts()
+	total := noiseFloorMW
 	for _, tx := range m.active {
 		if exclude != nil && tx.ID == exclude.ID {
 			continue
@@ -285,7 +407,7 @@ func (m *Medium) SensedPower(listenerID int, freq phy.MHz, exclude *Transmission
 		if tx.Src == listenerID {
 			continue
 		}
-		total += m.InChannelPower(tx, listenerID, freq).Milliwatts()
+		total += m.inChannelMW(tx, listenerID, freq)
 	}
 	return phy.FromMilliwatts(total)
 }
@@ -300,7 +422,7 @@ func (m *Medium) SensedCoChannelPower(listenerID int, freq phy.MHz, exclude *Tra
 	if m.listeners[listenerID] == nil {
 		return phy.Silent // detached listener measures nothing
 	}
-	total := phy.NoiseFloor.Milliwatts()
+	total := noiseFloorMW
 	for _, tx := range m.active {
 		if exclude != nil && tx.ID == exclude.ID {
 			continue
@@ -308,7 +430,7 @@ func (m *Medium) SensedCoChannelPower(listenerID int, freq phy.MHz, exclude *Tra
 		if tx.Src == listenerID || tx.Freq != freq {
 			continue
 		}
-		total += m.RxPower(tx, listenerID).Milliwatts()
+		total += m.rxMW(tx, listenerID)
 	}
 	return phy.FromMilliwatts(total)
 }
@@ -322,7 +444,7 @@ func (m *Medium) Interference(wanted *Transmission, listenerID int, freq phy.MHz
 		if tx.ID == wanted.ID || tx.Src == listenerID {
 			continue
 		}
-		total += m.InChannelPower(tx, listenerID, freq).Milliwatts()
+		total += m.inChannelMW(tx, listenerID, freq)
 	}
 	return phy.FromMilliwatts(total)
 }

@@ -227,7 +227,7 @@ func TestTransmissionEndsExactlyAtAirtime(t *testing.T) {
 	}
 }
 
-func TestFadingCacheIsCleared(t *testing.T) {
+func TestFadingDrawIsStablePerTransmission(t *testing.T) {
 	k, m := newTestMedium(t, WithFadingSigma(6), WithStaticFadingSigma(0))
 	src := &fakeListener{pos: phy.Position{X: 0}}
 	dst := &fakeListener{pos: phy.Position{X: 10}}
@@ -235,12 +235,16 @@ func TestFadingCacheIsCleared(t *testing.T) {
 	idDst := m.Attach(dst)
 
 	tx := m.Transmit(idSrc, src.pos, 0, 2460, testFrame(16))
-	_ = m.RxPower(tx, idDst)
-	if len(m.fading) == 0 {
-		t.Fatal("fading draw not cached")
+	first := m.RxPower(tx, idDst)
+	if !tx.perL[idDst].hasFade {
+		t.Fatal("fading draw not cached on the transmission")
 	}
-	k.Run()
-	if len(m.fading) != 0 {
-		t.Errorf("fading cache not cleared after end: %d entries", len(m.fading))
+	if again := m.RxPower(tx, idDst); again != first {
+		t.Errorf("RxPower not stable within a transmission: %v then %v", first, again)
+	}
+	k.Run() // the cache dies with the transmission — nothing lingers in the medium
+	tx2 := m.Transmit(idSrc, src.pos, 0, 2460, testFrame(16))
+	if second := m.RxPower(tx2, idDst); second == first {
+		t.Error("distinct transmissions reused the same fading draw")
 	}
 }

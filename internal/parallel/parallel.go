@@ -1,0 +1,111 @@
+// Package parallel fans independent experiment cells across a bounded
+// worker pool. Each cell of an experiment grid (one seed, one
+// configuration) builds its own simulation kernel, so cells share no
+// state; the pool's only job is to evaluate them concurrently while
+// keeping the results in cell order, so that every floating-point
+// aggregation downstream runs in exactly the order a serial loop would
+// use. Same seed, any worker count: bit-identical output.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes 0:
+// GOMAXPROCS, i.e. one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// CellPanic wraps a panic raised inside a cell with the cell's index, so
+// a crash in cell 37 of a 105-cell sweep says so.
+type CellPanic struct {
+	// Cell is the index of the cell whose evaluation panicked.
+	Cell int
+	// Value is the original panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery time.
+	Stack []byte
+}
+
+func (p *CellPanic) Error() string {
+	return fmt.Sprintf("parallel: cell %d panicked: %v\n%s", p.Cell, p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *CellPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Run evaluates fn(0) … fn(n-1) on at most workers goroutines and returns
+// the results indexed by cell. workers <= 0 means DefaultWorkers();
+// workers == 1 runs inline on the calling goroutine with no pool at all.
+//
+// If any cell panics, every remaining cell still runs (they are
+// independent), and Run then re-panics on the caller's goroutine with a
+// *CellPanic identifying the first failed cell.
+func Run[T any](workers, n int, fn func(cell int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		firstMu  sync.Mutex
+		firstErr *CellPanic
+	)
+	runCell := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				p := &CellPanic{Cell: i, Value: r, Stack: captureStack()}
+				firstMu.Lock()
+				if firstErr == nil || p.Cell < firstErr.Cell {
+					firstErr = p
+				}
+				firstMu.Unlock()
+			}
+		}()
+		out[i] = fn(i)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runCell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		panic(firstErr)
+	}
+	return out
+}
+
+func captureStack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}

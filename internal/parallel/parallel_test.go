@@ -1,0 +1,129 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrdersResultsByCell(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got := Run(workers, 50, func(i int) int { return i * i })
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: len = %d, want 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunZeroCells(t *testing.T) {
+	if got := Run(4, 0, func(int) int { t.Fatal("fn called"); return 0 }); got != nil {
+		t.Fatalf("Run with n=0 = %v, want nil", got)
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	got := Run(0, 8, func(i int) int { return i })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	Run(workers, 64, func(i int) struct{} {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		for j := 0; j < 1000; j++ {
+			_ = j // a little work so goroutines overlap
+		}
+		inFlight.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+// Cells genuinely overlap in time: eight cells each sleeping 30 ms must
+// finish well under the 240 ms a serial schedule would need. Sleeps
+// overlap regardless of GOMAXPROCS, so this holds even on one CPU.
+func TestRunOverlapsCells(t *testing.T) {
+	start := time.Now()
+	Run(8, 8, func(i int) int {
+		time.Sleep(30 * time.Millisecond)
+		return i
+	})
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("8 cells x 30ms took %v with 8 workers; want concurrent (< 150ms)", elapsed)
+	}
+}
+
+func TestRunPanicCarriesCellIndex(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		var ran atomic.Int64
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: no panic propagated", workers)
+				}
+				p, ok := r.(*CellPanic)
+				if !ok {
+					t.Fatalf("workers=%d: panic value %T, want *CellPanic", workers, r)
+				}
+				if p.Cell != 7 {
+					t.Fatalf("workers=%d: panic attributed to cell %d, want 7", workers, p.Cell)
+				}
+				if !strings.Contains(p.Error(), "cell 7 panicked: boom") {
+					t.Fatalf("workers=%d: Error() = %q", workers, p.Error())
+				}
+			}()
+			Run(workers, 16, func(i int) int {
+				ran.Add(1)
+				if i == 7 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+		// Independent cells keep running after one panics.
+		if ran.Load() != 16 {
+			t.Fatalf("workers=%d: ran %d cells, want all 16", workers, ran.Load())
+		}
+	}
+}
+
+func TestRunPanicReportsLowestCell(t *testing.T) {
+	defer func() {
+		p, ok := recover().(*CellPanic)
+		if !ok {
+			t.Fatal("no *CellPanic propagated")
+		}
+		if p.Cell != 3 {
+			t.Fatalf("panic attributed to cell %d, want lowest failing cell 3", p.Cell)
+		}
+	}()
+	Run(4, 32, func(i int) int {
+		if i >= 3 {
+			panic(i)
+		}
+		return i
+	})
+}

@@ -29,6 +29,24 @@ func BenchmarkCancel(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelScheduleCancel measures the schedule→cancel→collect
+// cycle that timer-heavy MAC code (ACK timers, LPL wake windows) runs for
+// nearly every packet: most scheduled timeouts are cancelled before they
+// fire. With the event pool and lazy cancellation this is alloc-free in
+// steady state.
+func BenchmarkKernelScheduleCancel(b *testing.B) {
+	k := NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := k.After(time.Millisecond, func() {})
+		k.Cancel(e)
+		if i%1024 == 1023 {
+			k.RunFor(2 * time.Millisecond) // collect cancelled nodes into the pool
+		}
+	}
+	k.Run()
+}
+
 func BenchmarkTickerChurn(b *testing.B) {
 	k := NewKernel(1)
 	n := 0

@@ -37,20 +37,44 @@ func (t Time) String() string { return time.Duration(t).String() }
 // FromDuration converts a time.Duration to a sim.Time offset.
 func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
 
-// Event is a scheduled callback. Holding the pointer allows cancellation.
-type Event struct {
+// eventNode is the kernel-owned storage of one scheduled callback. Nodes
+// are recycled through a free list once they fire or their cancellation is
+// collected; gen counts incarnations so that stale Event handles held by
+// callers can never act on a recycled node.
+type eventNode struct {
 	at       Time
 	seq      uint64
 	fn       func()
-	index    int // heap index, -1 once popped or cancelled
+	index    int // heap index, -1 once popped
+	gen      uint64
 	canceled bool
 }
 
-// At reports the instant the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// Event is a handle to one scheduled incarnation of a callback. It is a
+// small value: copy it freely. The zero Event is inert — cancelling it is
+// a no-op — so fields of type Event need no nil checks. Handles stay safe
+// after their event fires: the kernel recycles the underlying storage, and
+// a Cancel through a stale handle simply does nothing.
+type Event struct {
+	n   *eventNode
+	gen uint64
+}
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// live reports whether the handle still refers to its own pending
+// incarnation (scheduled, not yet fired, not cancelled-and-collected).
+func (e Event) live() bool { return e.n != nil && e.n.gen == e.gen }
+
+// At reports the instant the event is scheduled for; zero once the
+// incarnation has completed and its storage was recycled.
+func (e Event) At() Time {
+	if e.live() {
+		return e.n.at
+	}
+	return 0
+}
+
+// Canceled reports whether Cancel was called on this pending incarnation.
+func (e Event) Canceled() bool { return e.live() && e.n.canceled }
 
 // Kernel is the discrete-event scheduler. The zero value is not usable; use
 // NewKernel.
@@ -58,6 +82,8 @@ type Kernel struct {
 	now     Time
 	queue   eventHeap
 	seq     uint64
+	live    int // scheduled events not yet fired or cancelled
+	free    []*eventNode
 	running bool
 	stopped bool
 	seed    int64
@@ -82,41 +108,67 @@ func (k *Kernel) Seed() int64 { return k.seed }
 // At schedules fn to run at instant t. Scheduling in the past (t < Now) is a
 // programming error and panics: the simulation would otherwise silently
 // reorder causality.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn}
+	n := k.newNode()
+	n.at, n.seq, n.fn = t, k.seq, fn
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	heap.Push(&k.queue, n)
+	k.live++
+	return Event{n: n, gen: n.gen}
 }
 
 // After schedules fn to run d after the current instant.
-func (k *Kernel) After(d time.Duration, fn func()) *Event {
+func (k *Kernel) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return k.At(k.now+FromDuration(d), fn)
 }
 
-// Cancel removes a pending event. Cancelling a fired or already-cancelled
-// event is a no-op.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.canceled {
+// newNode pops a recycled node from the free list, or allocates one.
+func (k *Kernel) newNode() *eventNode {
+	if n := len(k.free); n > 0 {
+		node := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return node
+	}
+	return &eventNode{}
+}
+
+// recycle returns a node to the free list. Bumping gen invalidates every
+// outstanding handle to the incarnation that just ended.
+func (k *Kernel) recycle(n *eventNode) {
+	n.gen++
+	n.fn = nil
+	n.canceled = false
+	k.free = append(k.free, n)
+}
+
+// Cancel removes a pending event. Cancellation is lazy: the node is only
+// marked dead and skipped (and recycled) when it reaches the head of the
+// queue, which is O(1) instead of heap.Remove's O(log n). Cancelling the
+// zero Event, a fired event, or an already-cancelled event is a no-op —
+// the generation counter on the node detects stale handles even after the
+// node's storage has been reused for a later event.
+func (k *Kernel) Cancel(e Event) {
+	n := e.n
+	if n == nil || n.gen != e.gen || n.canceled {
 		return
 	}
-	e.canceled = true
-	if e.index >= 0 {
-		heap.Remove(&k.queue, e.index)
-	}
+	n.canceled = true
+	k.live--
 }
 
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Pending reports the number of events still queued.
-func (k *Kernel) Pending() int { return k.queue.Len() }
+// Pending reports the number of events still scheduled to fire (cancelled
+// events awaiting lazy collection are not counted).
+func (k *Kernel) Pending() int { return k.live }
 
 // Run executes events until the queue is empty or Stop is called.
 func (k *Kernel) Run() {
@@ -151,15 +203,22 @@ func (k *Kernel) run(keep func(Time) bool) {
 		}
 		heap.Pop(&k.queue)
 		if next.canceled {
+			k.recycle(next)
 			continue
 		}
 		k.now = next.at
-		next.fn()
+		k.live--
+		fn := next.fn
+		// Recycle before invoking: fn may schedule new events, and the node
+		// may be handed right back out. The generation bump means any handle
+		// to the event now firing is already stale inside its own callback.
+		k.recycle(next)
+		fn()
 	}
 }
 
 // eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*Event
+type eventHeap []*eventNode
 
 func (h eventHeap) Len() int { return len(h) }
 
@@ -177,7 +236,7 @@ func (h eventHeap) Swap(i, j int) {
 }
 
 func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+	e := x.(*eventNode)
 	e.index = len(*h)
 	*h = append(*h, e)
 }

@@ -55,27 +55,96 @@ func TestKernelCancel(t *testing.T) {
 	fired := false
 	e := k.At(1*Second, func() { fired = true })
 	k.Cancel(e)
+	if !e.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
 	k.Run()
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	if !e.Canceled() {
-		t.Error("Canceled() = false after Cancel")
-	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-handle cancel are no-ops.
 	k.Cancel(e)
-	k.Cancel(nil)
+	k.Cancel(Event{})
 }
 
 func TestKernelCancelFromInsideEvent(t *testing.T) {
 	k := NewKernel(1)
 	fired := false
-	var victim *Event
+	var victim Event
 	k.At(1*Microsecond, func() { k.Cancel(victim) })
 	victim = k.At(2*Microsecond, func() { fired = true })
 	k.Run()
 	if fired {
 		t.Error("event cancelled by earlier event still fired")
+	}
+}
+
+func TestKernelCancelAfterFireIsNoOp(t *testing.T) {
+	k := NewKernel(1)
+	e1 := k.At(1*Microsecond, func() {})
+	k.Run()
+	// e1's node has been recycled; this second event likely reuses it.
+	fired := false
+	e2 := k.At(2*Microsecond, func() { fired = true })
+	k.Cancel(e1) // stale handle: must not kill e2
+	k.Run()
+	if !fired {
+		t.Fatal("cancelling a fired event's stale handle cancelled a later event")
+	}
+	// Cancelling the stale handle again, and e2's handle after it fired,
+	// are equally harmless.
+	k.Cancel(e1)
+	k.Cancel(e2)
+	if e1.Canceled() || e2.Canceled() {
+		t.Error("Canceled() = true for completed incarnations")
+	}
+}
+
+func TestKernelDoubleCancelWithReuse(t *testing.T) {
+	k := NewKernel(1)
+	e1 := k.At(1*Microsecond, func() { t.Error("cancelled event fired") })
+	k.Cancel(e1)
+	if !e1.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	k.Cancel(e1) // double-cancel while still queued: no-op
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancelling the only event, want 0", k.Pending())
+	}
+	k.Run() // collects the cancelled node into the pool
+	fired := false
+	k.At(1*Microsecond, func() { fired = true })
+	k.Cancel(e1) // triple-cancel through a recycled node: no-op
+	k.Run()
+	if !fired {
+		t.Fatal("stale double-cancel killed an unrelated event")
+	}
+}
+
+func TestKernelEventPoolRecyclesNodes(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 100; i++ {
+		k.After(time.Microsecond, func() {})
+		k.Run()
+	}
+	if len(k.free) == 0 {
+		t.Fatal("event pool empty after fire/recycle churn")
+	}
+	// Steady-state churn must not grow the pool without bound.
+	if len(k.free) > 4 {
+		t.Fatalf("pool holds %d nodes after serial churn, want a handful", len(k.free))
+	}
+}
+
+func TestKernelCancelInsideOwnCallback(t *testing.T) {
+	k := NewKernel(1)
+	var self Event
+	self = k.At(1*Microsecond, func() { k.Cancel(self) }) // fires, then cancels itself: no-op
+	fired := false
+	k.At(2*Microsecond, func() { fired = true })
+	k.Run()
+	if !fired {
+		t.Fatal("self-cancel inside callback affected a later event")
 	}
 }
 

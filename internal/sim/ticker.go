@@ -8,7 +8,7 @@ type Ticker struct {
 	kernel *Kernel
 	period time.Duration
 	fn     func()
-	next   *Event
+	next   Event
 	done   bool
 }
 
