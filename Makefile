@@ -1,8 +1,9 @@
 GO ?= go
 BENCH ?= .
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR3.json
+BENCH_BASE ?= BENCH_PR2.json
 
-.PHONY: check vet build test race fuzz bench benchsmoke
+.PHONY: check vet build test race fuzz bench benchsmoke bench-compare
 
 ## check: the full local gate — vet, build, tests under the race
 ## detector, and a one-iteration smoke run of the fast benchmarks.
@@ -33,3 +34,8 @@ bench:
 benchsmoke:
 	$(GO) run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense' \
 		-benchtime 1x -pkgs ./internal/sim,./internal/medium -out /dev/null
+
+## bench-compare: run the benchmarks into $(BENCH_OUT), then fail if any
+## shared benchmark's ns/op regressed >20% against $(BENCH_BASE).
+bench-compare: bench
+	$(GO) run ./cmd/dcnbench -compare $(BENCH_BASE) $(BENCH_OUT)

@@ -13,4 +13,12 @@ go test -race ./...
 echo "== bench smoke (1 iteration)"
 go run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense' \
 	-benchtime 1x -pkgs ./internal/sim,./internal/medium -out /dev/null
+echo "== bench compare smoke (vs BENCH_PR2.json)"
+# Only the medium sensing benchmarks: they sped up severalfold in PR 3, so
+# a >20% regression signal here is real, not measurement noise.
+smoke_json=$(mktemp)
+go run ./cmd/dcnbench -bench 'SensedPowerDense|InterferenceDense' \
+	-benchtime 200000x -pkgs ./internal/medium -out "$smoke_json"
+go run ./cmd/dcnbench -compare BENCH_PR2.json "$smoke_json"
+rm -f "$smoke_json"
 echo "check: OK"

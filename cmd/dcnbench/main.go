@@ -1,11 +1,14 @@
 // Command dcnbench runs the repository's microbenchmarks through
 // `go test -bench` and writes the parsed results as JSON, so perf
-// changes can be tracked as committed artifacts (see BENCH_PR2.json).
+// changes can be tracked as committed artifacts (see BENCH_PR3.json).
+// It can also diff two such artifacts and fail on regressions.
 //
 // Usage:
 //
 //	dcnbench -out BENCH.json
 //	dcnbench -bench 'SensedPower|Kernel' -benchtime 100000x -out /dev/stdout
+//	dcnbench -compare old.json new.json            # exit 1 on >20% ns/op regression
+//	dcnbench -compare -threshold 0.5 old.json new.json
 package main
 
 import (
@@ -57,9 +60,17 @@ func run(args []string) error {
 		bench     = fs.String("bench", ".", "benchmark regexp passed to go test -bench")
 		benchtime = fs.String("benchtime", "", "passed to go test -benchtime (default go's own)")
 		pkgs      = fs.String("pkgs", "./...", "comma-separated package patterns to benchmark")
+		compare   = fs.Bool("compare", false, "compare two result files: dcnbench -compare old.json new.json")
+		threshold = fs.Float64("threshold", 0.20, "with -compare: fail when ns/op grows by more than this fraction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two files, got %d", fs.NArg())
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *threshold, os.Stdout)
 	}
 
 	patterns := strings.Split(*pkgs, ",")
@@ -132,6 +143,88 @@ func parseInto(rep *Report, buf *bytes.Buffer) error {
 		}
 	}
 	return sc.Err()
+}
+
+// benchKey identifies a benchmark across runs: package plus name with the
+// -GOMAXPROCS suffix stripped, so results from machines with different
+// core counts still line up.
+func benchKey(b Benchmark) string {
+	name := b.Name
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return b.Package + "." + name
+}
+
+// regression is one shared benchmark whose ns/op moved.
+type regression struct {
+	key      string
+	old, new float64
+}
+
+// compareReports diffs new against old on ns/op for every benchmark present
+// in both, returning the shared count and the entries exceeding threshold.
+func compareReports(old, new Report, threshold float64) (shared int, regs []regression) {
+	oldNs := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			oldNs[benchKey(b)] = ns
+		}
+	}
+	for _, b := range new.Benchmarks {
+		key := benchKey(b)
+		was, ok := oldNs[key]
+		newNs, okNew := b.Metrics["ns/op"]
+		if !ok || !okNew || was <= 0 {
+			continue
+		}
+		shared++
+		if newNs/was-1 > threshold {
+			regs = append(regs, regression{key: key, old: was, new: newNs})
+		}
+	}
+	return shared, regs
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// runCompare implements -compare: non-nil error (and so a non-zero exit)
+// when any shared benchmark's ns/op regressed by more than threshold.
+func runCompare(oldPath, newPath string, threshold float64, w *os.File) error {
+	old, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	shared, regs := compareReports(old, cur, threshold)
+	if shared == 0 {
+		return fmt.Errorf("no shared ns/op benchmarks between %s and %s", oldPath, newPath)
+	}
+	fmt.Fprintf(w, "compared %d shared benchmarks (threshold +%.0f%% ns/op)\n", shared, threshold*100)
+	for _, r := range regs {
+		fmt.Fprintf(w, "REGRESSION %s: %.4g -> %.4g ns/op (%+.1f%%)\n",
+			r.key, r.old, r.new, (r.new/r.old-1)*100)
+	}
+	if len(regs) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond +%.0f%%", len(regs), threshold*100)
+	}
+	fmt.Fprintln(w, "no regressions")
+	return nil
 }
 
 func parseBenchLine(line string) (Benchmark, bool) {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -50,6 +53,87 @@ func TestParseBenchLineRejectsMalformed(t *testing.T) {
 		if _, ok := parseBenchLine(line); ok {
 			t.Errorf("parseBenchLine(%q) accepted malformed line", line)
 		}
+	}
+}
+
+func benchResult(pkg, name string, ns float64) Benchmark {
+	return Benchmark{Package: pkg, Name: name, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestCompareReports(t *testing.T) {
+	old := Report{Benchmarks: []Benchmark{
+		benchResult("p", "BenchmarkA-8", 100),
+		benchResult("p", "BenchmarkB", 50),
+		benchResult("p", "BenchmarkOldOnly", 10),
+	}}
+	cur := Report{Benchmarks: []Benchmark{
+		benchResult("p", "BenchmarkA-4", 115), // +15%: inside threshold, suffix differs
+		benchResult("p", "BenchmarkB", 75),    // +50%: regression
+		benchResult("p", "BenchmarkNewOnly", 10),
+	}}
+	shared, regs := compareReports(old, cur, 0.20)
+	if shared != 2 {
+		t.Fatalf("shared = %d, want 2", shared)
+	}
+	if len(regs) != 1 || regs[0].key != "p.BenchmarkB" {
+		t.Fatalf("regressions = %+v, want only p.BenchmarkB", regs)
+	}
+	// A looser threshold admits the +50% too.
+	if _, regs := compareReports(old, cur, 0.60); len(regs) != 0 {
+		t.Fatalf("threshold 0.60: regressions = %+v, want none", regs)
+	}
+	// Improvements never count as regressions.
+	better := Report{Benchmarks: []Benchmark{benchResult("p", "BenchmarkB", 5)}}
+	if _, regs := compareReports(old, better, 0.20); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", regs)
+	}
+}
+
+func TestBenchKeyStripsGomaxprocsSuffix(t *testing.T) {
+	for name, want := range map[string]string{
+		"BenchmarkA-8":             "p.BenchmarkA",
+		"BenchmarkA":               "p.BenchmarkA",
+		"BenchmarkCellSetup/a-2":   "p.BenchmarkCellSetup/a",
+		"BenchmarkFig19/workers=4": "p.BenchmarkFig19/workers=4", // =4 is not a -N suffix
+	} {
+		if got := benchKey(benchResult("p", name, 1)); got != want {
+			t.Errorf("benchKey(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep Report) string {
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("old.json", Report{Benchmarks: []Benchmark{benchResult("p", "BenchmarkA", 100)}})
+	same := write("same.json", Report{Benchmarks: []Benchmark{benchResult("p", "BenchmarkA", 101)}})
+	worse := write("worse.json", Report{Benchmarks: []Benchmark{benchResult("p", "BenchmarkA", 300)}})
+	disjoint := write("disjoint.json", Report{Benchmarks: []Benchmark{benchResult("p", "BenchmarkZ", 1)}})
+
+	if err := run([]string{"-compare", old, same}); err != nil {
+		t.Errorf("steady result failed compare: %v", err)
+	}
+	if err := run([]string{"-compare", old, worse}); err == nil {
+		t.Error("3x regression passed compare")
+	}
+	if err := run([]string{"-compare", "-threshold", "3", old, worse}); err != nil {
+		t.Errorf("3x regression failed compare at threshold 3: %v", err)
+	}
+	if err := run([]string{"-compare", old, disjoint}); err == nil {
+		t.Error("disjoint benchmark sets passed compare")
+	}
+	if err := run([]string{"-compare", old}); err == nil {
+		t.Error("single file accepted")
 	}
 }
 

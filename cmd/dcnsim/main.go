@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"nonortho/internal/experiments"
+	"nonortho/internal/prof"
 	"nonortho/internal/scenario"
 )
 
@@ -131,58 +132,71 @@ func run(args []string) error {
 		quick    = fs.Bool("quick", false, "short single-seed runs (overrides -seeds/-measure)")
 		faults   = fs.Bool("faults", false, "run the fault-injection robustness evaluation (shorthand for -exp faulteval)")
 		workers  = fs.Int("workers", 0, "simulation cells run concurrently (0 = one per CPU; results are identical at any setting)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	reg := registry()
-	names := make([]string, 0, len(reg))
-	for name := range reg {
-		names = append(names, name)
+	// Profile the selected workload end to end; the stop hook flushes the
+	// CPU profile and writes the heap profile once the run is complete.
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
 	}
-	sort.Strings(names)
-
-	if *list {
-		fmt.Println("available experiments:")
-		for _, n := range names {
-			fmt.Println("  " + n)
+	err = func() error {
+		reg := registry()
+		names := make([]string, 0, len(reg))
+		for name := range reg {
+			names = append(names, name)
 		}
+		sort.Strings(names)
+
+		if *list {
+			fmt.Println("available experiments:")
+			for _, n := range names {
+				fmt.Println("  " + n)
+			}
+			return nil
+		}
+		if *scenFile != "" {
+			return runScenario(*scenFile)
+		}
+		if *faults {
+			if *exp != "" && *exp != "faulteval" {
+				return fmt.Errorf("-faults conflicts with -exp %q", *exp)
+			}
+			*exp = "faulteval"
+		}
+		if *exp == "" {
+			return fmt.Errorf("no experiment selected; use -exp <name>, -scenario <file>, or -list")
+		}
+
+		opts := experiments.Options{Seed: *seed, Seeds: *seeds, Warmup: *warmup, Measure: *measure, Workers: *workers}
+		if *quick {
+			opts = experiments.Quick()
+			opts.Seed = *seed
+			opts.Workers = *workers
+		}
+
+		if *exp == "all" {
+			for _, n := range names {
+				fmt.Printf("=== %s ===\n", n)
+				reg[n](opts)
+			}
+			return nil
+		}
+		r, ok := reg[*exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; available: %s", *exp, strings.Join(names, ", "))
+		}
+		r(opts)
 		return nil
+	}()
+	if perr := stopProf(); err == nil {
+		err = perr
 	}
-	if *scenFile != "" {
-		return runScenario(*scenFile)
-	}
-	if *faults {
-		if *exp != "" && *exp != "faulteval" {
-			return fmt.Errorf("-faults conflicts with -exp %q", *exp)
-		}
-		*exp = "faulteval"
-	}
-	if *exp == "" {
-		return fmt.Errorf("no experiment selected; use -exp <name>, -scenario <file>, or -list")
-	}
-
-	opts := experiments.Options{Seed: *seed, Seeds: *seeds, Warmup: *warmup, Measure: *measure, Workers: *workers}
-	if *quick {
-		opts = experiments.Quick()
-		opts.Seed = *seed
-		opts.Workers = *workers
-	}
-
-	if *exp == "all" {
-		for _, n := range names {
-			fmt.Printf("=== %s ===\n", n)
-			reg[n](opts)
-		}
-		return nil
-	}
-	r, ok := reg[*exp]
-	if !ok {
-		return fmt.Errorf("unknown experiment %q; available: %s", *exp, strings.Join(names, ", "))
-	}
-	r(opts)
-	return nil
+	return err
 }
 
 // runScenario loads and executes a custom JSON scenario.

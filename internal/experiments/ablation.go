@@ -5,7 +5,6 @@ import (
 
 	"nonortho/internal/dcn"
 	"nonortho/internal/phy"
-	"nonortho/internal/sim"
 	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
@@ -50,8 +49,17 @@ func AblationDCN(opts Options) (AblationResult, *Table) {
 	}
 
 	var res AblationResult
+	// All five variants of a seed share one topology snapshot.
+	region, link := caseGeometry(topology.LayoutColocated)
+	topos := snapshotSeeds(opts, topology.Config{
+		Plan:         evalPlan(6, 3),
+		Layout:       topology.LayoutColocated,
+		Power:        topology.UniformPower(-22, 0),
+		RegionRadius: region,
+		LinkRadius:   link,
+	})
 	grid := runGrid(opts, len(variants), func(cell int, seed int64) float64 {
-		return ablationRun(seed, variants[cell].cfg, opts).OverallThroughput()
+		return ablationRun(seed, topos.at(seed), variants[cell].cfg, opts).OverallThroughput()
 	})
 	totals := make(map[string]float64, len(variants))
 	for i, v := range variants {
@@ -76,22 +84,9 @@ func AblationDCN(opts Options) (AblationResult, *Table) {
 	return res, t
 }
 
-func ablationRun(seed int64, cfg *dcn.Config, opts Options) *testbed.Testbed {
-	plan := evalPlan(6, 3)
-	rng := sim.NewRNG(seed)
-	region, link := caseGeometry(topology.LayoutColocated)
-	nets, err := topology.Generate(topology.Config{
-		Plan:         plan,
-		Layout:       topology.LayoutColocated,
-		Power:        topology.UniformPower(-22, 0),
-		RegionRadius: region,
-		LinkRadius:   link,
-	}, rng)
-	if err != nil {
-		panic(err) // static configuration; cannot fail
-	}
-	tb := testbed.New(testbed.Options{Seed: seed})
-	for _, spec := range nets {
+func ablationRun(seed int64, snap *topology.Snapshot, cfg *dcn.Config, opts Options) *testbed.Testbed {
+	tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+	for _, spec := range snap.Networks() {
 		nc := testbed.NetworkConfig{Scheme: testbed.SchemeFixed}
 		if cfg != nil {
 			nc.Scheme = testbed.SchemeDCN
@@ -129,9 +124,15 @@ func EnergyComparison(opts Options) (EnergyResult, *Table) {
 	// the consumption to the measured share of the run.
 	share := opts.Measure.Seconds() / (opts.Warmup + opts.Measure).Seconds()
 	// Cell 0 = ZigBee design, cell 1 = DCN design.
+	zigTopos := snapshotSeeds(opts, bandConfig(false, topology.LayoutColocated, nil))
+	dcnTopos := snapshotSeeds(opts, bandConfig(true, topology.LayoutColocated, nil))
 	grid := runGrid(opts, 2, func(cell int, seed int64) cellSums {
 		nonOrtho := cell == 1
-		tb := bandDesign(seed, nonOrtho, nonOrtho, topology.LayoutColocated, nil)
+		topos := zigTopos
+		if nonOrtho {
+			topos = dcnTopos
+		}
+		tb := bandDesign(seed, topos.at(seed), nonOrtho)
 		tb.Run(opts.Warmup, opts.Measure)
 		var c cellSums
 		c.seconds = tb.MeasuredDuration().Seconds()
@@ -196,23 +197,23 @@ func CaseIIRecovery(opts Options) (CaseIIRecoveryResult, *Table) {
 	opts = opts.withDefaults()
 
 	type cellResult struct{ tput, th float64 }
+	plan := evalPlan(3, 3) // observed network flanked by two neighbours
+	// Both cells of a seed share one snapshot; the weak node each cell
+	// appends below lives only in that cell's deep copy of the specs.
+	topos := snapshotSeeds(opts, topology.Config{
+		Plan:   plan,
+		Layout: topology.LayoutColocated,
+		// Dense region so neighbour-channel energy sits above the
+		// pinned threshold but below the relaxed one.
+		RegionRadius: 1.0,
+	})
 	// Cell 0 = with Case II, cell 1 = Case II ablated.
 	grid := runGrid(opts, 2, func(cell int, seed int64) cellResult {
 		disableCaseII := cell == 1
-		tb := testbed.New(testbed.Options{Seed: seed})
+		snap := topos.at(seed)
+		tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
 		{
-			plan := evalPlan(3, 3) // observed network flanked by two neighbours
-			rng := sim.NewRNG(seed)
-			nets, err := topology.Generate(topology.Config{
-				Plan:   plan,
-				Layout: topology.LayoutColocated,
-				// Dense region so neighbour-channel energy sits above the
-				// pinned threshold but below the relaxed one.
-				RegionRadius: 1.0,
-			}, rng)
-			if err != nil {
-				panic(err) // static configuration; cannot fail
-			}
+			nets := snap.Networks()
 			mid := plan.MiddleIndex()
 			// The weak node: a co-channel sender of the middle network at
 			// minimum power on the region's edge — overheard around

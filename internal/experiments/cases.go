@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"nonortho/internal/sim"
 	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
@@ -40,9 +39,16 @@ func caseGeometry(layout topology.Layout) (regionRadius, linkRadius float64) {
 func runCase(layout topology.Layout, opts Options) CaseResult {
 	power := topology.UniformPower(-22, 0)
 	region, link := caseGeometry(layout)
+	// One snapshot set per channel plan: the two CFD-3 cells share one.
+	zigTopos := snapshotSeeds(opts, caseConfig(false, layout, power, region, link))
+	cfdTopos := snapshotSeeds(opts, caseConfig(true, layout, power, region, link))
 	// Cells: 0 = ZigBee, 1 = CFD 3 without DCN, 2 = CFD 3 with DCN.
 	grid := runGrid(opts, 3, func(cell int, seed int64) float64 {
-		tb := caseDesign(seed, cell >= 1, cell == 2, layout, power, region, link)
+		topos := zigTopos
+		if cell >= 1 {
+			topos = cfdTopos
+		}
+		tb := caseDesign(seed, topos.at(seed), cell == 2)
 		tb.Run(opts.Warmup, opts.Measure)
 		return tb.OverallThroughput()
 	})
@@ -58,29 +64,29 @@ func runCase(layout topology.Layout, opts Options) CaseResult {
 	return res
 }
 
-// caseDesign is bandDesign with explicit geometry scales.
-func caseDesign(seed int64, nonOrthogonal, dcnEnabled bool, layout topology.Layout, power topology.PowerPolicy, region, link float64) *testbed.Testbed {
+// caseConfig is bandConfig with explicit geometry scales.
+func caseConfig(nonOrthogonal bool, layout topology.Layout, power topology.PowerPolicy, region, link float64) topology.Config {
 	plan := evalPlan(4, 5)
 	if nonOrthogonal {
 		plan = evalPlan(6, 3)
 	}
-	rng := sim.NewRNG(seed)
-	nets, err := topology.Generate(topology.Config{
+	return topology.Config{
 		Plan:         plan,
 		Layout:       layout,
 		Power:        power,
 		RegionRadius: region,
 		LinkRadius:   link,
-	}, rng)
-	if err != nil {
-		panic(err) // static configuration; cannot fail
 	}
-	tb := testbed.New(testbed.Options{Seed: seed})
+}
+
+// caseDesign instantiates one deployment-case cell from a shared snapshot.
+func caseDesign(seed int64, snap *topology.Snapshot, dcnEnabled bool) *testbed.Testbed {
+	tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
 	scheme := testbed.SchemeFixed
 	if dcnEnabled {
 		scheme = testbed.SchemeDCN
 	}
-	for _, spec := range nets {
+	for _, spec := range snap.Networks() {
 		tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
 	}
 	return tb

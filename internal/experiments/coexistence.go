@@ -3,7 +3,6 @@ package experiments
 import (
 	"nonortho/internal/net80211"
 	"nonortho/internal/phy"
-	"nonortho/internal/sim"
 	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
@@ -41,23 +40,23 @@ func Coexistence(opts Options) (CoexistenceResult, *Table) {
 	variants := []struct{ dcnOn, wifi bool }{
 		{false, false}, {false, true}, {true, false}, {true, true},
 	}
+	// All four (design, Wi-Fi) cells of a seed share one topology
+	// snapshot. The Wi-Fi interferer attaches to the medium beyond the
+	// snapshot's node set; its pairwise losses fall back to the medium's
+	// own model via the snapshot's position check.
+	topos := snapshotSeeds(opts, topology.Config{
+		Plan:   evalPlan(6, 3),
+		Layout: topology.LayoutColocated,
+	})
 	grid := runGrid(opts, len(variants), func(cell int, seed int64) float64 {
 		v := variants[cell]
-		plan := evalPlan(6, 3)
-		rng := sim.NewRNG(seed)
-		nets, err := topology.Generate(topology.Config{
-			Plan:   plan,
-			Layout: topology.LayoutColocated,
-		}, rng)
-		if err != nil {
-			panic(err) // static configuration; cannot fail
-		}
-		tb := testbed.New(testbed.Options{Seed: seed})
+		snap := topos.at(seed)
+		tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
 		scheme := testbed.SchemeFixed
 		if v.dcnOn {
 			scheme = testbed.SchemeDCN
 		}
-		for _, spec := range nets {
+		for _, spec := range snap.Networks() {
 			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
 		}
 		if v.wifi {

@@ -4,36 +4,32 @@ import (
 	"fmt"
 
 	"nonortho/internal/phy"
-	"nonortho/internal/sim"
 	"nonortho/internal/stats"
 	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
 
-// bandDesign builds the 15 MHz evaluation band (2458-2473 MHz) under one
-// of the two competing designs: the default ZigBee assignment (4 channels
-// at CFD = 5 MHz, fixed threshold) or the paper's non-orthogonal design
-// (6 channels at CFD = 3 MHz), optionally with DCN.
-func bandDesign(seed int64, nonOrthogonal, dcnEnabled bool, layout topology.Layout, power topology.PowerPolicy) *testbed.Testbed {
+// bandConfig is the 15 MHz evaluation band (2458-2473 MHz) under one of
+// the two competing designs: the default ZigBee assignment (4 channels at
+// CFD = 5 MHz) or the paper's non-orthogonal design (6 channels at
+// CFD = 3 MHz).
+func bandConfig(nonOrthogonal bool, layout topology.Layout, power topology.PowerPolicy) topology.Config {
 	plan := evalPlan(4, 5)
 	if nonOrthogonal {
 		plan = evalPlan(6, 3)
 	}
-	rng := sim.NewRNG(seed)
-	nets, err := topology.Generate(topology.Config{
-		Plan:   plan,
-		Layout: layout,
-		Power:  power,
-	}, rng)
-	if err != nil {
-		panic(err) // static configuration; cannot fail
-	}
-	tb := testbed.New(testbed.Options{Seed: seed})
+	return topology.Config{Plan: plan, Layout: layout, Power: power}
+}
+
+// bandDesign instantiates one evaluation-band cell from a shared topology
+// snapshot, optionally with DCN.
+func bandDesign(seed int64, snap *topology.Snapshot, dcnEnabled bool) *testbed.Testbed {
+	tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
 	scheme := testbed.SchemeFixed
 	if dcnEnabled {
 		scheme = testbed.SchemeDCN
 	}
-	for _, spec := range nets {
+	for _, spec := range snap.Networks() {
 		tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
 	}
 	return tb
@@ -66,10 +62,17 @@ func Fig19(opts Options) (Fig19Result, *Table) {
 		total float64
 	}
 	// Cell 0 = ZigBee design, cell 1 = non-orthogonal DCN design; every
-	// (design, seed) simulation runs concurrently.
+	// (design, seed) simulation runs concurrently, sharing one topology
+	// snapshot per (design, seed).
+	zigTopos := snapshotSeeds(opts, bandConfig(false, topology.LayoutColocated, nil))
+	dcnTopos := snapshotSeeds(opts, bandConfig(true, topology.LayoutColocated, nil))
 	grid := runGrid(opts, 2, func(cell int, seed int64) cellResult {
 		nonOrtho := cell == 1
-		tb := bandDesign(seed, nonOrtho, nonOrtho, topology.LayoutColocated, nil)
+		topos := zigTopos
+		if nonOrtho {
+			topos = dcnTopos
+		}
+		tb := bandDesign(seed, topos.at(seed), nonOrtho)
 		tb.Run(opts.Warmup, opts.Measure)
 		return cellResult{per: tb.PerNetworkThroughput(), total: tb.OverallThroughput()}
 	})
@@ -139,25 +142,26 @@ func Fig20and21(opts Options) (Fig20Result, *Table, *Table) {
 	powers := []phy.DBm{-33, -15, -6, -3, -0.6}
 	const othersPower = -0.6
 
+	// All five power cells of a seed share one topology snapshot; each
+	// cell mutates only its own deep copy of the specs (powers, not
+	// positions, so the snapshot's loss matrix stays fully valid).
+	plan := evalPlan(6, 3)
+	topos := snapshotSeeds(opts, topology.Config{
+		Plan:   plan,
+		Layout: topology.LayoutColocated,
+		Power:  topology.FixedPower(othersPower),
+	})
 	type pair struct{ n0, others float64 }
 	grid := runGrid(opts, len(powers), func(cell int, seed int64) pair {
 		p := powers[cell]
-		plan := evalPlan(6, 3)
-		rng := sim.NewRNG(seed)
-		nets, err := topology.Generate(topology.Config{
-			Plan:   plan,
-			Layout: topology.LayoutColocated,
-			Power:  topology.FixedPower(othersPower),
-		}, rng)
-		if err != nil {
-			panic(err)
-		}
+		snap := topos.at(seed)
+		nets := snap.Networks()
 		mid := plan.MiddleIndex()
 		for i := range nets[mid].Senders {
 			nets[mid].Senders[i].TxPower = p
 		}
 		nets[mid].Sink.TxPower = p
-		tb := testbed.New(testbed.Options{Seed: seed})
+		tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
 		for _, spec := range nets {
 			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeDCN})
 		}
@@ -216,8 +220,9 @@ type TableIResult struct {
 // most inter-channel interference.
 func TableI(opts Options) (TableIResult, *Table) {
 	opts = opts.withDefaults()
+	topos := snapshotSeeds(opts, bandConfig(true, topology.LayoutColocated, nil))
 	rows := runSeeds(opts, func(seed int64) []float64 {
-		tb := bandDesign(seed, true, true, topology.LayoutColocated, nil)
+		tb := bandDesign(seed, topos.at(seed), true)
 		tb.Run(opts.Warmup, opts.Measure)
 		return tb.PerNetworkThroughput()
 	})

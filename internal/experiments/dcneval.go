@@ -2,26 +2,22 @@ package experiments
 
 import (
 	"nonortho/internal/phy"
-	"nonortho/internal/sim"
 	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
 
-// fiveNetworks builds the Fig. 13 configuration: five colocated networks
-// spaced cfd apart, with the DCN scheme applied to the selected network
-// indices (nil = none, the w/o-scheme baseline).
-func fiveNetworks(seed int64, cfd phy.MHz, dcnOn func(i int) bool, opts Options) *testbed.Testbed {
-	plan := evalPlan(5, cfd)
-	rng := sim.NewRNG(seed)
-	nets, err := topology.Generate(topology.Config{
-		Plan:   plan,
-		Layout: topology.LayoutColocated,
-	}, rng)
-	if err != nil {
-		panic(err) // static configuration; cannot fail
-	}
-	tb := testbed.New(testbed.Options{Seed: seed})
-	for i, spec := range nets {
+// fiveNetworksConfig is the Fig. 13 configuration: five colocated networks
+// spaced cfd apart.
+func fiveNetworksConfig(cfd phy.MHz) topology.Config {
+	return topology.Config{Plan: evalPlan(5, cfd), Layout: topology.LayoutColocated}
+}
+
+// fiveNetworks instantiates one five-network cell from a shared topology
+// snapshot, with the DCN scheme applied to the selected network indices
+// (nil = none, the w/o-scheme baseline).
+func fiveNetworks(seed int64, snap *topology.Snapshot, dcnOn func(i int) bool) *testbed.Testbed {
+	tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+	for i, spec := range snap.Networks() {
 		scheme := testbed.SchemeFixed
 		if dcnOn != nil && dcnOn(i) {
 			scheme = testbed.SchemeDCN
@@ -46,9 +42,18 @@ type fiveNetsVariant struct {
 // averaged over seeds, fanning all variant×seed simulations across the
 // worker pool in one grid.
 func runFiveNetworksSet(variants []fiveNetsVariant, opts Options) [][]float64 {
+	// One snapshot set per distinct CFD: scheme variants at the same CFD
+	// share placements and geometry. Built serially before the fan-out;
+	// the map is read-only inside the cells.
+	topos := make(map[phy.MHz]seedTopos, len(variants))
+	for _, v := range variants {
+		if _, ok := topos[v.cfd]; !ok {
+			topos[v.cfd] = snapshotSeeds(opts, fiveNetworksConfig(v.cfd))
+		}
+	}
 	grid := runGrid(opts, len(variants), func(cell int, seed int64) []float64 {
 		v := variants[cell]
-		tb := fiveNetworks(seed, v.cfd, v.dcnOn, opts)
+		tb := fiveNetworks(seed, topos[v.cfd].at(seed), v.dcnOn)
 		tb.Run(opts.Warmup, opts.Measure)
 		return tb.PerNetworkThroughput()
 	})

@@ -63,6 +63,13 @@ func TestTableIWorkerCountInvariant(t *testing.T) {
 	})
 }
 
+func TestCoexistenceWorkerCountInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "Coexistence", func(o Options) string {
+		_, tbl := Coexistence(o)
+		return tbl.String()
+	})
+}
+
 // BenchmarkFig19 measures the headline comparison end to end. Run it at
 // contrasting worker counts to see the parallel engine's speedup:
 //

@@ -13,6 +13,8 @@ import (
 
 	"nonortho/internal/parallel"
 	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+	"nonortho/internal/topology"
 )
 
 // Options controls experiment execution. The zero value takes defaults
@@ -96,6 +98,37 @@ func runGrid[T any](opts Options, cells int, run func(cell int, seed int64) T) [
 // drivers whose cells iterate seeds internally or have none.
 func runCells[T any](opts Options, cells int, run func(cell int) T) []T {
 	return parallel.Run(opts.workerCount(), cells, run)
+}
+
+// seedTopos holds one immutable topology snapshot per seed of a run —
+// the shared read-only geometry every cell of that seed builds from.
+type seedTopos struct {
+	base  int64
+	snaps []*topology.Snapshot
+}
+
+// snapshotSeeds builds one topology snapshot per seed (Seed..Seed+Seeds-1)
+// of cfg, serially before the cells fan out across the worker pool. Each
+// snapshot consumes exactly the RNG draws a cell calling
+// topology.Generate(cfg, sim.NewRNG(seed)) itself would, so placements are
+// bit-identical to per-cell generation; cells sharing a (cfg, seed) then
+// share one set of placements and one precomputed path-loss matrix instead
+// of regenerating both.
+func snapshotSeeds(opts Options, cfg topology.Config) seedTopos {
+	st := seedTopos{base: opts.Seed, snaps: make([]*topology.Snapshot, opts.Seeds)}
+	for i := range st.snaps {
+		snap, err := topology.NewSnapshot(cfg, sim.NewRNG(opts.Seed+int64(i)), nil)
+		if err != nil {
+			panic(err) // driver configurations are static; cannot fail
+		}
+		st.snaps[i] = snap
+	}
+	return st
+}
+
+// at returns the snapshot for one seed of the run.
+func (st seedTopos) at(seed int64) *topology.Snapshot {
+	return st.snaps[seed-st.base]
 }
 
 // Table is a printable experiment result.

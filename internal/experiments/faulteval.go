@@ -6,7 +6,6 @@ import (
 	"nonortho/internal/dcn"
 	"nonortho/internal/fault"
 	"nonortho/internal/phy"
-	"nonortho/internal/sim"
 	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
@@ -90,22 +89,13 @@ func (r FaultEvalResult) Row(m FaultModel, scheme string) *FaultRow {
 
 // faultRun executes one seeded run and returns (overall, target goodput,
 // watchdog stats of the target network, injector stats).
-func faultRun(seed int64, fs faultScheme, model FaultModel, opts Options) FaultRow {
-	plan := evalPlan(5, 3)
-	rng := sim.NewRNG(seed)
-	nets, err := topology.Generate(topology.Config{
-		Plan:   plan,
-		Layout: topology.LayoutColocated,
-	}, rng)
-	if err != nil {
-		panic(err) // static configuration; cannot fail
-	}
-	tb := testbed.New(testbed.Options{Seed: seed})
+func faultRun(seed int64, snap *topology.Snapshot, fs faultScheme, model FaultModel, opts Options) FaultRow {
+	tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
 	cfg := testbed.NetworkConfig{Scheme: fs.scheme}
 	if fs.watchdog {
 		cfg.DCN = watchdogConfig()
 	}
-	for _, spec := range nets {
+	for _, spec := range snap.Networks() {
 		tb.AddNetwork(spec, cfg)
 	}
 
@@ -193,8 +183,13 @@ func FaultEval(opts Options) (FaultEvalResult, *Table) {
 	opts = opts.withDefaults()
 	models := FaultModels()
 	schemes := faultSchemes()
+	// All (model, scheme) cells of a seed share one topology snapshot.
+	topos := snapshotSeeds(opts, topology.Config{
+		Plan:   evalPlan(5, 3),
+		Layout: topology.LayoutColocated,
+	})
 	grid := runGrid(opts, len(models)*len(schemes), func(cell int, seed int64) FaultRow {
-		return faultRun(seed, schemes[cell%len(schemes)], models[cell/len(schemes)], opts)
+		return faultRun(seed, topos.at(seed), schemes[cell%len(schemes)], models[cell/len(schemes)], opts)
 	})
 	var res FaultEvalResult
 	for mi, model := range models {

@@ -3,7 +3,24 @@ package experiments
 import (
 	"reflect"
 	"testing"
+
+	"nonortho/internal/sim"
+	"nonortho/internal/topology"
 )
+
+// faultTestSnapshot builds the FaultEval topology for one seed, as the
+// driver's snapshotSeeds would.
+func faultTestSnapshot(t *testing.T, seed int64) *topology.Snapshot {
+	t.Helper()
+	snap, err := topology.NewSnapshot(topology.Config{
+		Plan:   evalPlan(5, 3),
+		Layout: topology.LayoutColocated,
+	}, sim.NewRNG(seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
 
 // TestFaultRunDeterministicReplay asserts the acceptance property: the same
 // seed and fault schedule yield bit-identical experiment output. The jammer
@@ -12,9 +29,10 @@ import (
 // the whole injection stack.
 func TestFaultRunDeterministicReplay(t *testing.T) {
 	opts := Quick().withDefaults()
+	snap := faultTestSnapshot(t, 7)
 	for _, fs := range faultSchemes() {
-		a := faultRun(7, fs, FaultJammer, opts)
-		b := faultRun(7, fs, FaultJammer, opts)
+		a := faultRun(7, snap, fs, FaultJammer, opts)
+		b := faultRun(7, snap, fs, FaultJammer, opts)
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("scheme %s: replay diverged:\n  first  %+v\n  second %+v", fs.name, a, b)
 		}
@@ -26,8 +44,8 @@ func TestFaultRunDeterministicReplay(t *testing.T) {
 func TestFaultRunSeedsDiffer(t *testing.T) {
 	opts := Quick().withDefaults()
 	fs := faultSchemes()[1] // unguarded dcn
-	a := faultRun(1, fs, FaultJammer, opts)
-	b := faultRun(2, fs, FaultJammer, opts)
+	a := faultRun(1, faultTestSnapshot(t, 1), fs, FaultJammer, opts)
+	b := faultRun(2, faultTestSnapshot(t, 2), fs, FaultJammer, opts)
 	if reflect.DeepEqual(a, b) {
 		t.Fatal("different seeds produced identical runs — RNG streams not wired")
 	}
@@ -47,7 +65,8 @@ func TestFaultEvalJammerAcceptance(t *testing.T) {
 	avg := func(fs faultScheme, m FaultModel) FaultRow {
 		var acc FaultRow
 		for s := 0; s < opts.Seeds; s++ {
-			r := faultRun(opts.Seed+int64(s), fs, m, opts)
+			seed := opts.Seed + int64(s)
+			r := faultRun(seed, faultTestSnapshot(t, seed), fs, m, opts)
 			acc.Overall += r.Overall
 			acc.Target += r.Target
 			acc.Recoveries += r.Recoveries

@@ -36,19 +36,18 @@ func Fig1(opts Options) (Fig1Result, *Table) {
 		n   int
 	}{{9, 1}, {5, 2}, {4, 3}, {3, 4}, {2, 6}}
 
-	grid := runGrid(opts, len(cases), func(cell int, seed int64) []float64 {
-		c := cases[cell]
-		plan := evalPlan(c.n, c.cfd)
-		rng := sim.NewRNG(seed)
-		nets, err := topology.Generate(topology.Config{
-			Plan:   plan,
+	// One snapshot set per CFD case, shared across that case's seeds.
+	topos := make([]seedTopos, len(cases))
+	for i, c := range cases {
+		topos[i] = snapshotSeeds(opts, topology.Config{
+			Plan:   evalPlan(c.n, c.cfd),
 			Layout: topology.LayoutColocated,
-		}, rng)
-		if err != nil {
-			panic(err) // static config; cannot fail
-		}
-		tb := testbed.New(testbed.Options{Seed: seed})
-		for _, spec := range nets {
+		})
+	}
+	grid := runGrid(opts, len(cases), func(cell int, seed int64) []float64 {
+		snap := topos[cell].at(seed)
+		tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+		for _, spec := range snap.Networks() {
 			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeFixed})
 		}
 		tb.Run(opts.Warmup, opts.Measure)

@@ -3,7 +3,6 @@ package experiments
 import (
 	"nonortho/internal/assign"
 	"nonortho/internal/phy"
-	"nonortho/internal/sim"
 	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
@@ -54,30 +53,30 @@ func Scarcity(opts Options) (ScarcityResult, *Table) {
 		}},
 		{dcnInstead: true},
 	}
+	// All three strategy cells of a seed share one topology snapshot.
+	// Six network clusters; the plan's frequencies are placeholders that
+	// the assignment rewrites (frequencies never enter the loss matrix).
+	topos := snapshotSeeds(opts, topology.Config{
+		Plan:   evalPlan(6, 3),
+		Layout: topology.LayoutColocated,
+	})
 	grid := runGrid(opts, len(strategies), func(cell int, seed int64) float64 {
 		st := strategies[cell]
-		rng := sim.NewRNG(seed)
-		// Six network clusters; the plan's frequencies are
-		// placeholders that the assignment rewrites.
-		nets, err := topology.Generate(topology.Config{
-			Plan:   evalPlan(6, 3),
-			Layout: topology.LayoutColocated,
-		}, rng)
-		if err != nil {
-			panic(err) // static configuration; cannot fail
-		}
+		snap := topos.at(seed)
+		nets := snap.Networks()
 		scheme := testbed.SchemeFixed
 		if st.dcnInstead {
 			scheme = testbed.SchemeDCN
 		} else {
 			m := assign.Coupling(nets, phy.DefaultPathLoss())
 			a := st.assignFn(m, nets)
+			var err error
 			nets, err = assign.Apply(nets, a, orthogonal)
 			if err != nil {
 				panic(err)
 			}
 		}
-		tb := testbed.New(testbed.Options{Seed: seed})
+		tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
 		for _, spec := range nets {
 			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
 		}

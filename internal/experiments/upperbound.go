@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"nonortho/internal/sim"
 	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
@@ -60,35 +59,32 @@ func UpperBound(opts Options) (UpperBoundResult, *Table) {
 		{"dense, 0 dBm", false},
 		{"Case III, random power", true},
 	}
+	// One snapshot set per geometry: the three policies of a (geometry,
+	// seed) pair share placements and the loss matrix.
+	plan := evalPlan(6, 3)
+	denseTopos := snapshotSeeds(opts, topology.Config{Plan: plan, Layout: topology.LayoutColocated})
+	region, link := caseGeometry(topology.LayoutRandomField)
+	sparseTopos := snapshotSeeds(opts, topology.Config{
+		Plan:         plan,
+		Layout:       topology.LayoutRandomField,
+		Power:        topology.UniformPower(-22, 0),
+		RegionRadius: region,
+		LinkRadius:   link,
+	})
 	// Cells: geometry-major, policy-minor — the table's row order.
 	grid := runGrid(opts, len(geometries)*len(policies), func(cell int, seed int64) float64 {
 		scheme := policies[cell%len(policies)].scheme
-		sparse := geometries[cell/len(policies)].sparse
-		{
-			plan := evalPlan(6, 3)
-			rng := sim.NewRNG(seed)
-			cfg := topology.Config{Plan: plan, Layout: topology.LayoutColocated}
-			if sparse {
-				region, link := caseGeometry(topology.LayoutRandomField)
-				cfg = topology.Config{
-					Plan:         plan,
-					Layout:       topology.LayoutRandomField,
-					Power:        topology.UniformPower(-22, 0),
-					RegionRadius: region,
-					LinkRadius:   link,
-				}
-			}
-			nets, err := topology.Generate(cfg, rng)
-			if err != nil {
-				panic(err) // static configuration; cannot fail
-			}
-			tb := testbed.New(testbed.Options{Seed: seed})
-			for _, spec := range nets {
-				tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
-			}
-			tb.Run(opts.Warmup, opts.Measure)
-			return tb.OverallThroughput()
+		topos := denseTopos
+		if geometries[cell/len(policies)].sparse {
+			topos = sparseTopos
 		}
+		snap := topos.at(seed)
+		tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+		for _, spec := range snap.Networks() {
+			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
+		}
+		tb.Run(opts.Warmup, opts.Measure)
+		return tb.OverallThroughput()
 	})
 
 	var res UpperBoundResult

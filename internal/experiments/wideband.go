@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"nonortho/internal/phy"
-	"nonortho/internal/sim"
 	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
@@ -88,23 +87,20 @@ func BandSweep(opts Options) (BandSweepResult, *Table) {
 }
 
 func widebandRun(nChannels int, opts Options) Fig30Result {
+	// Both scheme cells of a seed share one topology snapshot.
+	topos := snapshotSeeds(opts, topology.Config{
+		Plan:   evalPlan(nChannels, 3),
+		Layout: topology.LayoutColocated,
+	})
 	// Cell 0 = fixed threshold, cell 1 = DCN.
 	grid := runGrid(opts, 2, func(cell int, seed int64) []float64 {
-		plan := evalPlan(nChannels, 3)
-		rng := sim.NewRNG(seed)
-		nets, err := topology.Generate(topology.Config{
-			Plan:   plan,
-			Layout: topology.LayoutColocated,
-		}, rng)
-		if err != nil {
-			panic(err) // static configuration; cannot fail
-		}
-		tb := testbed.New(testbed.Options{Seed: seed})
+		snap := topos.at(seed)
+		tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
 		scheme := testbed.SchemeFixed
 		if cell == 1 {
 			scheme = testbed.SchemeDCN
 		}
-		for _, spec := range nets {
+		for _, spec := range snap.Networks() {
 			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})
 		}
 		tb.Run(opts.Warmup, opts.Measure)

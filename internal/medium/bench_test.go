@@ -52,6 +52,40 @@ func BenchmarkSensedPowerDense(b *testing.B) {
 	}
 }
 
+// BenchmarkSensedPowerChurn interleaves transmission starts, finishes, and
+// CCA samples — the adversarial pattern for the epoch-keyed sum caches,
+// which are invalidated by every on-air change. It also exercises the
+// transmission free-list: every finished transmission's object and per-
+// listener cache array are recycled into the next start.
+func BenchmarkSensedPowerChurn(b *testing.B) {
+	k := sim.NewKernel(1)
+	m := New(k)
+	const nodes = 35
+	ids := make([]int, nodes)
+	probes := make([]*probe, nodes)
+	for i := 0; i < nodes; i++ {
+		p := &probe{pos: phy.Position{X: float64(i%7) * 3, Y: float64(i/7) * 3}}
+		probes[i] = p
+		ids[i] = m.Attach(p)
+	}
+	freqs := []phy.MHz{2460, 2461, 2463, 2465, 2467}
+	f := &frame.Frame{Type: frame.TypeData, Payload: make([]byte, 16)}
+	airtime := sim.FromDuration(f.Airtime())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := (i * 7) % nodes
+		m.Transmit(ids[src], probes[src].pos, 0, freqs[i%len(freqs)], f)
+		_ = m.SensedPower(ids[(i*11)%nodes], freqs[i%len(freqs)], nil)
+		_ = m.SensedPower(ids[(i*17)%nodes], freqs[(i+1)%len(freqs)], nil)
+		if i%8 == 7 {
+			// Advance past every outstanding airtime: the batch finishes
+			// and its objects go back to the pool.
+			k.RunUntil(k.Now() + airtime)
+		}
+	}
+}
+
 // BenchmarkInterferenceDense measures SINR integration over the same dense
 // landscape: the per-segment interference sum a receiver evaluates every
 // time the on-air set changes during a reception.

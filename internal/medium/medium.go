@@ -46,9 +46,13 @@ type Transmission struct {
 
 	// perL caches per-listener quantities that are constant for the
 	// lifetime of the transmission (fading draw, received and in-channel
-	// power in milliwatts), indexed by listener ID. Lazily sized; dies
-	// with the transmission.
+	// power in milliwatts), indexed by listener ID. Lazily sized; zeroed
+	// and reused when the transmission is recycled through the free-list.
 	perL []txListenerCache
+
+	// activeIdx is the transmission's current index in Medium.active
+	// (maintained across swap-removes), or -1 when off the air.
+	activeIdx int
 }
 
 // txListenerCache holds one listener's memoized view of a transmission.
@@ -93,22 +97,60 @@ func WithStaticFadingSigma(sigma float64) Option {
 	return func(md *Medium) { md.staticSigma = sigma }
 }
 
+// LossProvider supplies precomputed path loss for (src, listener) attach-ID
+// pairs — typically a topology snapshot whose n×n loss matrix was built once
+// and is shared read-only across simulation cells. PairLoss must return the
+// bit-identical value the medium's own path-loss model would compute for the
+// given positions, or ok=false when the pair is outside the precomputed set
+// or the positions no longer match the geometry the provider was built from
+// (late-attached or moved nodes); the medium then falls back to computing
+// the loss itself.
+type LossProvider interface {
+	PairLoss(src, listener int, from, to phy.Position) (loss float64, ok bool)
+}
+
+// WithLossProvider installs a precomputed path-loss source consulted before
+// the medium's own model when a link budget is (re)computed.
+func WithLossProvider(p LossProvider) Option {
+	return func(md *Medium) { md.lossProvider = p }
+}
+
 // Medium is the shared channel. Not safe for concurrent use: the simulation
 // is single-threaded by design.
 type Medium struct {
-	kernel      *sim.Kernel
-	pathLoss    phy.PathLossModel
-	rejection   phy.RejectionCurve
-	fadingSigma float64
-	staticSigma float64
-	fadingRNG   *sim.RNG
-	staticRNG   *sim.RNG
+	kernel       *sim.Kernel
+	pathLoss     phy.PathLossModel
+	rejection    phy.RejectionCurve
+	lossProvider LossProvider
+	fadingSigma  float64
+	staticSigma  float64
+	fadingRNG    *sim.RNG
+	staticRNG    *sim.RNG
 
 	listeners []Listener
-	// active holds in-flight transmissions ordered by ID, so that
-	// floating-point power sums are always evaluated in the same order —
-	// a map here would make runs non-deterministic.
+	// active holds the in-flight transmissions. finish removes by
+	// swap-remove, so the slice is NOT ID-ordered; power sums always go
+	// through orderedActive, which restores ID order — floating-point
+	// sums must be evaluated in the same order every run.
 	active []*Transmission
+	// scratch is the reusable ID-ordered copy of active used by resums.
+	// The sorted order is a property of the on-air set alone, so it is
+	// memoized by epoch: the first cache miss after a change sorts, every
+	// other listener missing in the same epoch reuses the result.
+	scratch      []*Transmission
+	scratchEpoch uint64
+	scratchValid bool
+	// txPool is the free-list of recycled Transmission objects. A
+	// finished transmission (and its perL slice) parks here and is reset
+	// on reuse, so steady-state churn allocates nothing.
+	txPool []*Transmission
+	// epoch counts on-air landscape changes (Transmit/finish/Detach/
+	// Moved). Cached per-listener power sums are valid only within the
+	// epoch they were computed in.
+	epoch uint64
+	// sums holds each listener's cached sensing sums, indexed by attach
+	// ID in lockstep with listeners.
+	sums []listenerSums
 	// links caches the per-(src, listener) link budget: the path-loss dB
 	// for the pair's geometry plus its persistent shadowing draw.
 	// Invalidated when either endpoint detaches or moves.
@@ -117,6 +159,35 @@ type Medium struct {
 	// set of channel-pair offsets in a run is tiny and fixed.
 	rejDB    map[phy.MHz]float64
 	nextTxID uint64
+}
+
+// sumCache is one listener's memoized SensedPower (or co-channel) result:
+// the dBm total for one receiver tuning, valid within one epoch. A hit can
+// only occur after the identical ID-ordered loop already ran in the same
+// epoch, so returning the cached value is bit-identical to recomputing —
+// and makes CCA sampling O(1) between on-air changes.
+type sumCache struct {
+	freq  phy.MHz
+	epoch uint64
+	dbm   phy.DBm
+	valid bool
+}
+
+// interfCache is the Interference variant, additionally keyed by the wanted
+// transmission being excluded from the sum.
+type interfCache struct {
+	freq   phy.MHz
+	wanted uint64
+	epoch  uint64
+	dbm    phy.DBm
+	valid  bool
+}
+
+// listenerSums carries one listener's cached sensing sums.
+type listenerSums struct {
+	sensed sumCache
+	coch   sumCache
+	interf interfCache
 }
 
 type linkKey struct {
@@ -168,6 +239,7 @@ func (m *Medium) Rejection() phy.RejectionCurve { return m.rejection }
 // Attach registers a listener and returns its medium ID.
 func (m *Medium) Attach(l Listener) int {
 	m.listeners = append(m.listeners, l)
+	m.sums = append(m.sums, listenerSums{})
 	return len(m.listeners) - 1
 }
 
@@ -199,6 +271,9 @@ func (m *Medium) Detach(id int) {
 			tx.perL[id] = txListenerCache{}
 		}
 	}
+	// The departed listener now measures Silent where a cached sum holds
+	// its old landscape; invalidate every cached sum.
+	m.epoch++
 }
 
 // Moved invalidates the cached path loss of every link-budget row that
@@ -212,6 +287,11 @@ func (m *Medium) Moved(id int) {
 			lb.stale = true
 		}
 	}
+	// Defensive: cached sums of in-flight transmissions are actually
+	// unaffected (their per-transmission powers are frozen), but a moved
+	// node is rare and resumming is cheap, so force it rather than reason
+	// about it.
+	m.epoch++
 }
 
 // Attached reports whether the ID currently belongs to a live listener.
@@ -235,17 +315,16 @@ func (m *Medium) Transmit(src int, pos phy.Position, power phy.DBm, freq phy.MHz
 // occupied width of the signal (zero = narrowband 802.15.4).
 func (m *Medium) TransmitShaped(src int, pos phy.Position, power phy.DBm, freq, bandwidth phy.MHz, f *frame.Frame) *Transmission {
 	now := m.kernel.Now()
-	tx := &Transmission{
-		ID:        m.nextTxID,
-		Src:       src,
-		Pos:       pos,
-		Power:     power,
-		Freq:      freq,
-		Bandwidth: bandwidth,
-		Frame:     f,
-		Start:     now,
-		End:       now + sim.FromDuration(f.Airtime()),
-	}
+	tx := m.newTransmission()
+	tx.ID = m.nextTxID
+	tx.Src = src
+	tx.Pos = pos
+	tx.Power = power
+	tx.Freq = freq
+	tx.Bandwidth = bandwidth
+	tx.Frame = f
+	tx.Start = now
+	tx.End = now + sim.FromDuration(f.Airtime())
 	m.nextTxID++
 	for _, l := range m.listeners {
 		if l == nil {
@@ -253,8 +332,29 @@ func (m *Medium) TransmitShaped(src int, pos phy.Position, power phy.DBm, freq, 
 		}
 		l.OnAir(tx)
 	}
+	tx.activeIdx = len(m.active)
 	m.active = append(m.active, tx)
+	m.epoch++ // after the OnAir fan-out: listeners sensing there see the pre-change landscape
 	m.kernel.At(tx.End, func() { m.finish(tx) })
+	return tx
+}
+
+// newTransmission takes a recycled Transmission off the free-list (resetting
+// it and its zeroed perL slice) or allocates a fresh one. Deterministic LIFO:
+// the medium is single-threaded by design.
+func (m *Medium) newTransmission() *Transmission {
+	n := len(m.txPool)
+	if n == 0 {
+		return &Transmission{activeIdx: -1}
+	}
+	tx := m.txPool[n-1]
+	m.txPool[n-1] = nil
+	m.txPool = m.txPool[:n-1]
+	perL := tx.perL[:cap(tx.perL)]
+	for i := range perL {
+		perL[i] = txListenerCache{}
+	}
+	*tx = Transmission{perL: perL[:0], activeIdx: -1}
 	return tx
 }
 
@@ -265,14 +365,22 @@ func (m *Medium) finish(tx *Transmission) {
 		}
 		l.OffAir(tx)
 	}
-	for i, a := range m.active {
-		if a.ID == tx.ID {
-			m.active = append(m.active[:i], m.active[i+1:]...)
-			break
-		}
+	// Index-tracked swap-remove: O(1) instead of the old linear scan.
+	// ID order of the slice is sacrificed; orderedActive restores it for
+	// every power sum.
+	if i := tx.activeIdx; i >= 0 && i < len(m.active) && m.active[i] == tx {
+		last := len(m.active) - 1
+		m.active[i] = m.active[last]
+		m.active[i].activeIdx = i
+		m.active[last] = nil
+		m.active = m.active[:last]
+		tx.activeIdx = -1
+		m.epoch++ // after the OffAir fan-out: receivers closing segments see tx still on the air
+		// Park the transmission for reuse. Fields stay readable until the
+		// object is actually reused — callers may still inspect Start/End
+		// after the flight — and are reset in newTransmission.
+		m.txPool = append(m.txPool, tx)
 	}
-	// The per-listener cache (fading draws included) is carried by the
-	// Transmission itself and dies with it — nothing to clean up here.
 }
 
 // ActiveCount reports the number of transmissions currently on the air.
@@ -301,7 +409,7 @@ func (m *Medium) link(src, listenerID int, from, to phy.Position) *linkBudget {
 	key := linkKey{src: src, listener: listenerID}
 	lb, ok := m.links[key]
 	if !ok {
-		lb = &linkBudget{from: from, to: to, loss: m.pathLoss.Loss(from.DistanceTo(to))}
+		lb = &linkBudget{from: from, to: to, loss: m.lookupLoss(src, listenerID, from, to)}
 		if m.staticSigma != 0 {
 			lb.static = m.staticRNG.Gaussian(0, m.staticSigma)
 		}
@@ -310,19 +418,38 @@ func (m *Medium) link(src, listenerID int, from, to phy.Position) *linkBudget {
 	}
 	if lb.stale || lb.from != from || lb.to != to {
 		lb.from, lb.to = from, to
-		lb.loss = m.pathLoss.Loss(from.DistanceTo(to))
+		lb.loss = m.lookupLoss(src, listenerID, from, to)
 		lb.stale = false
 	}
 	return lb
 }
 
+// lookupLoss resolves the pair's path loss: from the installed provider's
+// precomputed matrix when the pair and geometry match, else from the
+// medium's own model. Providers guarantee bit-identical values for matched
+// pairs, so the two sources are interchangeable.
+func (m *Medium) lookupLoss(src, listenerID int, from, to phy.Position) float64 {
+	if m.lossProvider != nil {
+		if loss, ok := m.lossProvider.PairLoss(src, listenerID, from, to); ok {
+			return loss
+		}
+	}
+	return m.pathLoss.Loss(from.DistanceTo(to))
+}
+
 // slot returns tx's cache slot for the listener, growing the table to the
-// medium's current listener count on first touch.
+// medium's current listener count on first touch. Recycled transmissions
+// regrow into their previous (zeroed) capacity without allocating.
 func (m *Medium) slot(tx *Transmission, listenerID int) *txListenerCache {
 	if listenerID >= len(tx.perL) {
-		grown := make([]txListenerCache, len(m.listeners))
-		copy(grown, tx.perL)
-		tx.perL = grown
+		n := len(m.listeners)
+		if cap(tx.perL) >= n {
+			tx.perL = tx.perL[:n]
+		} else {
+			grown := make([]txListenerCache, n)
+			copy(grown, tx.perL)
+			tx.perL = grown
+		}
 	}
 	return &tx.perL[listenerID]
 }
@@ -391,16 +518,67 @@ func (m *Medium) rxMW(tx *Transmission, listenerID int) float64 {
 	return s.rxMW
 }
 
+// orderedActive returns the active set sorted by transmission ID, in a
+// scratch slice reused across calls. finish's swap-remove leaves m.active
+// unordered, but every floating-point power sum must run in ID order to
+// stay deterministic; the insertion sort is cheap because the set is small
+// and nearly sorted.
+func (m *Medium) orderedActive() []*Transmission {
+	if m.scratchValid && m.scratchEpoch == m.epoch {
+		return m.scratch
+	}
+	s := append(m.scratch[:0], m.active...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].ID < s[j-1].ID; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	m.scratch = s
+	m.scratchEpoch = m.epoch
+	m.scratchValid = true
+	return s
+}
+
 // SensedPower returns the total in-channel energy a receiver tuned to freq
 // measures at listener l — the quantity the CCA and the RSSI register see.
 // It includes the noise floor; exclude (may be nil) is omitted from the sum,
 // which a transmitting radio uses to ignore its own signal.
+//
+// The sum is cached per listener and tuning, keyed by the on-air epoch:
+// repeated samples between on-air changes — the CCA hot path — cost O(1).
+// The cache is exact, not approximate: a hit can only occur after the
+// identical ID-ordered loop already ran in the same epoch, so both the
+// returned bits and the lazy fading/shadowing RNG draw order match the
+// direct computation.
 func (m *Medium) SensedPower(listenerID int, freq phy.MHz, exclude *Transmission) phy.DBm {
 	if m.listeners[listenerID] == nil {
 		return phy.Silent // detached listener measures nothing
 	}
+	if exclude != nil && exclude.Src != listenerID {
+		// Excluding a foreign transmission changes the sum's composition
+		// in a way the per-listener cache does not model; compute
+		// directly. A radio ignoring its own signal (the common case,
+		// exclude.Src == listenerID) skips the same set of transmissions
+		// as exclude == nil, because the listener's own transmissions are
+		// always skipped — the cached value is valid for both.
+		return m.sensedPowerDirect(listenerID, freq, exclude)
+	}
+	c := &m.sums[listenerID].sensed
+	if !c.valid || c.epoch != m.epoch || c.freq != freq {
+		*c = sumCache{
+			freq:  freq,
+			epoch: m.epoch,
+			dbm:   m.sensedPowerDirect(listenerID, freq, exclude),
+			valid: true,
+		}
+	}
+	return c.dbm
+}
+
+// sensedPowerDirect is the reference ID-ordered sum behind SensedPower.
+func (m *Medium) sensedPowerDirect(listenerID int, freq phy.MHz, exclude *Transmission) phy.DBm {
 	total := noiseFloorMW
-	for _, tx := range m.active {
+	for _, tx := range m.orderedActive() {
 		if exclude != nil && tx.ID == exclude.ID {
 			continue
 		}
@@ -418,12 +596,31 @@ func (m *Medium) SensedPower(listenerID int, freq phy.MHz, exclude *Transmission
 // this quantity — its energy detector integrates the whole filter
 // bandwidth — so this accessor exists for the oracle CCA policy that
 // quantifies the paper's Section VII-C future-work upper bound.
+// Cached per (listener, tuning, epoch) exactly like SensedPower.
 func (m *Medium) SensedCoChannelPower(listenerID int, freq phy.MHz, exclude *Transmission) phy.DBm {
 	if m.listeners[listenerID] == nil {
 		return phy.Silent // detached listener measures nothing
 	}
+	if exclude != nil && exclude.Src != listenerID {
+		return m.sensedCoChannelDirect(listenerID, freq, exclude)
+	}
+	c := &m.sums[listenerID].coch
+	if !c.valid || c.epoch != m.epoch || c.freq != freq {
+		*c = sumCache{
+			freq:  freq,
+			epoch: m.epoch,
+			dbm:   m.sensedCoChannelDirect(listenerID, freq, exclude),
+			valid: true,
+		}
+	}
+	return c.dbm
+}
+
+// sensedCoChannelDirect is the reference ID-ordered sum behind
+// SensedCoChannelPower.
+func (m *Medium) sensedCoChannelDirect(listenerID int, freq phy.MHz, exclude *Transmission) phy.DBm {
 	total := noiseFloorMW
-	for _, tx := range m.active {
+	for _, tx := range m.orderedActive() {
 		if exclude != nil && tx.ID == exclude.ID {
 			continue
 		}
@@ -437,10 +634,27 @@ func (m *Medium) SensedCoChannelPower(listenerID int, freq phy.MHz, exclude *Tra
 
 // Interference returns the combined in-channel interference (excluding the
 // noise floor and the wanted transmission itself) a receiver locked to
-// wanted experiences at listener l.
+// wanted experiences at listener l. Cached per (listener, tuning, wanted,
+// epoch) — a receiver repeatedly probing the landscape around one locked
+// frame between on-air changes pays the loop once.
 func (m *Medium) Interference(wanted *Transmission, listenerID int, freq phy.MHz) phy.DBm {
+	c := &m.sums[listenerID].interf
+	if !c.valid || c.epoch != m.epoch || c.freq != freq || c.wanted != wanted.ID {
+		*c = interfCache{
+			freq:   freq,
+			wanted: wanted.ID,
+			epoch:  m.epoch,
+			dbm:    m.interferenceDirect(wanted, listenerID, freq),
+			valid:  true,
+		}
+	}
+	return c.dbm
+}
+
+// interferenceDirect is the reference ID-ordered sum behind Interference.
+func (m *Medium) interferenceDirect(wanted *Transmission, listenerID int, freq phy.MHz) phy.DBm {
 	total := 0.0
-	for _, tx := range m.active {
+	for _, tx := range m.orderedActive() {
 		if tx.ID == wanted.ID || tx.Src == listenerID {
 			continue
 		}

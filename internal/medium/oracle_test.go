@@ -1,0 +1,209 @@
+package medium
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+// The differential oracle: the cached sensing accessors must return values
+// bit-identical to a brute-force sum the test maintains itself, under a
+// randomized churn of transmissions starting and ending, listeners
+// detaching and attaching, receivers retuning across channels, and radios
+// excluding their own signal. The oracle tracks the on-air set through the
+// public OnAir/OffAir listener callbacks and sums per-transmission powers
+// through the public InChannelPower/RxPower accessors in ID order — it
+// never touches the medium's active slice, epoch counter, or sum caches.
+
+// trackerListener forwards air events to the test's own bookkeeping.
+type trackerListener struct {
+	pos    phy.Position
+	onAir  func(*Transmission)
+	offAir func(*Transmission)
+}
+
+func (l *trackerListener) Position() phy.Position { return l.pos }
+func (l *trackerListener) OnAir(tx *Transmission) {
+	if l.onAir != nil {
+		l.onAir(tx)
+	}
+}
+func (l *trackerListener) OffAir(tx *Transmission) {
+	if l.offAir != nil {
+		l.offAir(tx)
+	}
+}
+
+func TestCachedSumsMatchBruteForce(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			testCachedSumsMatchBruteForce(t, seed)
+		})
+	}
+}
+
+func testCachedSumsMatchBruteForce(t *testing.T, seed int64) {
+	k := sim.NewKernel(seed)
+	m := New(k) // default fading + shadowing: exercise the lazy RNG draws
+	rng := sim.NewRNG(seed * 977)
+	channels := []phy.MHz{2458, 2460, 2461, 2463}
+
+	// The test's own view of the air, maintained purely from listener
+	// callbacks.
+	var active []*Transmission
+	track := func(l *trackerListener) {
+		l.onAir = func(tx *Transmission) { active = append(active, tx) }
+		l.offAir = func(tx *Transmission) {
+			for i, a := range active {
+				if a == tx {
+					active = append(active[:i], active[i+1:]...)
+					return
+				}
+			}
+			t.Fatalf("OffAir for unknown transmission %d", tx.ID)
+		}
+	}
+
+	// Brute-force references, iterating a freshly sorted copy of the
+	// tracked set. These mirror the documented semantics, not the
+	// implementation's bookkeeping.
+	ordered := func() []*Transmission {
+		s := append([]*Transmission(nil), active...)
+		sort.Slice(s, func(i, j int) bool { return s[i].ID < s[j].ID })
+		return s
+	}
+	bruteSensed := func(lid int, freq phy.MHz, exclude *Transmission) phy.DBm {
+		total := noiseFloorMW
+		for _, tx := range ordered() {
+			if exclude != nil && tx.ID == exclude.ID {
+				continue
+			}
+			if tx.Src == lid {
+				continue
+			}
+			total += m.InChannelPower(tx, lid, freq).Milliwatts()
+		}
+		return phy.FromMilliwatts(total)
+	}
+	bruteCoChannel := func(lid int, freq phy.MHz, exclude *Transmission) phy.DBm {
+		total := noiseFloorMW
+		for _, tx := range ordered() {
+			if exclude != nil && tx.ID == exclude.ID {
+				continue
+			}
+			if tx.Src == lid || tx.Freq != freq {
+				continue
+			}
+			total += m.RxPower(tx, lid).Milliwatts()
+		}
+		return phy.FromMilliwatts(total)
+	}
+	bruteInterference := func(wanted *Transmission, lid int, freq phy.MHz) phy.DBm {
+		total := 0.0
+		for _, tx := range ordered() {
+			if tx.ID == wanted.ID || tx.Src == lid {
+				continue
+			}
+			total += m.InChannelPower(tx, lid, freq).Milliwatts()
+		}
+		return phy.FromMilliwatts(total)
+	}
+
+	// Six listeners scattered over the field; listener 0 maintains the
+	// tracked set. One extra joins and one leaves mid-run.
+	pos := make(map[int]phy.Position)
+	var ids []int
+	attach := func(p phy.Position, tracked bool) int {
+		l := &trackerListener{pos: p}
+		if tracked {
+			track(l)
+		}
+		id := m.Attach(l)
+		pos[id] = p
+		ids = append(ids, id)
+		return id
+	}
+	for i := 0; i < 6; i++ {
+		attach(phy.Position{
+			X: rng.Float64()*40 - 20,
+			Y: rng.Float64()*40 - 20,
+		}, i == 0)
+	}
+	victim := ids[len(ids)-1] // detached mid-run, never transmits
+
+	check := func() {
+		for _, lid := range ids {
+			if !m.Attached(lid) {
+				if got := m.SensedPower(lid, channels[0], nil); got != phy.Silent {
+					t.Fatalf("detached listener %d: SensedPower = %v, want Silent", lid, got)
+				}
+				continue
+			}
+			freq := channels[rng.Intn(len(channels))]
+			// Find this listener's own transmission and a foreign one, if
+			// any are up, to exercise both exclude paths.
+			var own, foreign *Transmission
+			for _, tx := range active {
+				if tx.Src == lid {
+					own = tx
+				} else {
+					foreign = tx
+				}
+			}
+			// Sample twice: the first call fills the per-listener cache,
+			// the second must hit it and return the identical bits.
+			for pass := 0; pass < 2; pass++ {
+				for _, excl := range []*Transmission{nil, own, foreign} {
+					if got, want := m.SensedPower(lid, freq, excl), bruteSensed(lid, freq, excl); got != want {
+						t.Fatalf("t=%v listener %d freq %v excl %v pass %d: SensedPower = %v, want %v",
+							k.Now(), lid, freq, excl, pass, got, want)
+					}
+					if got, want := m.SensedCoChannelPower(lid, freq, excl), bruteCoChannel(lid, freq, excl); got != want {
+						t.Fatalf("t=%v listener %d freq %v excl %v pass %d: SensedCoChannelPower = %v, want %v",
+							k.Now(), lid, freq, excl, pass, got, want)
+					}
+				}
+				if len(active) > 0 {
+					wanted := active[0]
+					if got, want := m.Interference(wanted, lid, freq), bruteInterference(wanted, lid, freq); got != want {
+						t.Fatalf("t=%v listener %d freq %v wanted %d pass %d: Interference = %v, want %v",
+							k.Now(), lid, freq, wanted.ID, pass, got, want)
+					}
+				}
+			}
+		}
+	}
+
+	// Churn: transmissions start at random times on random channels from
+	// random sources, and end whenever their airtime runs out. Samples are
+	// interleaved throughout; retunes are the samples' changing freq
+	// argument.
+	const span = 2 * time.Second
+	for i := 0; i < 120; i++ {
+		at := time.Duration(rng.Intn(int(span)))
+		src := ids[rng.Intn(len(ids)-1)] // never the victim
+		freq := channels[rng.Intn(len(channels))]
+		power := phy.DBm(rng.Float64()*25 - 25)
+		payload := 8 + rng.Intn(112)
+		k.After(at, func() {
+			m.Transmit(src, pos[src], power, freq, testFrame(payload))
+		})
+	}
+	for i := 0; i < 250; i++ {
+		k.After(time.Duration(rng.Intn(int(span))), check)
+	}
+	k.After(span/2, func() { m.Detach(victim) })
+	k.After(3*span/4, func() {
+		attach(phy.Position{X: rng.Float64() * 10, Y: -5}, false)
+		check()
+	})
+	k.Run()
+	if len(active) != 0 {
+		t.Fatalf("tracked set not empty after run: %d left", len(active))
+	}
+	check() // quiescent air: pure noise floor everywhere
+}

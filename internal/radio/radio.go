@@ -132,6 +132,11 @@ type Radio struct {
 	ownTx  *medium.Transmission
 	energy energyMeter
 
+	// rxBuf backs rx: the state never escapes a reception (receivers get a
+	// Reception value), so one embedded buffer per radio replaces a heap
+	// allocation per lock-on.
+	rxBuf receptionState
+
 	// OnReceive is invoked for every co-channel frame whose preamble was
 	// captured, including CRC failures and frames addressed elsewhere —
 	// the promiscuous view the DCN CCA-Adjustor needs.
@@ -313,12 +318,13 @@ func (r *Radio) OnAir(tx *medium.Transmission) {
 		// arrival steals the lock.
 		if r.cfg.CaptureMargin > 0 && tx.Freq == r.cfg.Freq {
 			if newSignal := r.medium.RxPower(tx, r.id); newSignal >= r.rx.signal+r.cfg.CaptureMargin {
-				r.rx = &receptionState{
+				r.rxBuf = receptionState{
 					tx:       tx,
 					signal:   newSignal,
 					segStart: r.kernel.Now(),
 					collided: true,
 				}
+				r.rx = &r.rxBuf
 			}
 		}
 		return
@@ -333,11 +339,12 @@ func (r *Radio) OnAir(tx *medium.Transmission) {
 		return
 	}
 	r.setState(StateRX)
-	r.rx = &receptionState{
+	r.rxBuf = receptionState{
 		tx:       tx,
 		signal:   signal,
 		segStart: r.kernel.Now(),
 	}
+	r.rx = &r.rxBuf
 	if r.medium.Interference(tx, r.id, r.cfg.Freq) > phy.Silent {
 		r.rx.collided = true
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nonortho/internal/phy"
+	"nonortho/internal/sim"
 	"nonortho/internal/topology"
 )
 
@@ -37,6 +38,53 @@ func BenchmarkSimulatedSecond(b *testing.B) {
 		tb.Run(0, time.Second)
 	}
 	b.ReportMetric(tb.OverallThroughput(), "pkt/s")
+}
+
+// BenchmarkCellSetup measures standing up one six-network experiment cell
+// and simulating its first 100 virtual milliseconds — the phase where
+// every node pair's link budget is created — two ways: regenerating the
+// topology from scratch (what every cell paid before shared snapshots)
+// versus instantiating from a prebuilt snapshot, where placements and the
+// path-loss matrix are computed once per (configuration, seed) and shared
+// read-only across cells.
+func BenchmarkCellSetup(b *testing.B) {
+	cfg := topology.Config{
+		Plan: phy.ChannelPlan{
+			Start: 2458, Bandwidth: 15, CFD: 3,
+			Centers: []phy.MHz{2458, 2461, 2464, 2467, 2470, 2473},
+		},
+		Layout: topology.LayoutColocated,
+	}
+	const warm = 100 * time.Millisecond
+	b.Run("fresh-generate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nets, err := topology.Generate(cfg, sim.NewRNG(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tb := New(Options{Seed: 1})
+			for _, spec := range nets {
+				tb.AddNetwork(spec, NetworkConfig{})
+			}
+			tb.Run(warm, 0)
+		}
+	})
+	b.Run("shared-snapshot", func(b *testing.B) {
+		snap, err := topology.NewSnapshot(cfg, sim.NewRNG(1), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tb := New(Options{Seed: 1, Topology: snap})
+			for _, spec := range snap.Networks() {
+				tb.AddNetwork(spec, NetworkConfig{})
+			}
+			tb.Run(warm, 0)
+		}
+	})
 }
 
 // BenchmarkSimulatedSecondDCN is the same with every network running the

@@ -74,6 +74,13 @@ type Options struct {
 	// PathLoss overrides the propagation model (default indoor
 	// 48 dB @ 1 m, exponent 3.5).
 	PathLoss phy.PathLossModel
+	// Topology, when set, is the immutable shared snapshot the cell was
+	// built from: its precomputed path-loss matrix is installed on the
+	// medium so pairwise losses come from a read-only lookup instead of
+	// being recomputed per cell. When PathLoss is unset the snapshot's
+	// model becomes the medium's model; when both are set they must
+	// describe the same propagation or the snapshot is ignored.
+	Topology *topology.Snapshot
 }
 
 func (o Options) withDefaults() Options {
@@ -89,7 +96,11 @@ func (o Options) withDefaults() Options {
 		o.StaticFadingSigma = 0
 	}
 	if o.PathLoss == nil {
-		o.PathLoss = phy.DefaultPathLoss()
+		if o.Topology != nil {
+			o.PathLoss = o.Topology.Model()
+		} else {
+			o.PathLoss = phy.DefaultPathLoss()
+		}
 	}
 	return o
 }
@@ -187,10 +198,17 @@ type Testbed struct {
 func New(opts Options) *Testbed {
 	opts = opts.withDefaults()
 	k := sim.NewKernel(opts.Seed)
-	m := medium.New(k,
+	mopts := []medium.Option{
 		medium.WithFadingSigma(opts.FadingSigma),
 		medium.WithStaticFadingSigma(opts.StaticFadingSigma),
-		medium.WithPathLoss(opts.PathLoss))
+		medium.WithPathLoss(opts.PathLoss),
+	}
+	// The snapshot's matrix is only valid under the model it was computed
+	// with; a conflicting explicit PathLoss wins and the matrix is skipped.
+	if opts.Topology != nil && opts.PathLoss == opts.Topology.Model() {
+		mopts = append(mopts, medium.WithLossProvider(opts.Topology))
+	}
+	m := medium.New(k, mopts...)
 	return &Testbed{Kernel: k, Medium: m, opts: opts, nextAddr: 1}
 }
 

@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+// Snapshot is an immutable capture of one generated deployment: the network
+// specifications plus the full node-pair path-loss matrix, precomputed once.
+// Experiment drivers build one snapshot per (configuration, seed) before
+// fanning simulation cells across the worker pool, so every cell that reuses
+// the configuration shares the same placements and geometry read-only
+// instead of regenerating them — and the medium, via the LossProvider hook,
+// skips recomputing per-pair path loss during cell setup and link-cache
+// fills.
+//
+// Node indices follow testbed attach order: for each network in turn, the
+// sink first, then its senders. The loss matrix is computed with exactly
+// the expression the medium itself uses (model.Loss of the pair distance),
+// so matrix lookups are bit-identical to lazy computation; PairLoss
+// verifies positions before answering and reports ok=false for nodes that
+// moved or attached outside the snapshot (e.g. a late-added interferer),
+// letting the medium fall back to its own model.
+type Snapshot struct {
+	nets  []NetworkSpec
+	pos   []phy.Position
+	loss  []float64 // n×n, row-major: loss[src*n+dst]
+	n     int
+	model phy.PathLossModel
+}
+
+// NewSnapshot generates a deployment from cfg and rng (consuming exactly
+// the draws Generate would) and precomputes its path-loss matrix under
+// model (nil = phy.DefaultPathLoss, the testbed default).
+func NewSnapshot(cfg Config, rng *sim.RNG, model phy.PathLossModel) (*Snapshot, error) {
+	nets, err := Generate(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return SnapshotFromSpecs(nets, model), nil
+}
+
+// SnapshotFromSpecs captures an explicit set of network specifications —
+// for hand-placed topologies — and precomputes the path-loss matrix.
+func SnapshotFromSpecs(nets []NetworkSpec, model phy.PathLossModel) *Snapshot {
+	if model == nil {
+		model = phy.DefaultPathLoss()
+	}
+	s := &Snapshot{nets: copySpecs(nets), model: model}
+	for _, net := range s.nets {
+		s.pos = append(s.pos, net.Sink.Pos)
+		for _, nd := range net.Senders {
+			s.pos = append(s.pos, nd.Pos)
+		}
+	}
+	s.n = len(s.pos)
+	s.loss = make([]float64, s.n*s.n)
+	for i := 0; i < s.n; i++ {
+		for j := 0; j < s.n; j++ {
+			s.loss[i*s.n+j] = model.Loss(s.pos[i].DistanceTo(s.pos[j]))
+		}
+	}
+	return s
+}
+
+// Networks returns a deep copy of the captured network specifications.
+// Callers mutate their copy freely (per-cell power overrides, extra nodes)
+// without corrupting the snapshot shared across cells; PairLoss's position
+// check keeps the matrix safe against any such mutation.
+func (s *Snapshot) Networks() []NetworkSpec { return copySpecs(s.nets) }
+
+// NumNodes reports the number of nodes captured in the matrix.
+func (s *Snapshot) NumNodes() int { return s.n }
+
+// Model returns the path-loss model the matrix was computed under.
+func (s *Snapshot) Model() phy.PathLossModel { return s.model }
+
+// PairLoss implements the medium's LossProvider: it returns the precomputed
+// loss for the (src, listener) attach-ID pair when both indices are inside
+// the snapshot and both positions still match the captured geometry. The
+// position check makes the lookup self-verifying — a mismatched node (late
+// attacher, mover, or an index shifted by caller-added nodes) simply falls
+// back to the medium's own model, never to a wrong value. Safe for
+// concurrent use: the snapshot is immutable after construction.
+func (s *Snapshot) PairLoss(src, listener int, from, to phy.Position) (float64, bool) {
+	if src < 0 || src >= s.n || listener < 0 || listener >= s.n {
+		return 0, false
+	}
+	if s.pos[src] != from || s.pos[listener] != to {
+		return 0, false
+	}
+	return s.loss[src*s.n+listener], true
+}
+
+// copySpecs deep-copies network specifications (the Senders slices are the
+// only shared backing arrays; NodeSpec is a value type).
+func copySpecs(nets []NetworkSpec) []NetworkSpec {
+	out := make([]NetworkSpec, len(nets))
+	copy(out, nets)
+	for i := range out {
+		out[i].Senders = append([]NodeSpec(nil), nets[i].Senders...)
+	}
+	return out
+}
