@@ -1,7 +1,7 @@
 GO ?= go
 BENCH ?= .
-BENCH_OUT ?= BENCH_PR3.json
-BENCH_BASE ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR4.json
+BENCH_BASE ?= BENCH_PR3.json
 
 .PHONY: check vet build test race fuzz bench benchsmoke bench-compare
 
@@ -29,11 +29,14 @@ fuzz:
 bench:
 	$(GO) run ./cmd/dcnbench -bench '$(BENCH)' -out $(BENCH_OUT)
 
-## benchsmoke: one iteration of the fast kernel/medium benchmarks, to
-## catch benchmark-code rot without paying full measurement time.
+## benchsmoke: one iteration of the fast kernel/medium/testbed
+## benchmarks, to catch benchmark-code rot without paying full
+## measurement time.
 benchsmoke:
-	$(GO) run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense' \
+	$(GO) run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense|OnAirFanout' \
 		-benchtime 1x -pkgs ./internal/sim,./internal/medium -out /dev/null
+	$(GO) run ./cmd/dcnbench -bench 'CellSetupArena' \
+		-benchtime 1x -pkgs ./internal/testbed -out /dev/null
 
 ## bench-compare: run the benchmarks into $(BENCH_OUT), then fail if any
 ## shared benchmark's ns/op regressed >20% against $(BENCH_BASE).

@@ -8,17 +8,32 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
 go build ./...
+echo "== dissemination oracle + filter tests under -race"
+# The interest-filter correctness surface, run first and by name: the
+# brute-force sensing oracle (filter on and off), the filter-on/off
+# bit-identity replay, the frozen-delivery-set edge cases, and the arena
+# recycling contract. A filtering bug fails here in seconds instead of
+# somewhere inside the full suite below.
+go test -race -count=1 \
+	-run 'TestCachedSumsMatchBruteForce|TestFilteredChurnBitIdentical|TestRetuneWhileOnAir|TestDetachWithPendingInterest|TestWidebandDeliverySpansBands' \
+	./internal/medium
+go test -race -count=1 ./internal/arena ./internal/sim
 echo "== go test -race ./..."
-go test -race ./...
+# Race instrumentation is 5-20x on a single core; give the experiment
+# grids headroom beyond the 10m default before calling a hang.
+go test -race -timeout 1800s ./...
 echo "== bench smoke (1 iteration)"
-go run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense' \
+go run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense|OnAirFanout' \
 	-benchtime 1x -pkgs ./internal/sim,./internal/medium -out /dev/null
-echo "== bench compare smoke (vs BENCH_PR2.json)"
-# Only the medium sensing benchmarks: they sped up severalfold in PR 3, so
-# a >20% regression signal here is real, not measurement noise.
+go run ./cmd/dcnbench -bench 'CellSetupArena' \
+	-benchtime 1x -pkgs ./internal/testbed -out /dev/null
+echo "== bench compare smoke (vs BENCH_PR3.json)"
+# The medium sensing benchmarks (sped up severalfold in PR 3) plus the
+# PR 4 dissemination fan-out: all are tight enough that a >20% regression
+# signal here is real, not measurement noise.
 smoke_json=$(mktemp)
-go run ./cmd/dcnbench -bench 'SensedPowerDense|InterferenceDense' \
-	-benchtime 200000x -pkgs ./internal/medium -out "$smoke_json"
-go run ./cmd/dcnbench -compare BENCH_PR2.json "$smoke_json"
+go run ./cmd/dcnbench -bench 'SensedPowerDense|InterferenceDense|OnAirFanout' \
+	-benchtime 100000x -pkgs ./internal/medium -out "$smoke_json"
+go run ./cmd/dcnbench -compare BENCH_PR3.json "$smoke_json"
 rm -f "$smoke_json"
 echo "check: OK"

@@ -55,22 +55,21 @@ func run(args []string) error {
 		return fmt.Errorf("unknown scheme %q", *scheme)
 	}
 
-	tb := testbed.New(testbed.Options{Seed: *seed})
-	rec := tb.EnableTrace(*capacity)
-
 	centers := make([]phy.MHz, *networks)
 	for i := range centers {
 		centers[i] = 2458 + phy.MHz(3*i)
 	}
 	rng := sim.NewRNG(*seed)
-	nets, err := topology.Generate(topology.Config{
+	snap, err := topology.NewSnapshot(topology.Config{
 		Plan:   phy.ChannelPlan{Centers: centers, CFD: 3},
 		Layout: topology.LayoutColocated,
-	}, rng)
+	}, rng, nil)
 	if err != nil {
 		return err
 	}
-	for _, spec := range nets {
+	tb := testbed.New(testbed.Options{Seed: *seed, Topology: snap})
+	rec := tb.EnableTrace(*capacity)
+	for _, spec := range snap.Networks() {
 		tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: s})
 	}
 	tb.Run(2*time.Second, *duration)

@@ -1,0 +1,106 @@
+// Package arena pools warm simulation machinery across cells. An
+// experiment grid runs thousands of short (configuration, seed, scheme)
+// cells, and before the arena existed every one of them paid ~1 ms of
+// setup: a fresh kernel, medium, and a radio per node, each dragging in
+// event-node pools, transmission free-lists and per-listener cache slabs
+// that the previous cell had already grown to size.
+//
+// An Arena keeps released Cores — a kernel/medium pair plus the radios
+// ever built on it — and leases them to new cells. Leasing resets the
+// kernel (clock, queue, reseeded streams), the medium (listeners, caches,
+// free-lists kept), and hands radios back out in creation order, so a
+// recycled core is bit-identical in behaviour to a freshly constructed
+// one: cells produce the same results whether they run on a new core, a
+// reused core, or no arena at all, regardless of which worker released
+// the core they happen to lease. The arena itself is safe for concurrent
+// Lease/Release from the parallel engine's workers; a leased Core is
+// single-threaded like everything else in the simulation.
+package arena
+
+import (
+	"sync"
+
+	"nonortho/internal/medium"
+	"nonortho/internal/radio"
+	"nonortho/internal/sim"
+)
+
+// Arena is a concurrency-safe pool of released Cores.
+type Arena struct {
+	mu    sync.Mutex
+	cores []*Core
+}
+
+// New returns an empty arena.
+func New() *Arena { return &Arena{} }
+
+// Core is one cell's worth of simulation machinery: the kernel and medium
+// every component binds to, plus the recycled radios built on them. A Core
+// belongs to exactly one cell between Lease and Release.
+type Core struct {
+	Kernel *sim.Kernel
+	Medium *medium.Medium
+
+	owner  *Arena
+	radios []*radio.Radio
+	used   int
+}
+
+// Lease returns a core reset for the given seed and medium options —
+// recycled from the pool when one is available, freshly built otherwise.
+// The caller owns the core until Release.
+func (a *Arena) Lease(seed int64, mopts ...medium.Option) *Core {
+	a.mu.Lock()
+	var c *Core
+	if n := len(a.cores); n > 0 {
+		c = a.cores[n-1]
+		a.cores[n-1] = nil
+		a.cores = a.cores[:n-1]
+	}
+	a.mu.Unlock()
+	if c == nil {
+		k := sim.NewKernel(seed)
+		return &Core{Kernel: k, Medium: medium.New(k, mopts...), owner: a}
+	}
+	c.owner = a
+	// Kernel first: the medium re-leases its fading/shadowing streams from
+	// the kernel, which must already be rewound to the new seed.
+	c.Kernel.Reset(seed)
+	c.Medium.Reset(mopts...)
+	c.used = 0
+	return c
+}
+
+// NewRadio builds or recycles a radio attached to the core's medium.
+// Radios are handed out in creation order, so a cell leasing a recycled
+// core reuses the same structs, re-initialised, in the same sequence its
+// nodes were built — Reinit makes each one indistinguishable from a fresh
+// radio.New.
+func (c *Core) NewRadio(cfg radio.Config) *radio.Radio {
+	if c.used < len(c.radios) {
+		r := c.radios[c.used]
+		c.used++
+		r.Reinit(c.Kernel, c.Medium, cfg)
+		return r
+	}
+	r := radio.New(c.Kernel, c.Medium, cfg)
+	c.radios = append(c.radios, r)
+	c.used++
+	return r
+}
+
+// Release returns the core to its arena for the next cell. The caller
+// must be completely done with the cell — kernel, medium, and every radio
+// leased from the core may be handed to another goroutine's cell
+// immediately. Double release is a programming error; Release panics
+// rather than let two cells share live state.
+func (c *Core) Release() {
+	a := c.owner
+	if a == nil {
+		panic("arena: Core released twice")
+	}
+	c.owner = nil
+	a.mu.Lock()
+	a.cores = append(a.cores, c)
+	a.mu.Unlock()
+}

@@ -59,7 +59,9 @@ func AblationDCN(opts Options) (AblationResult, *Table) {
 		LinkRadius:   link,
 	})
 	grid := runGrid(opts, len(variants), func(cell int, seed int64) float64 {
-		return ablationRun(seed, topos.at(seed), variants[cell].cfg, opts).OverallThroughput()
+		tb := ablationRun(seed, topos.at(seed), variants[cell].cfg, opts)
+		defer tb.Close()
+		return tb.OverallThroughput()
 	})
 	totals := make(map[string]float64, len(variants))
 	for i, v := range variants {
@@ -85,7 +87,7 @@ func AblationDCN(opts Options) (AblationResult, *Table) {
 }
 
 func ablationRun(seed int64, snap *topology.Snapshot, cfg *dcn.Config, opts Options) *testbed.Testbed {
-	tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+	tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
 	for _, spec := range snap.Networks() {
 		nc := testbed.NetworkConfig{Scheme: testbed.SchemeFixed}
 		if cfg != nil {
@@ -133,6 +135,7 @@ func EnergyComparison(opts Options) (EnergyResult, *Table) {
 			topos = dcnTopos
 		}
 		tb := bandDesign(seed, topos.at(seed), nonOrtho)
+		defer tb.Close()
 		tb.Run(opts.Warmup, opts.Measure)
 		var c cellSums
 		c.seconds = tb.MeasuredDuration().Seconds()
@@ -211,7 +214,8 @@ func CaseIIRecovery(opts Options) (CaseIIRecoveryResult, *Table) {
 	grid := runGrid(opts, 2, func(cell int, seed int64) cellResult {
 		disableCaseII := cell == 1
 		snap := topos.at(seed)
-		tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+		tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+		defer tb.Close()
 		{
 			nets := snap.Networks()
 			mid := plan.MiddleIndex()

@@ -4,7 +4,6 @@ import (
 	"nonortho/internal/beacon"
 	"nonortho/internal/dcn"
 	"nonortho/internal/frame"
-	"nonortho/internal/medium"
 	"nonortho/internal/phy"
 	"nonortho/internal/radio"
 	"nonortho/internal/sim"
@@ -38,15 +37,16 @@ func BeaconMode(opts Options) (BeaconModeResult, *Table) {
 	grid := runGrid(opts, 2, func(cell int, seed int64) float64 {
 		useDCN := cell == 1
 		{
-			k := sim.NewKernel(seed)
-			m := medium.New(k)
+			core := leaseCore(seed)
+			defer core.Release()
+			k := core.Kernel
 			sched := beacon.Schedule{BeaconOrder: 3, SuperframeOrder: 3}
 
 			const pans = 4
 			coords := make([]*beacon.Coordinator, pans)
 			addr := frame.Address(1)
 			newRadio := func(x, y float64, freq phy.MHz) *radio.Radio {
-				r := radio.New(k, m, radio.Config{
+				r := core.NewRadio(radio.Config{
 					Pos:          phy.Position{X: x, Y: y},
 					Freq:         freq,
 					TxPower:      0,

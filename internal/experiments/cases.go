@@ -49,6 +49,7 @@ func runCase(layout topology.Layout, opts Options) CaseResult {
 			topos = cfdTopos
 		}
 		tb := caseDesign(seed, topos.at(seed), cell == 2)
+		defer tb.Close()
 		tb.Run(opts.Warmup, opts.Measure)
 		return tb.OverallThroughput()
 	})
@@ -81,7 +82,7 @@ func caseConfig(nonOrthogonal bool, layout topology.Layout, power topology.Power
 
 // caseDesign instantiates one deployment-case cell from a shared snapshot.
 func caseDesign(seed int64, snap *topology.Snapshot, dcnEnabled bool) *testbed.Testbed {
-	tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+	tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
 	scheme := testbed.SchemeFixed
 	if dcnEnabled {
 		scheme = testbed.SchemeDCN

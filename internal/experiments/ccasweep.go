@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"sync"
 
 	"nonortho/internal/phy"
 	"nonortho/internal/testbed"
@@ -41,22 +42,27 @@ type ccaSweepResultRow struct {
 	ErrFractions []float64
 }
 
-func ccaSweepRun(seed int64, threshold phy.DBm, linkPower phy.DBm, coChannel bool, opts Options) ccaSweepResultRow {
-	tb := testbed.New(testbed.Options{Seed: seed, StaticFadingSigma: -1})
-
-	// The observed link: sender at the origin, sink 1 m away.
-	link := tb.AddNetwork(topology.NetworkSpec{
+// ccaSweepSpecs lays out the sweep geometry as explicit network specs.
+//
+// The observed link: sender at the origin, sink 1 m away, at linkPower.
+// Around it, four interfering networks at CFD = ±3, ±6 MHz (Fig. 5), each
+// 4 saturated senders at 0 dBm, placed ~2.6 m from the link so their
+// filtered energy straddles the -77 dBm default.
+//
+// coChannel (Fig. 8) appends three additional co-channel links competing
+// with the observed one, at the ZigBee default threshold. Their senders
+// sit close enough (a) to hear the observed sender even at -22 dBm, so
+// CSMA deference protects a weak link, and (b) to the observed sink that
+// barging into their ongoing transmissions corrupts the observed link's
+// packets — the paper's "disaster" past the minimum co-channel RSS.
+func ccaSweepSpecs(linkPower phy.DBm, coChannel bool) []topology.NetworkSpec {
+	specs := []topology.NetworkSpec{{
 		Freq:    2460,
 		Sink:    topology.NodeSpec{Pos: phy.Position{X: 1, Y: 0}, TxPower: linkPower},
 		Senders: []topology.NodeSpec{{Pos: phy.Position{X: 0, Y: 0}, TxPower: linkPower}},
-	}, testbed.NetworkConfig{Scheme: testbed.SchemeFixed, CCAThreshold: threshold})
-
-	// Four interfering networks at CFD = ±3, ±6 MHz (Fig. 5), each 4
-	// saturated senders at 0 dBm, placed ~2.6 m from the link so their
-	// filtered energy straddles the -77 dBm default.
+	}}
 	angles := []float64{45, 135, 225, 315}
 	freqs := []phy.MHz{2463, 2457, 2466, 2454}
-	nets := make([]*testbed.Network, 0, len(freqs)+1)
 	for i, f := range freqs {
 		cx := 2.6 * math.Cos(angles[i]*math.Pi/180)
 		cy := 2.6 * math.Sin(angles[i]*math.Pi/180)
@@ -71,25 +77,41 @@ func ccaSweepRun(seed int64, threshold phy.DBm, linkPower phy.DBm, coChannel boo
 				Pos: phy.Position{X: cx + dx, Y: cy + dy},
 			})
 		}
-		nets = append(nets, tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeFixed}))
+		specs = append(specs, spec)
 	}
-
-	// Fig. 8: three additional co-channel links competing with the
-	// observed one, at the ZigBee default threshold. Their senders sit
-	// close enough (a) to hear the observed sender even at -22 dBm, so
-	// CSMA deference protects a weak link, and (b) to the observed sink
-	// that barging into their ongoing transmissions corrupts the observed
-	// link's packets — the paper's "disaster" past the minimum co-channel
-	// RSS.
 	if coChannel {
 		for i := 0; i < 3; i++ {
 			y := 0.7 + 0.2*float64(i)
-			nets = append(nets, tb.AddNetwork(topology.NetworkSpec{
+			specs = append(specs, topology.NetworkSpec{
 				Freq:    2460,
 				Sink:    topology.NodeSpec{Pos: phy.Position{X: 1, Y: y}},
 				Senders: []topology.NodeSpec{{Pos: phy.Position{X: 0, Y: y}}},
-			}, testbed.NetworkConfig{Scheme: testbed.SchemeFixed}))
+			})
 		}
+	}
+	return specs
+}
+
+// ccaSweepSnap is the one shared snapshot of the full sweep geometry,
+// co-channel links included. The positions are fixed across every
+// (threshold, power) cell, and the loss matrix is keyed on positions
+// only, so cells that omit the co-channel networks or override transmit
+// power still hit the matrix for every node they do attach.
+var ccaSweepSnap = sync.OnceValue(func() *topology.Snapshot {
+	return topology.SnapshotFromSpecs(ccaSweepSpecs(0, true), phy.DefaultPathLoss())
+})
+
+func ccaSweepRun(seed int64, threshold phy.DBm, linkPower phy.DBm, coChannel bool, opts Options) ccaSweepResultRow {
+	specs := ccaSweepSpecs(linkPower, coChannel)
+	tb := newCellTestbed(testbed.Options{
+		Seed: seed, StaticFadingSigma: -1, Topology: ccaSweepSnap(),
+	})
+	defer tb.Close()
+
+	link := tb.AddNetwork(specs[0],
+		testbed.NetworkConfig{Scheme: testbed.SchemeFixed, CCAThreshold: threshold})
+	for _, spec := range specs[1:] {
+		tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeFixed})
 	}
 
 	tb.Run(opts.Warmup, opts.Measure)

@@ -51,7 +51,8 @@ func Coexistence(opts Options) (CoexistenceResult, *Table) {
 	grid := runGrid(opts, len(variants), func(cell int, seed int64) float64 {
 		v := variants[cell]
 		snap := topos.at(seed)
-		tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+		tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+		defer tb.Close()
 		scheme := testbed.SchemeFixed
 		if v.dcnOn {
 			scheme = testbed.SchemeDCN

@@ -24,7 +24,7 @@ func bandConfig(nonOrthogonal bool, layout topology.Layout, power topology.Power
 // bandDesign instantiates one evaluation-band cell from a shared topology
 // snapshot, optionally with DCN.
 func bandDesign(seed int64, snap *topology.Snapshot, dcnEnabled bool) *testbed.Testbed {
-	tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+	tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
 	scheme := testbed.SchemeFixed
 	if dcnEnabled {
 		scheme = testbed.SchemeDCN
@@ -73,6 +73,7 @@ func Fig19(opts Options) (Fig19Result, *Table) {
 			topos = dcnTopos
 		}
 		tb := bandDesign(seed, topos.at(seed), nonOrtho)
+		defer tb.Close()
 		tb.Run(opts.Warmup, opts.Measure)
 		return cellResult{per: tb.PerNetworkThroughput(), total: tb.OverallThroughput()}
 	})
@@ -161,7 +162,8 @@ func Fig20and21(opts Options) (Fig20Result, *Table, *Table) {
 			nets[mid].Senders[i].TxPower = p
 		}
 		nets[mid].Sink.TxPower = p
-		tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+		tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+		defer tb.Close()
 		for _, spec := range nets {
 			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeDCN})
 		}
@@ -223,6 +225,7 @@ func TableI(opts Options) (TableIResult, *Table) {
 	topos := snapshotSeeds(opts, bandConfig(true, topology.LayoutColocated, nil))
 	rows := runSeeds(opts, func(seed int64) []float64 {
 		tb := bandDesign(seed, topos.at(seed), true)
+		defer tb.Close()
 		tb.Run(opts.Warmup, opts.Measure)
 		return tb.PerNetworkThroughput()
 	})

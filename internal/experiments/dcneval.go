@@ -16,7 +16,7 @@ func fiveNetworksConfig(cfd phy.MHz) topology.Config {
 // snapshot, with the DCN scheme applied to the selected network indices
 // (nil = none, the w/o-scheme baseline).
 func fiveNetworks(seed int64, snap *topology.Snapshot, dcnOn func(i int) bool) *testbed.Testbed {
-	tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+	tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
 	for i, spec := range snap.Networks() {
 		scheme := testbed.SchemeFixed
 		if dcnOn != nil && dcnOn(i) {
@@ -54,6 +54,7 @@ func runFiveNetworksSet(variants []fiveNetsVariant, opts Options) [][]float64 {
 	grid := runGrid(opts, len(variants), func(cell int, seed int64) []float64 {
 		v := variants[cell]
 		tb := fiveNetworks(seed, topos[v.cfd].at(seed), v.dcnOn)
+		defer tb.Close()
 		tb.Run(opts.Warmup, opts.Measure)
 		return tb.PerNetworkThroughput()
 	})

@@ -70,6 +70,68 @@ func TestCoexistenceWorkerCountInvariant(t *testing.T) {
 	})
 }
 
+// TestGoldenTablesWorkerInvariant renders 17 golden experiment tables —
+// the motivation, CCA-study, DCN-evaluation, headline and extension
+// figures the report is built from — at Workers=1 and Workers=8 and
+// requires byte-identical output. Everything runs through the cross-cell
+// arena (recycled kernels, media, radios) and the dissemination layer in
+// its default auto mode, so this is the PR-level assertion that neither
+// core recycling, nor the filter's engagement decision, nor the worker
+// schedule (which decides *which* recycled core a cell gets) can move a
+// single byte of any table.
+func TestGoldenTablesWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders 17 tables twice; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("minutes under the race detector; the per-figure worker-invariance tests cover the parallel paths under race")
+	}
+	quick := func(workers int) Options {
+		return Options{
+			Seed: 1, Seeds: 2,
+			Warmup:  time.Second,
+			Measure: 500 * time.Millisecond,
+			Workers: workers,
+		}
+	}
+	tables := []struct {
+		name string
+		run  func(Options) string
+	}{
+		{"Fig1", func(o Options) string { _, tbl := Fig1(o); return tbl.String() }},
+		{"Fig2", func(o Options) string { _, tbl := Fig2(o); return tbl.String() }},
+		{"Fig4", func(o Options) string { _, tbl := Fig4(o); return tbl.String() }},
+		{"Fig6", func(o Options) string { _, tbl := Fig6(o); return tbl.String() }},
+		{"Fig7", func(o Options) string { _, tbl := Fig7(o); return tbl.String() }},
+		{"Fig14and15", func(o Options) string { _, t14, t15 := Fig14and15(o); return t14.String() + t15.String() }},
+		{"Fig16", func(o Options) string { _, tbl := Fig16(o); return tbl.String() }},
+		{"Fig17", func(o Options) string { _, tbl := Fig17(o); return tbl.String() }},
+		{"Fig18", func(o Options) string { _, tbl := Fig18(o); return tbl.String() }},
+		{"Fig19", func(o Options) string { _, tbl := Fig19(o); return tbl.String() }},
+		{"Fig20and21", func(o Options) string { _, t20, t21 := Fig20and21(o); return t20.String() + t21.String() }},
+		{"TableI", func(o Options) string { _, tbl := TableI(o); return tbl.String() }},
+		{"Fig25", func(o Options) string { _, tbl := Fig25(o); return tbl.String() }},
+		{"Fig26", func(o Options) string { _, tbl := Fig26(o); return tbl.String() }},
+		{"Fig28", func(o Options) string { _, tbl := Fig28(o); return tbl.String() }},
+		{"Fig30", func(o Options) string { _, tbl := Fig30(o); return tbl.String() }},
+		{"BandSweep", func(o Options) string { _, tbl := BandSweep(o); return tbl.String() }},
+	}
+	if len(tables) != 17 {
+		t.Fatalf("expected 17 golden tables, have %d", len(tables))
+	}
+	for _, tc := range tables {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got1 := tc.run(quick(1))
+			got8 := tc.run(quick(8))
+			if got1 != got8 {
+				t.Errorf("%s: Workers=1 and Workers=8 tables differ\n--- Workers=1 ---\n%s\n--- Workers=8 ---\n%s",
+					tc.name, got1, got8)
+			}
+		})
+	}
+}
+
 // BenchmarkFig19 measures the headline comparison end to end. Run it at
 // contrasting worker counts to see the parallel engine's speedup:
 //

@@ -11,11 +11,38 @@ import (
 	"strings"
 	"time"
 
+	"nonortho/internal/arena"
 	"nonortho/internal/parallel"
 	"nonortho/internal/phy"
+	"nonortho/internal/medium"
 	"nonortho/internal/sim"
+	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
+
+// cellArena pools kernels, media and radios across every simulation cell
+// the package runs. Grid drivers execute thousands of short cells; leasing
+// warm cores instead of reallocating removes the per-cell setup cost
+// (BenchmarkCellSetupArena). Cores reset to a bit-identical fresh state on
+// lease, so sharing one arena across all drivers and worker goroutines
+// cannot couple cells: results are byte-identical with or without it
+// (determinism_test.go asserts this across worker counts).
+var cellArena = arena.New()
+
+// newCellTestbed builds one cell's testbed on the shared arena. Every
+// caller must Close the testbed when — and only when — all of the cell's
+// results have been read out.
+func newCellTestbed(o testbed.Options) *testbed.Testbed {
+	o.Arena = cellArena
+	return testbed.New(o)
+}
+
+// leaseCore leases a raw kernel/medium core from the shared arena for
+// drivers that assemble their networks by hand instead of through the
+// testbed. Callers must Release it when the cell's results are read.
+func leaseCore(seed int64, mopts ...medium.Option) *arena.Core {
+	return cellArena.Lease(seed, mopts...)
+}
 
 // Options controls experiment execution. The zero value takes defaults
 // suitable for regenerating the paper's numbers; benchmarks shrink the

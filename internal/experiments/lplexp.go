@@ -3,12 +3,11 @@ package experiments
 import (
 	"time"
 
+	"nonortho/internal/arena"
 	"nonortho/internal/frame"
 	"nonortho/internal/lpl"
-	"nonortho/internal/medium"
 	"nonortho/internal/phy"
 	"nonortho/internal/radio"
-	"nonortho/internal/sim"
 	"nonortho/internal/topology"
 )
 
@@ -49,15 +48,16 @@ func LPL(opts Options) (LPLResult, *Table) {
 	}
 	run := func(threshold phy.DBm) (delivered int, falsePerS, mjPerS float64) {
 		cells := runSeeds(opts, func(seed int64) seedResult {
-			k := sim.NewKernel(seed)
-			m := medium.New(k)
+			core := leaseCore(seed)
+			defer core.Release()
+			k := core.Kernel
 
 			// The LPL link.
-			sndRadio := radio.New(k, m, radio.Config{
+			sndRadio := core.NewRadio(radio.Config{
 				Pos: phy.Position{X: 0}, Freq: 2460, TxPower: 0,
 				CCAThreshold: phy.DefaultCCAThreshold, Address: 1,
 			})
-			rcvRadio := radio.New(k, m, radio.Config{
+			rcvRadio := core.NewRadio(radio.Config{
 				Pos: phy.Position{X: 1}, Freq: 2460, TxPower: 0,
 				CCAThreshold: phy.DefaultCCAThreshold, Address: 2,
 			})
@@ -76,7 +76,7 @@ func LPL(opts Options) (LPLResult, *Table) {
 						{Pos: phy.Position{X: 4.2, Y: 2 * float64(i)}},
 					},
 				}
-				addNeighborNetwork(k, m, spec, seed)
+				addNeighborNetwork(core, spec, seed)
 			}
 
 			// One reading per second.
@@ -127,16 +127,17 @@ func LPL(opts Options) (LPLResult, *Table) {
 
 // addNeighborNetwork spins up a small saturated CSMA network without the
 // full testbed (no statistics needed — it only exists to leak energy).
-func addNeighborNetwork(k *sim.Kernel, m *medium.Medium, spec topology.NetworkSpec, seed int64) {
+func addNeighborNetwork(core *arena.Core, spec topology.NetworkSpec, seed int64) {
 	_ = seed
-	sinkRadio := radio.New(k, m, radio.Config{
+	k := core.Kernel
+	sinkRadio := core.NewRadio(radio.Config{
 		Pos: spec.Sink.Pos, Freq: spec.Freq, TxPower: 0,
 		CCAThreshold: phy.DefaultCCAThreshold,
 		Address:      frame.Address(1000 + int(spec.Freq)),
 	})
 	_ = sinkRadio
 	for i, snd := range spec.Senders {
-		r := radio.New(k, m, radio.Config{
+		r := core.NewRadio(radio.Config{
 			Pos: snd.Pos, Freq: spec.Freq, TxPower: 0,
 			CCAThreshold: phy.DefaultCCAThreshold,
 			Address:      frame.Address(2000 + 10*int(spec.Freq) + i),

@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"sync"
 	"time"
 
 	"nonortho/internal/medium"
 	"nonortho/internal/net80211"
 	"nonortho/internal/phy"
-	"nonortho/internal/sim"
 	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
@@ -46,7 +46,8 @@ func Fig1(opts Options) (Fig1Result, *Table) {
 	}
 	grid := runGrid(opts, len(cases), func(cell int, seed int64) []float64 {
 		snap := topos[cell].at(seed)
-		tb := testbed.New(testbed.Options{Seed: seed, Topology: snap})
+		tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+		defer tb.Close()
 		for _, spec := range snap.Networks() {
 			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeFixed})
 		}
@@ -134,14 +135,33 @@ func Fig2(opts Options) (Fig2Result, *Table) {
 	return res, t
 }
 
+// wifiPairSnap captures the fixed two-link Fig. 2 geometry in station
+// attach order (a.tx, a.rx, b.tx, b.rx) so the raw-medium Wi-Fi cells
+// read pairwise losses from the shared matrix too. Frequencies are not
+// part of the matrix, so one snapshot serves every channel separation.
+var wifiPairSnap = sync.OnceValue(func() *topology.Snapshot {
+	return topology.SnapshotFromSpecs([]topology.NetworkSpec{
+		{
+			Sink:    topology.NodeSpec{Pos: phy.Position{X: 0, Y: 0}},
+			Senders: []topology.NodeSpec{{Pos: phy.Position{X: 1, Y: 0}}},
+		},
+		{
+			Sink:    topology.NodeSpec{Pos: phy.Position{X: 0, Y: 2}},
+			Senders: []topology.NodeSpec{{Pos: phy.Position{X: 1, Y: 2}}},
+		},
+	}, phy.DefaultPathLoss())
+})
+
 // wifiPairThroughput measures link A's delivered packets with link B
 // offset by sep Wi-Fi channels (sep = 99 isolates link A).
 func wifiPairThroughput(seed int64, sep int, opts Options) float64 {
-	k := sim.NewKernel(seed)
-	m := medium.New(k,
+	core := leaseCore(seed,
 		medium.WithRejection(net80211.OverlapCurve{}),
 		medium.WithFadingSigma(1),
-		medium.WithStaticFadingSigma(0))
+		medium.WithStaticFadingSigma(0),
+		medium.WithLossProvider(wifiPairSnap()))
+	defer core.Release()
+	k, m := core.Kernel, core.Medium
 	sndA := net80211.NewStation(k, m, "a.tx", phy.Position{X: 0, Y: 0}, 1, 0)
 	rcvA := net80211.NewStation(k, m, "a.rx", phy.Position{X: 1, Y: 0}, 1, 0)
 	rcvA.WatchSrc = 0 // count only link A's own packets
@@ -155,10 +175,29 @@ func wifiPairThroughput(seed int64, sep int, opts Options) float64 {
 	return float64(rcvA.Delivered) / opts.Measure.Seconds()
 }
 
+// wpanPairSnap is the 802.15.4 half of the Fig. 2 geometry: sink-first
+// spec order matches testbed attach order, and the one-link cells
+// (sep = 99) still index the first two nodes of the matrix correctly.
+var wpanPairSnap = sync.OnceValue(func() *topology.Snapshot {
+	return topology.SnapshotFromSpecs([]topology.NetworkSpec{
+		{
+			Sink:    topology.NodeSpec{Pos: phy.Position{X: 1, Y: 0}},
+			Senders: []topology.NodeSpec{{Pos: phy.Position{X: 0, Y: 0}}},
+		},
+		{
+			Sink:    topology.NodeSpec{Pos: phy.Position{X: 1, Y: 2}},
+			Senders: []topology.NodeSpec{{Pos: phy.Position{X: 0, Y: 2}}},
+		},
+	}, phy.DefaultPathLoss())
+})
+
 // wpanPairThroughput measures an 802.15.4 link's goodput with a second
 // link offset by sep ZigBee channels (5 MHz each); sep = 99 isolates it.
 func wpanPairThroughput(seed int64, sep int, opts Options) float64 {
-	tb := testbed.New(testbed.Options{Seed: seed, StaticFadingSigma: -1})
+	tb := newCellTestbed(testbed.Options{
+		Seed: seed, StaticFadingSigma: -1, Topology: wpanPairSnap(),
+	})
+	defer tb.Close()
 	specA := topology.NetworkSpec{
 		Freq:    2412,
 		Sink:    topology.NodeSpec{Pos: phy.Position{X: 1, Y: 0}},
@@ -228,13 +267,31 @@ func Fig4(opts Options) (Fig4Result, *Table) {
 	return res, t
 }
 
+// cprrSnap is the crossed-link Fig. 3 geometry; the attacker's channel
+// offset varies per cell but the placements never do.
+var cprrSnap = sync.OnceValue(func() *topology.Snapshot {
+	return topology.SnapshotFromSpecs([]topology.NetworkSpec{
+		{
+			Sink:    topology.NodeSpec{Pos: phy.Position{X: 0.5, Y: 0}},
+			Senders: []topology.NodeSpec{{Pos: phy.Position{X: -0.5, Y: 0}}},
+		},
+		{
+			Sink:    topology.NodeSpec{Pos: phy.Position{X: -0.5, Y: 1}},
+			Senders: []topology.NodeSpec{{Pos: phy.Position{X: 0.5, Y: 1}}},
+		},
+	}, phy.DefaultPathLoss())
+})
+
 // cprrRun builds the crossed-link geometry of Fig. 3: the normal link and
 // the attacker link intersect so each receiver is 1 m from both its own
 // sender and the foreign one (equal received power), carrier sense off.
 // Static fading is disabled: the probe measures the rejection curve, not a
 // particular shadowing draw.
 func cprrRun(seed int64, cfd phy.MHz, opts Options) (normalCPRR, attackerCPRR float64) {
-	tb := testbed.New(testbed.Options{Seed: seed, StaticFadingSigma: -1})
+	tb := newCellTestbed(testbed.Options{
+		Seed: seed, StaticFadingSigma: -1, Topology: cprrSnap(),
+	})
+	defer tb.Close()
 	normal := tb.AddNetwork(topology.NetworkSpec{
 		Freq:    2460,
 		Sink:    topology.NodeSpec{Pos: phy.Position{X: 0.5, Y: 0}},

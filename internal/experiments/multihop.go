@@ -6,7 +6,6 @@ import (
 
 	"nonortho/internal/assign"
 	"nonortho/internal/frame"
-	"nonortho/internal/medium"
 	"nonortho/internal/phy"
 	"nonortho/internal/routing"
 	"nonortho/internal/sim"
@@ -85,8 +84,9 @@ func multihopRun(opts Options, useDCN bool) MultihopRow {
 	const trees = 6
 	type seedSums struct{ delivered, generated, hopsW, seconds float64 }
 	cells := runSeeds(opts, func(seed int64) seedSums {
-		k := sim.NewKernel(seed)
-		m := medium.New(k)
+		core := leaseCore(seed)
+		defer core.Release()
+		k, m := core.Kernel, core.Medium
 
 		// Channel plans: DCN gets six CFD=3 channels; ZigBee packs six
 		// trees onto four orthogonal channels via the greedy assignment

@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this binary was built with the race
+// detector. The 17-table golden matrix renders every experiment twice and
+// takes minutes under race instrumentation on a single core; the race
+// coverage it would add is already provided by the per-figure
+// worker-invariance tests above, so the matrix skips itself when race is
+// on (see TestGoldenTablesWorkerInvariant).
+const raceEnabled = true

@@ -4,9 +4,7 @@ import (
 	"time"
 
 	"nonortho/internal/frame"
-	"nonortho/internal/medium"
 	"nonortho/internal/phy"
-	"nonortho/internal/sim"
 	"nonortho/internal/tsch"
 )
 
@@ -38,8 +36,9 @@ func TSCH(opts Options) (TSCHResult, *Table) {
 	type seedSums struct{ delivered, generated float64 }
 	run := func(hops []phy.MHz, offsets []int) (rate, ratio float64) {
 		cells := runSeeds(opts, func(seed int64) seedSums {
-			k := sim.NewKernel(seed)
-			m := medium.New(k)
+			core := leaseCore(seed)
+			defer core.Release()
+			k, m := core.Kernel, core.Medium
 
 			var cells []tsch.Cell
 			for i := 0; i < 6; i++ {

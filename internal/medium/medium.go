@@ -159,6 +159,26 @@ type Medium struct {
 	// set of channel-pair offsets in a run is tiny and fixed.
 	rejDB    map[phy.MHz]float64
 	nextTxID uint64
+
+	// Interest-filtered dissemination (interest.go): each listener's
+	// declared interest, indexed by attach ID in lockstep with listeners,
+	// plus the event-delivery buckets it is filed under — allIDs for
+	// ScopeAll, bands[f] for ScopeBand — always kept in ascending ID
+	// order so merged delivery matches the unfiltered fan-out order.
+	interests []Interest
+	allIDs    []int
+	bands     map[phy.MHz][]int
+	// idFree recycles delivery-set slices across fan-outs.
+	idFree [][]int
+	// filterMode selects how the dissemination filter engages (see the
+	// filterAuto/filterForceOn/filterForceOff constants in interest.go);
+	// indexLive says whether the index buckets are currently maintained
+	// and consulted. In the default auto mode the index stays dormant —
+	// zero per-event and per-retune cost — until the listener population
+	// reaches indexMinListeners, where filtering starts paying for itself.
+	filterMode uint8
+	indexLive  bool
+	dstats     DisseminationStats
 }
 
 // sumCache is one listener's memoized SensedPower (or co-channel) result:
@@ -217,30 +237,86 @@ var noiseFloorMW = phy.NoiseFloor.Milliwatts()
 // min-tracking, as on real motes).
 func New(k *sim.Kernel, opts ...Option) *Medium {
 	m := &Medium{
-		kernel:      k,
-		pathLoss:    phy.DefaultPathLoss(),
-		rejection:   phy.NewCC2420Rejection(),
-		fadingSigma: 2,
-		staticSigma: 3,
-		fadingRNG:   k.Stream("medium.fading"),
-		staticRNG:   k.Stream("medium.static"),
-		links:       make(map[linkKey]*linkBudget),
-		rejDB:       make(map[phy.MHz]float64),
+		kernel: k,
+		links:  make(map[linkKey]*linkBudget),
+		rejDB:  make(map[phy.MHz]float64),
 	}
+	m.Reset(opts...)
+	return m
+}
+
+// Reset returns the medium to the state New(kernel, opts...) would produce
+// while retaining every allocation worth keeping warm: the transmission
+// free-list (with its per-listener cache slabs), the delivery-set
+// free-list, and the scratch slices. The cross-cell arena calls this when
+// a cell leases a recycled medium; the kernel must have been Reset first
+// so the shared fading/shadowing streams are already rewound. Reset is
+// bit-identical to building a fresh medium: recycled transmissions are
+// zeroed on reuse and every cache is keyed or cleared, so a reused medium
+// produces the same draws and sums as a new one.
+func (m *Medium) Reset(opts ...Option) {
+	// Park any still-in-flight transmissions: their scheduled finish died
+	// with the kernel reset, so they go straight back to the free-list.
+	for i, tx := range m.active {
+		tx.activeIdx = -1
+		m.txPool = append(m.txPool, tx)
+		m.active[i] = nil
+	}
+	m.active = m.active[:0]
+	for i := range m.scratch {
+		m.scratch[i] = nil
+	}
+	m.scratch = m.scratch[:0]
+	m.scratchEpoch, m.scratchValid = 0, false
+	m.listeners = m.listeners[:0]
+	m.sums = m.sums[:0]
+	m.interests = m.interests[:0]
+	m.allIDs = m.allIDs[:0]
+	for f := range m.bands {
+		delete(m.bands, f)
+	}
+	for k := range m.links {
+		delete(m.links, k)
+	}
+	// The rejection curve may change with the new options; drop its memo
+	// rather than reason about curve identity. Repopulating costs a
+	// handful of lookups per cell.
+	for f := range m.rejDB {
+		delete(m.rejDB, f)
+	}
+	m.epoch = 0
+	m.nextTxID = 0
+	m.dstats = DisseminationStats{}
+	// Re-derive the option-dependent configuration exactly as New does.
+	m.pathLoss = phy.DefaultPathLoss()
+	m.rejection = phy.NewCC2420Rejection()
+	m.fadingSigma = 2
+	m.staticSigma = 3
+	m.lossProvider = nil
+	m.filterMode = filterAuto
+	m.fadingRNG = m.kernel.Stream("medium.fading")
+	m.staticRNG = m.kernel.Stream("medium.static")
 	for _, o := range opts {
 		o(m)
 	}
-	return m
+	// Forced-on starts with a live (empty) index; auto stays dormant until
+	// the population warrants it; forced-off never builds one.
+	m.indexLive = m.filterMode == filterForceOn
 }
 
 // Rejection exposes the curve so radios share the exact same filter model.
 func (m *Medium) Rejection() phy.RejectionCurve { return m.rejection }
 
-// Attach registers a listener and returns its medium ID.
+// Attach registers a listener and returns its medium ID. A listener that
+// implements InterestedListener is filed under its declared interest;
+// anything else receives every event (ScopeAll), preserving the original
+// notify-everyone contract.
 func (m *Medium) Attach(l Listener) int {
 	m.listeners = append(m.listeners, l)
 	m.sums = append(m.sums, listenerSums{})
-	return len(m.listeners) - 1
+	id := len(m.listeners) - 1
+	m.registerInterest(id, l)
+	return id
 }
 
 // Detach removes a listener from the medium: it receives no further
@@ -253,6 +329,8 @@ func (m *Medium) Detach(id int) {
 	if id < 0 || id >= len(m.listeners) {
 		return
 	}
+	m.dropInterest(id, m.interests[id])
+	m.interests[id] = Interest{Scope: ScopeOwn} // pending interest dies with the listener
 	m.listeners[id] = nil
 	// Drop the departed listener's cached link-budget rows and its slots
 	// in every in-flight transmission's per-listener cache: a detached
@@ -326,12 +404,7 @@ func (m *Medium) TransmitShaped(src int, pos phy.Position, power phy.DBm, freq, 
 	tx.Start = now
 	tx.End = now + sim.FromDuration(f.Airtime())
 	m.nextTxID++
-	for _, l := range m.listeners {
-		if l == nil {
-			continue // detached
-		}
-		l.OnAir(tx)
-	}
+	m.fanout(tx, false)
 	tx.activeIdx = len(m.active)
 	m.active = append(m.active, tx)
 	m.epoch++ // after the OnAir fan-out: listeners sensing there see the pre-change landscape
@@ -358,13 +431,49 @@ func (m *Medium) newTransmission() *Transmission {
 	return tx
 }
 
-func (m *Medium) finish(tx *Transmission) {
-	for _, l := range m.listeners {
+// fanout delivers one OnAir (off=false) or OffAir (off=true) event. The
+// filtered path precomputes the delivery set — listeners provably unable
+// to observe the event are skipped — and walks it in ascending attach-ID
+// order, the exact order the unfiltered loop visits. Listeners detached
+// after the set was computed (a handler detaching a neighbour) are
+// re-checked per delivery, as before. While the index is dormant (small
+// cell, or filtering forced off) every listener is notified directly —
+// the two paths are bit-identical by construction, so which one runs is
+// purely a cost decision.
+func (m *Medium) fanout(tx *Transmission, off bool) {
+	m.dstats.Events++
+	if !m.indexLive {
+		for _, l := range m.listeners {
+			if l == nil {
+				continue // detached
+			}
+			m.dstats.Callbacks++
+			if off {
+				l.OffAir(tx)
+			} else {
+				l.OnAir(tx)
+			}
+		}
+		return
+	}
+	ids := m.deliverySet(tx)
+	for _, id := range ids {
+		l := m.listeners[id]
 		if l == nil {
 			continue // detached
 		}
-		l.OffAir(tx)
+		m.dstats.Callbacks++
+		if off {
+			l.OffAir(tx)
+		} else {
+			l.OnAir(tx)
+		}
 	}
+	m.putIDScratch(ids)
+}
+
+func (m *Medium) finish(tx *Transmission) {
+	m.fanout(tx, true)
 	// Index-tracked swap-remove: O(1) instead of the old linear scan.
 	// ID order of the slice is sacrificed; orderedActive restores it for
 	// every power sum.

@@ -19,7 +19,9 @@ import (
 // through the public InChannelPower/RxPower accessors in ID order — it
 // never touches the medium's active slice, epoch counter, or sum caches.
 
-// trackerListener forwards air events to the test's own bookkeeping.
+// trackerListener forwards air events to the test's own bookkeeping. Its
+// zero interest is ScopeAll, so undeclared trackers hear everything like
+// any legacy listener; the churn retunes some of them through SetInterest.
 type trackerListener struct {
 	pos    phy.Position
 	onAir  func(*Transmission)
@@ -40,15 +42,42 @@ func (l *trackerListener) OffAir(tx *Transmission) {
 
 func TestCachedSumsMatchBruteForce(t *testing.T) {
 	for _, seed := range []int64{1, 2, 7, 42} {
+		for _, filtered := range []bool{true, false} {
+			t.Run(fmt.Sprintf("seed=%d/filtered=%v", seed, filtered), func(t *testing.T) {
+				testCachedSumsMatchBruteForce(t, seed, filtered, nil)
+			})
+		}
+	}
+}
+
+// TestFilteredChurnBitIdentical replays the full randomized churn twice —
+// interest filter on, then off — and requires every sampled SensedPower,
+// SensedCoChannelPower and Interference value to be bit-identical between
+// the two runs. The filter may only skip deliveries whose handlers would
+// have been no-ops, so the sampled history (including the shared-stream
+// fading draws it triggers) must not move by a single bit.
+func TestFilteredChurnBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			testCachedSumsMatchBruteForce(t, seed)
+			var filtered, unfiltered []phy.DBm
+			testCachedSumsMatchBruteForce(t, seed, true, &filtered)
+			testCachedSumsMatchBruteForce(t, seed, false, &unfiltered)
+			if len(filtered) != len(unfiltered) {
+				t.Fatalf("sample counts differ: %d filtered, %d unfiltered", len(filtered), len(unfiltered))
+			}
+			for i := range filtered {
+				if filtered[i] != unfiltered[i] {
+					t.Fatalf("sample %d differs: %v filtered, %v unfiltered", i, filtered[i], unfiltered[i])
+				}
+			}
 		})
 	}
 }
 
-func testCachedSumsMatchBruteForce(t *testing.T, seed int64) {
+func testCachedSumsMatchBruteForce(t *testing.T, seed int64, filterOn bool, record *[]phy.DBm) {
 	k := sim.NewKernel(seed)
-	m := New(k) // default fading + shadowing: exercise the lazy RNG draws
+	// Default fading + shadowing: exercise the lazy RNG draws.
+	m := New(k, WithInterestFilter(filterOn))
 	rng := sim.NewRNG(seed * 977)
 	channels := []phy.MHz{2458, 2460, 2461, 2463}
 
@@ -156,20 +185,26 @@ func testCachedSumsMatchBruteForce(t *testing.T, seed int64) {
 			}
 			// Sample twice: the first call fills the per-listener cache,
 			// the second must hit it and return the identical bits.
+			sample := func(v phy.DBm) phy.DBm {
+				if record != nil {
+					*record = append(*record, v)
+				}
+				return v
+			}
 			for pass := 0; pass < 2; pass++ {
 				for _, excl := range []*Transmission{nil, own, foreign} {
-					if got, want := m.SensedPower(lid, freq, excl), bruteSensed(lid, freq, excl); got != want {
+					if got, want := sample(m.SensedPower(lid, freq, excl)), bruteSensed(lid, freq, excl); got != want {
 						t.Fatalf("t=%v listener %d freq %v excl %v pass %d: SensedPower = %v, want %v",
 							k.Now(), lid, freq, excl, pass, got, want)
 					}
-					if got, want := m.SensedCoChannelPower(lid, freq, excl), bruteCoChannel(lid, freq, excl); got != want {
+					if got, want := sample(m.SensedCoChannelPower(lid, freq, excl)), bruteCoChannel(lid, freq, excl); got != want {
 						t.Fatalf("t=%v listener %d freq %v excl %v pass %d: SensedCoChannelPower = %v, want %v",
 							k.Now(), lid, freq, excl, pass, got, want)
 					}
 				}
 				if len(active) > 0 {
 					wanted := active[0]
-					if got, want := m.Interference(wanted, lid, freq), bruteInterference(wanted, lid, freq); got != want {
+					if got, want := sample(m.Interference(wanted, lid, freq)), bruteInterference(wanted, lid, freq); got != want {
 						t.Fatalf("t=%v listener %d freq %v wanted %d pass %d: Interference = %v, want %v",
 							k.Now(), lid, freq, wanted.ID, pass, got, want)
 					}
@@ -195,6 +230,24 @@ func testCachedSumsMatchBruteForce(t *testing.T, seed int64) {
 	}
 	for i := 0; i < 250; i++ {
 		k.After(time.Duration(rng.Intn(int(span))), check)
+	}
+	// Interest churn: the untracked listeners hop between hearing
+	// everything, one band (with and without a cull floor), and only their
+	// own signals. Sensing is pull-based, so none of this may move a bit
+	// of any sampled value — it only reshapes the index the filtered
+	// fan-out walks. The victim's retunes after its detach are no-ops.
+	for i := 0; i < 60; i++ {
+		id := ids[1+rng.Intn(len(ids)-1)]
+		in := Interest{}
+		switch rng.Intn(4) {
+		case 1:
+			in = Interest{Scope: ScopeBand, Band: channels[rng.Intn(len(channels))]}
+		case 2:
+			in = Interest{Scope: ScopeBand, Band: channels[rng.Intn(len(channels))], Floor: phy.Sensitivity}
+		case 3:
+			in = Interest{Scope: ScopeOwn}
+		}
+		k.After(time.Duration(rng.Intn(int(span))), func() { m.SetInterest(id, in) })
 	}
 	k.After(span/2, func() { m.Detach(victim) })
 	k.After(3*span/4, func() {

@@ -73,8 +73,10 @@ func (r *Radio) EnergyReport() EnergyReport {
 }
 
 // setState transitions the state machine, charging the elapsed residency
-// of the outgoing state to the energy meter.
+// of the outgoing state to the energy meter and re-filing the radio's
+// event interest, which is a function of the state.
 func (r *Radio) setState(s State) {
 	r.energy.account(r.state, r.cfg.TxPower, r.kernel.Now())
 	r.state = s
+	r.medium.SetInterest(r.id, r.Interest())
 }

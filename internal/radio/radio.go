@@ -156,7 +156,19 @@ type receptionState struct {
 
 // New attaches a radio to the medium in the idle state.
 func New(k *sim.Kernel, m *medium.Medium, cfg Config) *Radio {
-	r := &Radio{
+	r := &Radio{}
+	r.Reinit(k, m, cfg)
+	return r
+}
+
+// Reinit rebuilds the radio in place against a (possibly different) kernel
+// and medium, exactly as New constructs a fresh one — every field,
+// including the energy meter and fault state, starts over. The cross-cell
+// arena uses it to recycle radio structs between simulation cells; the
+// bit-stream RNG is the kernel's stream for the new address, so a reused
+// radio draws the same sequence a fresh one would.
+func (r *Radio) Reinit(k *sim.Kernel, m *medium.Medium, cfg Config) {
+	*r = Radio{
 		kernel: k,
 		medium: m,
 		cfg:    cfg,
@@ -168,7 +180,26 @@ func New(k *sim.Kernel, m *medium.Medium, cfg Config) *Radio {
 	r.cfg.CCAThreshold, _ = phy.ClampCCAThreshold(cfg.CCAThreshold)
 	r.energy.account(r.state, cfg.TxPower, k.Now()) // start the meter
 	r.id = m.Attach(r)
-	return r
+}
+
+// Interest implements medium.InterestedListener: the events a radio's
+// handlers can react to are fully determined by its state. Idle, it can
+// only lock on to decodable co-channel preambles above the sensitivity
+// floor; receiving, any landscape change anywhere splits the SINR
+// integration segment, so it must hear everything. A transmitting or
+// powered-off radio is deaf to all but its own transmission's completion
+// (the source is always in its own delivery set) — but it deliberately
+// declares the same band interest as idle rather than collapsing to
+// ScopeOwn: delivering to a deaf radio is a guaranteed no-op (OnAir
+// returns immediately in TX/Off), so band membership is a safe superset,
+// and keeping it makes the per-packet idle↔TX transitions free for the
+// medium's interest index — no bucket surgery on the hottest transition
+// in a saturated cell. Only RX entry/exit and retunes move buckets.
+func (r *Radio) Interest() medium.Interest {
+	if r.state == StateRX {
+		return medium.Interest{Scope: medium.ScopeAll}
+	}
+	return medium.Interest{Scope: medium.ScopeBand, Band: r.cfg.Freq, Floor: phy.Sensitivity}
 }
 
 // ID returns the radio's medium attachment ID.
@@ -245,6 +276,7 @@ func (r *Radio) SetFreq(f phy.MHz) {
 	}
 	r.abortRx()
 	r.cfg.Freq = f
+	r.medium.SetInterest(r.id, r.Interest())
 }
 
 // SetOff powers the radio down, aborting any reception in progress. Used
@@ -332,6 +364,14 @@ func (r *Radio) OnAir(tx *medium.Transmission) {
 	// Idle: can we lock on? Only co-channel preambles are decodable —
 	// the 802.15.4 receiver cannot synchronise to an offset carrier.
 	if tx.Freq != r.cfg.Freq {
+		return
+	}
+	// The same reachability predicate the dissemination filter applies:
+	// a transmission provably below the sensitivity floor cannot lock
+	// (and must not consume a fading draw), whether or not the filter
+	// delivered the event — that shared gate is what keeps filtered and
+	// unfiltered runs bit-identical.
+	if !r.medium.Reachable(tx, r.id) {
 		return
 	}
 	signal := r.medium.RxPower(tx, r.id)

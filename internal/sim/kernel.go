@@ -88,6 +88,12 @@ type Kernel struct {
 	stopped bool
 	seed    int64
 	streams map[string]*RNG
+	// streamGen marks the kernel's current incarnation; a stream whose gen
+	// lags is reseeded lazily on its next Stream lease. Reset bumps this
+	// instead of eagerly reseeding every stream ever created on the kernel
+	// — a recycled kernel accumulates stream names across cells, and
+	// reseeding ones the next cell never draws from is pure waste.
+	streamGen uint64
 }
 
 // NewKernel returns a kernel with its clock at zero. All random streams
@@ -97,6 +103,37 @@ func NewKernel(seed int64) *Kernel {
 		seed:    seed,
 		streams: make(map[string]*RNG),
 	}
+}
+
+// Reset rewinds the kernel to the state NewKernel(seed) would produce
+// while keeping its allocations warm: pending events are recycled into the
+// node free-list (bumping generations, so outstanding handles go inert)
+// and the stream generation advances, so every existing random stream is
+// reseeded — lazily, at its next Stream lease — to the start of the
+// sequence a fresh kernel would derive for its name. A recycled cell
+// therefore pays seeding only for the streams it actually uses, exactly
+// like a fresh kernel; stream objects accumulated under other names stay
+// parked for free. The price is a contract: stream pointers leased before
+// Reset go stale and must be re-leased through Stream afterwards — which
+// every holder already does, because cells rebuild their MAC/radio/medium
+// objects (or Reinit them) per lease. The cross-cell arena relies on this
+// to make a recycled kernel bit-identical to a new one. Resetting while
+// Run is executing is a programming error and panics.
+func (k *Kernel) Reset(seed int64) {
+	if k.running {
+		panic("sim: Kernel.Reset called while running")
+	}
+	for _, n := range k.queue {
+		n.index = -1
+		k.recycle(n)
+	}
+	k.queue = k.queue[:0]
+	k.now = 0
+	k.seq = 0
+	k.live = 0
+	k.stopped = false
+	k.seed = seed
+	k.streamGen++
 }
 
 // Now returns the current virtual time.

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestKernelResetReplaysFresh: a reset kernel must be observationally
+// identical to a newly constructed one — clock at zero, queue empty, and
+// every named stream rewound to the seed's deterministic sequence, even
+// when the reset seed differs from the construction seed.
+func TestKernelResetReplaysFresh(t *testing.T) {
+	scenario := func(k *Kernel) (times []Time, draws []float64) {
+		s := k.Stream("test.stream")
+		for i := 1; i <= 3; i++ {
+			d := time.Duration(i) * time.Millisecond
+			k.After(d, func() {
+				times = append(times, k.Now())
+				draws = append(draws, s.Float64())
+			})
+		}
+		k.Run()
+		return times, draws
+	}
+
+	wantTimes, wantDraws := scenario(NewKernel(7))
+
+	k := NewKernel(3)
+	// Dirty the kernel: unrelated events (some left pending), stream use.
+	k.Stream("test.stream").Float64()
+	k.After(time.Millisecond, func() {})
+	k.RunFor(2 * time.Millisecond)
+	k.After(time.Hour, func() { t.Fatal("stale event survived Reset") })
+
+	k.Reset(7)
+	if k.Now() != 0 {
+		t.Fatalf("clock after Reset = %v, want 0", k.Now())
+	}
+	gotTimes, gotDraws := scenario(k)
+	if len(gotTimes) != len(wantTimes) {
+		t.Fatalf("event counts differ: %d vs %d", len(gotTimes), len(wantTimes))
+	}
+	for i := range wantTimes {
+		if gotTimes[i] != wantTimes[i] {
+			t.Errorf("event %d at %v, want %v", i, gotTimes[i], wantTimes[i])
+		}
+		if gotDraws[i] != wantDraws[i] {
+			t.Errorf("draw %d = %v, want %v (stream not rewound)", i, gotDraws[i], wantDraws[i])
+		}
+	}
+}
+
+// TestKernelResetWhileRunningPanics: resetting mid-callback would corrupt
+// the dispatch loop; the kernel must refuse loudly.
+func TestKernelResetWhileRunningPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.After(time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Reset inside a running callback did not panic")
+			}
+		}()
+		k.Reset(2)
+	})
+	k.Run()
+}
+
+// TestRNGReseedRestartsSequence: Reseed must fully reinitialize the
+// generator — the post-Reseed sequence equals a fresh generator's from
+// the first draw, with no state bleeding through.
+func TestRNGReseedRestartsSequence(t *testing.T) {
+	g := NewRNG(99)
+	for i := 0; i < 17; i++ {
+		g.Float64() // advance into the sequence
+	}
+	g.Reseed(5)
+	fresh := NewRNG(5)
+	for i := 0; i < 32; i++ {
+		if got, want := g.Int63(), fresh.Int63(); got != want {
+			t.Fatalf("draw %d after Reseed = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"nonortho/internal/trace"
 
+	"nonortho/internal/arena"
 	"nonortho/internal/dcn"
 	"nonortho/internal/frame"
 	"nonortho/internal/mac"
@@ -81,6 +82,11 @@ type Options struct {
 	// model becomes the medium's model; when both are set they must
 	// describe the same propagation or the snapshot is ignored.
 	Topology *topology.Snapshot
+	// Arena, when set, supplies the testbed's kernel, medium and radios
+	// from a cross-cell pool instead of fresh allocations; call Close when
+	// the cell's results have been read to return them. Results are
+	// bit-identical with or without an arena.
+	Arena *arena.Arena
 }
 
 func (o Options) withDefaults() Options {
@@ -187,6 +193,7 @@ type Testbed struct {
 	recorder *trace.Recorder
 
 	opts      Options
+	core      *arena.Core
 	networks  []*Network
 	nextAddr  frame.Address
 	measuring bool
@@ -197,7 +204,6 @@ type Testbed struct {
 // New builds an empty testbed.
 func New(opts Options) *Testbed {
 	opts = opts.withDefaults()
-	k := sim.NewKernel(opts.Seed)
 	mopts := []medium.Option{
 		medium.WithFadingSigma(opts.FadingSigma),
 		medium.WithStaticFadingSigma(opts.StaticFadingSigma),
@@ -208,8 +214,25 @@ func New(opts Options) *Testbed {
 	if opts.Topology != nil && opts.PathLoss == opts.Topology.Model() {
 		mopts = append(mopts, medium.WithLossProvider(opts.Topology))
 	}
+	if opts.Arena != nil {
+		core := opts.Arena.Lease(opts.Seed, mopts...)
+		return &Testbed{Kernel: core.Kernel, Medium: core.Medium, core: core, opts: opts, nextAddr: 1}
+	}
+	k := sim.NewKernel(opts.Seed)
 	m := medium.New(k, mopts...)
 	return &Testbed{Kernel: k, Medium: m, opts: opts, nextAddr: 1}
+}
+
+// Close releases the testbed's leased arena core, if any. Call it only
+// after every result has been read — throughput, energy reports, trace
+// buffers — because the kernel, medium and radios may be handed to
+// another cell immediately. A testbed built without an arena needs no
+// Close (it is a no-op), and Close is idempotent.
+func (tb *Testbed) Close() {
+	if tb.core != nil {
+		tb.core.Release()
+		tb.core = nil
+	}
 }
 
 // EnableTrace attaches an event recorder with the given capacity. Call it
@@ -294,13 +317,19 @@ func (tb *Testbed) instrument(n *Network) {
 func (tb *Testbed) newNode(spec topology.NodeSpec, freq phy.MHz, cfg NetworkConfig) *Node {
 	addr := tb.nextAddr
 	tb.nextAddr++
-	r := radio.New(tb.Kernel, tb.Medium, radio.Config{
+	rcfg := radio.Config{
 		Pos:          spec.Pos,
 		Freq:         freq,
 		TxPower:      spec.TxPower,
 		CCAThreshold: cfg.CCAThreshold,
 		Address:      addr,
-	})
+	}
+	var r *radio.Radio
+	if tb.core != nil {
+		r = tb.core.NewRadio(rcfg)
+	} else {
+		r = radio.New(tb.Kernel, tb.Medium, rcfg)
+	}
 	var policy mac.CCAPolicy = mac.ThresholdCCA{}
 	switch cfg.Scheme {
 	case SchemeNoCarrierSense:
