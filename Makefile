@@ -3,14 +3,36 @@ BENCH ?= .
 BENCH_OUT ?= BENCH_PR4.json
 BENCH_BASE ?= BENCH_PR3.json
 
-.PHONY: check vet build test race fuzz bench benchsmoke bench-compare
+# Pinned third-party analyzer versions for `make lint-full` (LINT_FULL=1).
+# Both are fetched with `go run pkg@version`, so they need module-proxy
+# network access and are kept out of the default offline gate.
+STATICCHECK_VERSION ?= v0.4.7
+GOVULNCHECK_VERSION ?= v1.1.3
 
-## check: the full local gate — vet, build, tests under the race
-## detector, and a one-iteration smoke run of the fast benchmarks.
-check: vet build race benchsmoke
+.PHONY: check vet lint lint-full build test race fuzz bench benchsmoke bench-compare
+
+## check: the full local gate — vet, the dcnlint determinism/unit-safety
+## analyzers, build, tests under the race detector, and a one-iteration
+## smoke run of the fast benchmarks. Set LINT_FULL=1 to also run the
+## pinned staticcheck + govulncheck pass (needs network).
+check: vet lint build race benchsmoke
+ifeq ($(LINT_FULL),1)
+check: lint-full
+endif
 
 vet:
 	$(GO) vet ./...
+
+## lint: the project-specific go/analysis suite (detsource, maporder,
+## dbmunits, confinedgo, resetcomplete). Offline: stdlib-only driver.
+lint:
+	$(GO) run ./cmd/dcnlint ./...
+
+## lint-full: pinned staticcheck + govulncheck via `go run pkg@version`.
+## Requires module-proxy network access; not part of the offline gate.
+lint-full:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 build:
 	$(GO) build ./...

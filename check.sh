@@ -6,6 +6,15 @@ cd "$(dirname "$0")"
 
 echo "== go vet ./..."
 go vet ./...
+echo "== dcnlint ./... (determinism + unit-safety analyzers)"
+go run ./cmd/dcnlint ./...
+if [ "${LINT_FULL:-0}" = "1" ]; then
+	# Pinned third-party analyzers, fetched with `go run pkg@version`.
+	# Opt-in because they need module-proxy network access.
+	echo "== staticcheck + govulncheck (LINT_FULL=1)"
+	go run honnef.co/go/tools/cmd/staticcheck@"${STATICCHECK_VERSION:-v0.4.7}" ./...
+	go run golang.org/x/vuln/cmd/govulncheck@"${GOVULNCHECK_VERSION:-v1.1.3}" ./...
+fi
 echo "== go build ./..."
 go build ./...
 echo "== dissemination oracle + filter tests under -race"

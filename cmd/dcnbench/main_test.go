@@ -117,11 +117,18 @@ func TestRunCompareEndToEnd(t *testing.T) {
 	}
 	old := write("old.json", Report{Benchmarks: []Benchmark{benchResult("p", "BenchmarkA", 100)}})
 	same := write("same.json", Report{Benchmarks: []Benchmark{benchResult("p", "BenchmarkA", 101)}})
+	edge := write("edge.json", Report{Benchmarks: []Benchmark{benchResult("p", "BenchmarkA", 120)}})
 	worse := write("worse.json", Report{Benchmarks: []Benchmark{benchResult("p", "BenchmarkA", 300)}})
 	disjoint := write("disjoint.json", Report{Benchmarks: []Benchmark{benchResult("p", "BenchmarkZ", 1)}})
 
 	if err := run([]string{"-compare", old, same}); err != nil {
 		t.Errorf("steady result failed compare: %v", err)
+	}
+	// The gate is strictly greater-than: exactly +20% on the default 0.20
+	// threshold is still exit 0, so a result hovering on the line never
+	// flakes the gate red.
+	if err := run([]string{"-compare", old, edge}); err != nil {
+		t.Errorf("exactly-at-threshold result failed compare: %v", err)
 	}
 	if err := run([]string{"-compare", old, worse}); err == nil {
 		t.Error("3x regression passed compare")

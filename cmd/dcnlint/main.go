@@ -1,0 +1,101 @@
+// Command dcnlint runs the project's determinism and unit-safety
+// analyzers (internal/lint) over the repository. It is the
+// project-specific half of the `make check` gate: stock go vet cannot
+// know that simulation code must not read the wall clock, that float
+// sums over map iteration are a reproducibility bug, or that dBm and
+// milliwatts never mix in one +/-.
+//
+// Usage:
+//
+//	dcnlint ./...                 # whole module (the make check invocation)
+//	dcnlint ./internal/medium     # one package
+//	dcnlint -list                 # print the suite and each invariant
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
+// Suppress a deliberate exception at its line (reason mandatory):
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nonortho/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut *os.File) int {
+	fs := flag.NewFlagSet("dcnlint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		list = fs.Bool("list", false, "list the analyzers and exit")
+		only = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range splitComma(*only) {
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(errOut, "dcnlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewModuleLoader(".")
+	if err != nil {
+		fmt.Fprintln(errOut, "dcnlint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(errOut, "dcnlint:", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(errOut, "dcnlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errOut, "dcnlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

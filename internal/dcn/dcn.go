@@ -209,9 +209,12 @@ type record struct {
 
 // Adjustor drives one radio's CCA threshold.
 type Adjustor struct {
-	kernel *sim.Kernel
-	radio  *radio.Radio
-	cfg    Config
+	// The wiring trio survives Reset by design: Reset restarts the
+	// protocol (re-entering the Initializing Phase via Start) on the
+	// same kernel, radio and configuration it was built with.
+	kernel *sim.Kernel  //lint:keep Reset restarts the protocol, not the wiring
+	radio  *radio.Radio //lint:keep Reset restarts the protocol, not the wiring
+	cfg    Config       //lint:keep Reset restarts the protocol, not the wiring
 
 	// OnThreshold, when set, observes every threshold the Adjustor
 	// programs into the radio (instrumentation/tracing hook).

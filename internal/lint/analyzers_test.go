@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nonortho/internal/lint"
+	"nonortho/internal/lint/linttest"
+)
+
+// Each analyzer runs over its golden fixture packages under
+// testdata/src: every `// want "re"` comment must be matched by a
+// diagnostic on that line, and any unmatched diagnostic fails — so the
+// fixtures' clean declarations double as negative cases.
+
+func TestDetsource(t *testing.T) {
+	linttest.Run(t, lint.Detsource, "internal/detsrc", "cmdtool")
+}
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, lint.Maporder, "mapord")
+}
+
+func TestDbmunits(t *testing.T) {
+	linttest.Run(t, lint.Dbmunits, "dbmunits")
+}
+
+func TestConfinedgo(t *testing.T) {
+	linttest.Run(t, lint.Confinedgo, "internal/confgo", "internal/parallel")
+}
+
+func TestResetcomplete(t *testing.T) {
+	linttest.Run(t, lint.Resetcomplete, "resetcpl")
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.All() {
+		if got := lint.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want the registered analyzer", a.Name, got)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) != nil")
+	}
+}

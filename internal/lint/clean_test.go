@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nonortho/internal/lint"
+)
+
+// TestRepositoryIsClean runs the full suite over the whole module —
+// the `go run ./cmd/dcnlint ./...` gate as a test, so `go test ./...`
+// alone already enforces the determinism invariants. Skipped under
+// -short: it type-checks the entire repository (a few seconds).
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped under -short")
+	}
+	loader, err := lint.NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern expansion looks broken", len(pkgs))
+	}
+	diags, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

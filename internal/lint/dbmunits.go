@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Dbmunits is a taint-style check for the classic log/linear-domain bug:
+// adding or subtracting a dBm (logarithmic) quantity and a milliwatt
+// (linear) quantity as if they shared a unit. Power sums in the medium
+// are performed in milliwatts and converted at the edges
+// (phy.Milliwatts / phy.FromMilliwatts); an expression that mixes the
+// two domains in one +/- is wrong in a way the type system cannot see
+// when both sides are float64.
+//
+// An operand's domain is inferred from its static type (phy.DBm and any
+// named type whose name contains "dbm" is logarithmic) and, for plain
+// floats, from the repository's naming discipline: *Dbm/*DBm/
+// *dbm-suffixed names are dBm; *MW/*Mw/*mw-suffixed and *Milliwatt*
+// names are linear. Conversions (float64(x), phy.DBm(x)) propagate the
+// taint of their operand when the target type is unit-less.
+var Dbmunits = &Analyzer{
+	Name: "dbmunits",
+	Doc: "flag +/- arithmetic mixing dBm-domain (logarithmic) and mW-domain (linear) " +
+		"operands; convert explicitly via phy.Milliwatts / phy.FromMilliwatts",
+	Run: runDbmunits,
+}
+
+type unit int
+
+const (
+	unitUnknown unit = iota
+	unitDBm
+	unitMW
+)
+
+func (u unit) String() string {
+	switch u {
+	case unitDBm:
+		return "dBm"
+	case unitMW:
+		return "mW"
+	}
+	return "unknown"
+}
+
+func runDbmunits(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD || n.Op == token.SUB {
+					reportMix(pass, n.OpPos, n.Op.String(),
+						exprUnit(pass.TypesInfo, n.X), exprUnit(pass.TypesInfo, n.Y), n.X, n.Y)
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+					reportMix(pass, n.TokPos, n.Tok.String(),
+						exprUnit(pass.TypesInfo, n.Lhs[0]), exprUnit(pass.TypesInfo, n.Rhs[0]), n.Lhs[0], n.Rhs[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func reportMix(pass *Pass, pos token.Pos, op string, ux, uy unit, x, y ast.Expr) {
+	if ux == unitUnknown || uy == unitUnknown || ux == uy {
+		return
+	}
+	pass.Reportf(pos,
+		"%s mixes %s operand %s (%s domain) with %s (%s domain); convert via phy.Milliwatts / phy.FromMilliwatts before combining",
+		op, ux, exprString(x), domain(ux), exprString(y), domain(uy))
+}
+
+func domain(u unit) string {
+	if u == unitDBm {
+		return "logarithmic"
+	}
+	return "linear"
+}
+
+// exprUnit classifies an expression's power domain.
+func exprUnit(info *types.Info, e ast.Expr) unit {
+	e = ast.Unparen(e)
+	// A named type carrying the unit wins over any identifier spelling.
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		if u := typeUnit(tv.Type); u != unitUnknown {
+			return u
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return nameUnit(x.Name)
+	case *ast.SelectorExpr:
+		return nameUnit(x.Sel.Name)
+	case *ast.IndexExpr:
+		return exprUnit(info, x.X)
+	case *ast.UnaryExpr:
+		return exprUnit(info, x.X)
+	case *ast.CallExpr:
+		// Conversions to a unit-less type (float64(sigDbm)) and calls are
+		// classified by the callee name (Milliwatts() -> mW); a conversion
+		// to a unit-bearing type was already caught by typeUnit above.
+		if fn := ast.Unparen(x.Fun); fn != nil {
+			var name string
+			switch f := fn.(type) {
+			case *ast.Ident:
+				name = f.Name
+			case *ast.SelectorExpr:
+				name = f.Sel.Name
+			}
+			if u := nameUnit(name); u != unitUnknown {
+				return u
+			}
+		}
+		// A pure conversion propagates its operand's taint.
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return exprUnit(info, x.Args[0])
+		}
+	}
+	return unitUnknown
+}
+
+// typeUnit reads the domain off a named type: phy.DBm (and anything
+// spelled like it) is logarithmic. No linear power type exists in the
+// repository — mW values are plain float64 — so only names carry mW.
+func typeUnit(t types.Type) unit {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return unitUnknown
+	}
+	return nameUnit(named.Obj().Name())
+}
+
+// nameUnit classifies an identifier by the repository's unit-suffix
+// naming discipline.
+func nameUnit(name string) unit {
+	lower := strings.ToLower(name)
+	switch {
+	case strings.Contains(lower, "dbm"):
+		return unitDBm
+	case strings.Contains(lower, "milliw"):
+		return unitMW
+	case strings.HasSuffix(name, "MW"), strings.HasSuffix(name, "Mw"),
+		strings.HasSuffix(lower, "_mw"), lower == "mw":
+		return unitMW
+	}
+	return unitUnknown
+}

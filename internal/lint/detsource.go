@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detsource forbids nondeterministic sources — the wall clock and the
+// process-global math/rand state — in simulation packages. Every result
+// table the repository commits is reproduced bit-for-bit from a seed;
+// one time.Now() or global rand.Float64() in a simulation path breaks
+// that silently. Randomness must come from named kernel streams
+// (sim.Kernel.Stream) and time from the kernel clock (sim.Kernel.Now).
+//
+// Flagged inside simulation packages (see isSimPackage):
+//   - calls to time.Now, time.Since, time.Until, time.Sleep, time.Tick,
+//     time.After, time.NewTimer, time.NewTicker, time.AfterFunc;
+//   - any use of a math/rand or math/rand/v2 package-level function
+//     other than the seeded constructors (New, NewSource, NewZipf,
+//     NewPCG, NewChaCha8);
+//   - rand.New whose source is not a direct rand.NewSource/NewPCG/
+//     NewChaCha8 call — an unseeded or ambient source.
+var Detsource = &Analyzer{
+	Name: "detsource",
+	Doc: "forbid wall-clock time and global math/rand state in simulation packages; " +
+		"only named sim kernel streams may produce randomness",
+	Run: runDetsource,
+}
+
+// wallClockFuncs are the time package entry points that observe or wait
+// on the wall clock. Pure conversions (time.Duration arithmetic,
+// time.Millisecond, ...) stay legal: sim.Time is defined in terms of them.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// seededRandCtors are the math/rand[/v2] package-level names that build
+// an explicitly seeded generator rather than draw from the global one.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runDetsource(pass *Pass) error {
+	if !isSimPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				obj := calleeObj(pass.TypesInfo, n)
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch {
+				case obj.Pkg().Path() == "time" && wallClockFuncs[obj.Name()]:
+					pass.Reportf(n.Pos(),
+						"time.%s reads the wall clock, which breaks simulation determinism; use the kernel clock (sim.Kernel.Now / Kernel.At)",
+						obj.Name())
+				case isRandPkg(obj.Pkg().Path()) && obj.Name() == "New":
+					if !seededCall(pass, n) {
+						pass.Reportf(n.Pos(),
+							"rand.New with a source not built inline by rand.NewSource is not provably seeded; derive randomness from a named kernel stream (sim.Kernel.Stream)")
+					}
+				}
+			case *ast.SelectorExpr:
+				// Catch global draws (rand.Float64, rand.Intn, rand.Perm,
+				// rand.Shuffle, rand.Seed, ...) whether called or merely
+				// referenced (passed as a function value). Types such as
+				// rand.Rand stay legal: wrapping a seeded generator is
+				// exactly what sim.RNG does.
+				obj, isFunc := pass.TypesInfo.Uses[n.Sel].(*types.Func)
+				if isFunc && obj.Pkg() != nil && isRandPkg(obj.Pkg().Path()) &&
+					!seededRandCtors[obj.Name()] && obj.Exported() &&
+					obj.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(n.Pos(),
+						"math/rand global %s draws from the process-wide source, which breaks simulation determinism; use a named kernel stream (sim.Kernel.Stream)",
+						obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seededCall reports whether the single argument of rand.New is a direct
+// call to one of the seeded source constructors.
+func seededCall(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeObj(pass.TypesInfo, inner)
+	return obj != nil && obj.Pkg() != nil && isRandPkg(obj.Pkg().Path()) &&
+		seededRandCtors[obj.Name()] && obj.Name() != "New"
+}

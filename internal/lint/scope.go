@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Simulation-package scoping. Determinism invariants bind everything
+// under internal/ except the packages that are deliberately outside the
+// deterministic kernel: internal/parallel (the one place concurrency
+// lives), internal/prof (wall-clock profiling plumbing) and this linter
+// itself. cmd/ and examples/ are drivers and UI, free to read clocks.
+var nonSimInternal = map[string]bool{
+	"parallel": true,
+	"prof":     true,
+	"lint":     true,
+}
+
+// isSimPackage reports whether the import path names a package whose
+// code must be bit-deterministic. It keys on the path segment following
+// "internal", so test fixtures under lint/testdata can opt in by layout.
+func isSimPackage(path string) bool {
+	segs := strings.Split(path, "/")
+	for i, s := range segs {
+		if s == "internal" && i+1 < len(segs) {
+			return !nonSimInternal[segs[i+1]]
+		}
+	}
+	return false
+}
+
+// isParallelPackage reports whether the path is the concurrency package
+// (or, in test fixtures, a stand-in laid out as .../internal/parallel).
+func isParallelPackage(path string) bool {
+	segs := strings.Split(path, "/")
+	for i, s := range segs {
+		if s == "internal" && i+1 < len(segs) {
+			return segs[i+1] == "parallel"
+		}
+	}
+	return false
+}
+
+// calleeObj resolves a call expression to the types.Object of its
+// callee, looking through parentheses. Returns nil for indirect calls.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function (or other
+// object) pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// rootIdent strips selectors, indexes and parens down to the leftmost
+// identifier of an lvalue-ish expression: m.sums[i].dbm -> m.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether the identifier's object is declared
+// inside the given node's source extent.
+func declaredWithin(info *types.Info, id *ast.Ident, n ast.Node) bool {
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}

@@ -1,0 +1,100 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nonortho/internal/lint"
+)
+
+// writeFixture materialises a throwaway single-file module tree and
+// returns diagnostics from running the given analyzer over it.
+func runOnSource(t *testing.T, a *lint.Analyzer, relDir, src string) []lint.Diagnostic {
+	t.Helper()
+	root := t.TempDir()
+	dir := filepath.Join(root, filepath.FromSlash(relDir))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.NewLoader(root, "").Load("./" + relDir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+const accumSrc = `package fix
+
+func sum(m map[int]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		%s
+		t += v
+	}
+	return t
+}
+`
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	src := strings.Replace(accumSrc, "%s", "//lint:ignore maporder fixture reason", 1)
+	if diags := runOnSource(t, lint.Maporder, "pkg", src); len(diags) != 0 {
+		t.Fatalf("suppressed run reported %v", diags)
+	}
+}
+
+func TestIgnoreDirectiveNeedsReason(t *testing.T) {
+	src := strings.Replace(accumSrc, "%s", "//lint:ignore maporder", 1)
+	diags := runOnSource(t, lint.Maporder, "pkg", src)
+	// The accumulation stays reported and the bare directive is flagged.
+	var sawFinding, sawMalformed bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "maporder":
+			sawFinding = true
+		case "lintdirective":
+			sawMalformed = strings.Contains(d.Message, "malformed")
+		}
+	}
+	if !sawFinding || !sawMalformed {
+		t.Fatalf("want finding + malformed-directive report, got %v", diags)
+	}
+}
+
+func TestIgnoreDirectiveWrongAnalyzer(t *testing.T) {
+	src := strings.Replace(accumSrc, "%s", "//lint:ignore detsource not the analyzer firing here", 1)
+	diags := runOnSource(t, lint.Maporder, "pkg", src)
+	var sawFinding, sawUnused bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "maporder":
+			sawFinding = true
+		case "lintdirective":
+			sawUnused = strings.Contains(d.Message, "unused")
+		}
+	}
+	if !sawFinding || !sawUnused {
+		t.Fatalf("want finding + unused-directive report, got %v", diags)
+	}
+}
+
+func TestUnusedIgnoreReported(t *testing.T) {
+	src := `package fix
+
+//lint:ignore maporder nothing here triggers it
+func clean() {}
+`
+	diags := runOnSource(t, lint.Maporder, "pkg", src)
+	if len(diags) != 1 || diags[0].Analyzer != "lintdirective" ||
+		!strings.Contains(diags[0].Message, "unused") {
+		t.Fatalf("want exactly one unused-directive report, got %v", diags)
+	}
+}

@@ -1,0 +1,14 @@
+// Package cmdtool is the detsource negative fixture: its path has no
+// internal/<pkg> segment, so it is a driver/UI package where wall-clock
+// time and ambient randomness are allowed.
+package cmdtool
+
+import (
+	"math/rand"
+	"time"
+)
+
+func allowedHere() time.Time {
+	_ = rand.Float64() // drivers may use ambient randomness
+	return time.Now()  // and read the wall clock
+}

@@ -1,0 +1,51 @@
+// Package dbmunits is the dbmunits fixture: a miniature of the
+// repository's phy power conventions — a DBm named type, mW values as
+// plain float64 with MW-suffixed names.
+package dbmunits
+
+import "math"
+
+// DBm mirrors phy.DBm; the named type carries the logarithmic unit.
+type DBm float64
+
+func (p DBm) Milliwatts() float64 { return math.Pow(10, float64(p)/10) }
+
+// FromMilliwatts mirrors phy.FromMilliwatts: the sanctioned bridge.
+func FromMilliwatts(mw float64) DBm { return DBm(10 * math.Log10(mw)) }
+
+var noiseFloorMW = DBm(-100).Milliwatts()
+
+func mixedByType(signal DBm) float64 {
+	return float64(signal) + noiseFloorMW // want "mixes dBm operand .* with noiseFloorMW"
+}
+
+func mixedByName(rssiDbm, interfMW float64) float64 {
+	return rssiDbm - interfMW // want "mixes dBm operand rssiDbm .* with interfMW"
+}
+
+func mixedCompound(totalMW float64, s DBm) float64 {
+	totalMW += float64(s) // want "mixes mW operand totalMW .* with"
+	return totalMW
+}
+
+func mixedViaCall(s DBm, x float64) float64 {
+	// Milliwatts() taints the call result linear; adding a dBm value to
+	// it is the classic domain bug.
+	return float64(s) + s.Milliwatts() // want "mixes dBm operand .*Milliwatts"
+}
+
+func sameDomainIsFine(a, b DBm) DBm {
+	return a - b // dB offsets add in the log domain: legal
+}
+
+func linearSumIsFine(rxMW, txMW float64) float64 {
+	return rxMW + txMW + noiseFloorMW // all linear: legal
+}
+
+func bridgedIsFine(a, b DBm) DBm {
+	return FromMilliwatts(a.Milliwatts() + b.Milliwatts()) // explicit conversion: legal
+}
+
+func unknownOperandIsFine(thresholdDbm, margin float64) float64 {
+	return thresholdDbm - margin // margin carries no unit name: not flagged
+}

@@ -1,0 +1,28 @@
+// Package confgo is the confinedgo fixture: a simulation-layer package
+// (anything outside internal/parallel) where concurrency is forbidden.
+package confgo
+
+import "sync"
+
+func launches() {
+	go func() {}() // want "go statement outside internal/parallel"
+}
+
+func fanIn() {
+	var wg sync.WaitGroup // want "sync.WaitGroup outside internal/parallel"
+	wg.Wait()
+}
+
+func channels() {
+	ch := make(chan int, 4) // want "channel creation outside internal/parallel"
+	close(ch)
+}
+
+func deterministicSyncIsFine() {
+	var mu sync.Mutex // guarding shared pools is legal; no goroutines made
+	mu.Lock()
+	mu.Unlock()
+	_ = sync.OnceValue(func() int { return 1 }) // memoization is legal
+	_ = make([]int, 4)                          // non-channel make is legal
+	_ = make(map[int]int)
+}

@@ -1,0 +1,14 @@
+package confgo
+
+import "sync"
+
+// Test files may use concurrency freely: racing the suite and timing
+// wall-clock overlap are legitimate test techniques.
+func testOnlyConcurrency() {
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	wg.Add(1)
+	go func() { ch <- 1; wg.Done() }()
+	<-ch
+	wg.Wait()
+}

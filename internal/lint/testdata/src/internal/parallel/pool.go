@@ -1,0 +1,22 @@
+// Package parallel is the confinedgo negative fixture: laid out as
+// internal/parallel, the one package where concurrency belongs.
+package parallel
+
+import "sync"
+
+func run(n int, fn func(int)) {
+	var wg sync.WaitGroup // legal here
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Add(1)
+	go func() { // legal here
+		defer wg.Done()
+		for i := range jobs {
+			fn(i)
+		}
+	}()
+	wg.Wait()
+}

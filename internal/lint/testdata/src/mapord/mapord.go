@@ -1,0 +1,85 @@
+// Package mapord is the maporder fixture.
+package mapord
+
+import "sort"
+
+type emitter struct{}
+
+func (emitter) OnAir(int)  {}
+func (emitter) Record(int) {}
+
+func floatAccumulation(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "floating-point accumulation into total"
+	}
+	return total
+}
+
+func selfAddAccumulation(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "floating-point accumulation into total"
+	}
+	return total
+}
+
+func escapingAppend(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over map"
+	}
+	return out
+}
+
+func eventEmission(m map[int]emitter) {
+	for k, e := range m {
+		e.OnAir(k) // want "OnAir inside range over map"
+	}
+}
+
+func intAccumulationIsFine(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer addition commutes exactly: order-independent
+	}
+	return n
+}
+
+func collectThenSortIsFine(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // sorted below: the random order is erased
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func perEntryWorkIsFine(m map[int]*emitter) {
+	for k := range m {
+		delete(m, k) // delete and per-entry writes are order-independent
+	}
+}
+
+func loopLocalIsFine(m map[int][]float64) float64 {
+	worst := 0.0
+	for _, vs := range m {
+		sub := 0.0
+		for _, v := range vs {
+			sub += v // accumulator local to the iteration: no order leak
+		}
+		if sub > worst {
+			worst = sub
+		}
+	}
+	return worst
+}
+
+func suppressedAccumulation(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//lint:ignore maporder fixture exercises the suppression convention
+		total += v
+	}
+	return total
+}

@@ -118,7 +118,7 @@ func WithLossProvider(p LossProvider) Option {
 // Medium is the shared channel. Not safe for concurrent use: the simulation
 // is single-threaded by design.
 type Medium struct {
-	kernel       *sim.Kernel
+	kernel       *sim.Kernel //lint:keep the medium's identity; Reset recycles state against the same (already-Reset) kernel
 	pathLoss     phy.PathLossModel
 	rejection    phy.RejectionCurve
 	lossProvider LossProvider

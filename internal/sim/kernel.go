@@ -86,8 +86,11 @@ type Kernel struct {
 	free    []*eventNode
 	running bool
 	stopped bool
-	seed    int64
-	streams map[string]*RNG
+	seed int64
+	// streams survives Reset by design: stream objects stay parked and
+	// streamGen makes every lease reseed lazily, so a recycled kernel
+	// hands out fresh-identical draws without rebuilding the map.
+	streams map[string]*RNG //lint:keep reseeded lazily via streamGen, not rebuilt
 	// streamGen marks the kernel's current incarnation; a stream whose gen
 	// lags is reseeded lazily on its next Stream lease. Reset bumps this
 	// instead of eagerly reseeding every stream ever created on the kernel
