@@ -1,7 +1,7 @@
 GO ?= go
 BENCH ?= .
-BENCH_OUT ?= BENCH_PR4.json
-BENCH_BASE ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR4.json
 
 # Pinned third-party analyzer versions for `make lint-full` (LINT_FULL=1).
 # Both are fetched with `go run pkg@version`, so they need module-proxy

@@ -5,16 +5,18 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"nonortho/internal/cli"
 )
 
 func TestSectionsCoverEverything(t *testing.T) {
-	secs := sections()
+	secs := cli.Sections()
 	if len(secs) != 7 {
 		t.Fatalf("sections = %d, want 7", len(secs))
 	}
 	for _, s := range secs {
-		if s.heading == "" || s.run == nil {
-			t.Errorf("malformed section %+v", s.heading)
+		if s.Heading == "" || len(s.Names) == 0 {
+			t.Errorf("malformed section %+v", s.Heading)
 		}
 	}
 }

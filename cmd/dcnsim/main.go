@@ -6,9 +6,16 @@
 //	dcnsim -list
 //	dcnsim -exp fig19
 //	dcnsim -exp all -seeds 5 -measure 10s
+//	dcnsim -exp all -store cells.d            # persist completed cells
+//	dcnsim -exp all -store cells.d -resume    # continue an interrupted run
+//
+// Exit codes: 0 success; 1 runtime error or failed cells under
+// -keep-going; 2 usage error; 130/143 interrupted by SIGINT/SIGTERM
+// (completed cells flushed to -store first).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,107 +23,18 @@ import (
 	"strings"
 	"time"
 
+	"nonortho/internal/cli"
 	"nonortho/internal/experiments"
 	"nonortho/internal/prof"
 	"nonortho/internal/scenario"
 )
 
-// runner executes one experiment and prints its tables.
-type runner func(opts experiments.Options)
-
-func registry() map[string]runner {
-	print := func(tables ...*experiments.Table) {
-		for _, t := range tables {
-			fmt.Println(t.String())
-		}
-	}
-	return map[string]runner{
-		"fig1": func(o experiments.Options) { _, t := experiments.Fig1(o); print(t) },
-		"fig2": func(o experiments.Options) { _, t := experiments.Fig2(o); print(t) },
-		"fig4": func(o experiments.Options) { _, t := experiments.Fig4(o); print(t) },
-		"fig6": func(o experiments.Options) { _, t := experiments.Fig6(o); print(t) },
-		"fig7": func(o experiments.Options) { _, t := experiments.Fig7(o); print(t) },
-		"fig8": func(o experiments.Options) { _, t := experiments.Fig8(o); print(t) },
-		"fig9-10": func(o experiments.Options) {
-			_, t9, t10 := experiments.Fig9and10(o)
-			print(t9, t10)
-		},
-		"fig14-15": func(o experiments.Options) {
-			_, t14, t15 := experiments.Fig14and15(o)
-			print(t14, t15)
-		},
-		"fig16": func(o experiments.Options) { _, t := experiments.Fig16(o); print(t) },
-		"fig17": func(o experiments.Options) { _, t := experiments.Fig17(o); print(t) },
-		"fig18": func(o experiments.Options) { _, t := experiments.Fig18(o); print(t) },
-		"fig19": func(o experiments.Options) { _, t := experiments.Fig19(o); print(t) },
-		"fig20-21": func(o experiments.Options) {
-			_, t20, t21 := experiments.Fig20and21(o)
-			print(t20, t21)
-		},
-		"table1": func(o experiments.Options) { _, t := experiments.TableI(o); print(t) },
-		"fig25":  func(o experiments.Options) { _, t := experiments.Fig25(o); print(t) },
-		"fig26":  func(o experiments.Options) { _, t := experiments.Fig26(o); print(t) },
-		"fig27":  func(o experiments.Options) { _, t := experiments.Fig27(o); print(t) },
-		"fig28":  func(o experiments.Options) { _, t := experiments.Fig28(o); print(t) },
-		"fig29":  func(o experiments.Options) { _, t := experiments.Fig29(o); print(t) },
-		"fig30":  func(o experiments.Options) { _, t := experiments.Fig30(o); print(t) },
-		"bands":  func(o experiments.Options) { _, t := experiments.BandSweep(o); print(t) },
-		"ablation": func(o experiments.Options) {
-			_, t := experiments.AblationDCN(o)
-			print(t)
-		},
-		"caseii-recovery": func(o experiments.Options) {
-			_, t := experiments.CaseIIRecovery(o)
-			print(t)
-		},
-		"energy": func(o experiments.Options) {
-			_, t := experiments.EnergyComparison(o)
-			print(t)
-		},
-		"scarcity": func(o experiments.Options) {
-			_, t := experiments.Scarcity(o)
-			print(t)
-		},
-		"multihop": func(o experiments.Options) {
-			_, t := experiments.Multihop(o)
-			print(t)
-		},
-		"upperbound": func(o experiments.Options) {
-			_, t := experiments.UpperBound(o)
-			print(t)
-		},
-		"coexistence": func(o experiments.Options) {
-			_, t := experiments.Coexistence(o)
-			print(t)
-		},
-		"beaconmode": func(o experiments.Options) {
-			_, t := experiments.BeaconMode(o)
-			print(t)
-		},
-		"tsch": func(o experiments.Options) {
-			_, t := experiments.TSCH(o)
-			print(t)
-		},
-		"layouts": func(o experiments.Options) {
-			_, ts := experiments.Layouts(o)
-			print(ts...)
-		},
-		"lpl": func(o experiments.Options) {
-			_, t := experiments.LPL(o)
-			print(t)
-		},
-		"faulteval": func(o experiments.Options) {
-			_, t := experiments.FaultEval(o)
-			print(t)
-		},
-	}
-}
-
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	err := run(os.Args[1:])
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintln(os.Stderr, "dcnsim:", err)
-		os.Exit(1)
 	}
+	os.Exit(cli.ExitCode(err))
 }
 
 func run(args []string) error {
@@ -134,9 +52,14 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "simulation cells run concurrently (0 = one per CPU; results are identical at any setting)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		sweep    cli.SweepFlags
 	)
+	sweep.Register(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return &cli.UsageError{Err: err}
 	}
 	// Profile the selected workload end to end; the stop hook flushes the
 	// CPU profile and writes the heap profile once the run is complete.
@@ -145,7 +68,7 @@ func run(args []string) error {
 		return err
 	}
 	err = func() error {
-		reg := registry()
+		reg := cli.Registry()
 		names := make([]string, 0, len(reg))
 		for name := range reg {
 			names = append(names, name)
@@ -164,12 +87,12 @@ func run(args []string) error {
 		}
 		if *faults {
 			if *exp != "" && *exp != "faulteval" {
-				return fmt.Errorf("-faults conflicts with -exp %q", *exp)
+				return cli.Usagef("-faults conflicts with -exp %q", *exp)
 			}
 			*exp = "faulteval"
 		}
 		if *exp == "" {
-			return fmt.Errorf("no experiment selected; use -exp <name>, -scenario <file>, or -list")
+			return cli.Usagef("no experiment selected; use -exp <name>, -scenario <file>, or -list")
 		}
 
 		opts := experiments.Options{Seed: *seed, Seeds: *seeds, Warmup: *warmup, Measure: *measure, Workers: *workers}
@@ -179,19 +102,34 @@ func run(args []string) error {
 			opts.Workers = *workers
 		}
 
+		var selected []string
 		if *exp == "all" {
-			for _, n := range names {
-				fmt.Printf("=== %s ===\n", n)
-				reg[n](opts)
+			selected = names
+		} else {
+			if _, ok := reg[*exp]; !ok {
+				return cli.Usagef("unknown experiment %q; available: %s", *exp, strings.Join(names, ", "))
 			}
-			return nil
+			selected = []string{*exp}
 		}
-		r, ok := reg[*exp]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q; available: %s", *exp, strings.Join(names, ", "))
+
+		sweeper, err := cli.NewSweeper(sweep, &opts)
+		if err != nil {
+			return err
 		}
-		r(opts)
-		return nil
+		defer sweeper.Close()
+		for _, n := range selected {
+			if *exp == "all" {
+				fmt.Printf("=== %s ===\n", n)
+			}
+			tables, err := sweeper.RunExperiment(n, reg[n], opts)
+			if err != nil {
+				return err
+			}
+			for _, t := range tables {
+				fmt.Println(t.String())
+			}
+		}
+		return sweeper.Err()
 	}()
 	if perr := stopProf(); err == nil {
 		err = perr

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"nonortho/internal/cli"
 )
 
 func TestListRunsCleanly(t *testing.T) {
@@ -33,7 +35,7 @@ func TestBadFlagRejected(t *testing.T) {
 }
 
 func TestRegistryCoversEveryExperiment(t *testing.T) {
-	reg := registry()
+	reg := cli.Registry()
 	want := []string{
 		"fig1", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9-10",
 		"fig14-15", "fig16", "fig17", "fig18", "fig19", "fig20-21",

@@ -1,0 +1,219 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"nonortho/internal/experiments"
+	"nonortho/internal/parallel"
+	"nonortho/internal/sim"
+	"nonortho/internal/store"
+	"nonortho/internal/watchdog"
+)
+
+// Exit codes shared by dcnsim and dcnreport (documented in README.md):
+//
+//	0        success
+//	1        runtime error, or failed cells under -keep-going
+//	2        usage error (bad flag, unknown experiment)
+//	130/143  interrupted by SIGINT/SIGTERM after flushing completed
+//	         cells (128 + signal number)
+const (
+	ExitOK        = 0
+	ExitFailure   = 1
+	ExitUsage     = 2
+	exitSignalOff = 128
+)
+
+// SweepFlags are the crash-safety flags shared by both CLIs.
+type SweepFlags struct {
+	StoreDir       string
+	Resume         bool
+	KeepGoing      bool
+	Retry          bool
+	MaxCellEvents  uint64
+	MaxCellVirtual time.Duration
+	StuckAfter     time.Duration
+}
+
+// Register installs the flags on fs.
+func (f *SweepFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.StoreDir, "store", "", "persist every completed simulation cell to this directory (content-addressed, checksummed)")
+	fs.BoolVar(&f.Resume, "resume", false, "serve completed cells from -store instead of recomputing; resumed output is byte-identical to an uninterrupted run")
+	fs.BoolVar(&f.KeepGoing, "keep-going", false, "on cell failure, keep sweeping and emit partial tables with failed cells marked (exit code 1)")
+	fs.BoolVar(&f.Retry, "retry", false, "re-run each failed cell once to classify the failure: deterministic (fails identically) or environmental (passes on retry; retry result used)")
+	fs.Uint64Var(&f.MaxCellEvents, "max-cell-events", 0, "fail any cell that fires more than this many kernel events (0 = unlimited)")
+	fs.DurationVar(&f.MaxCellVirtual, "max-cell-virtual", 0, "fail any cell whose virtual clock passes this bound (0 = unlimited)")
+	fs.DurationVar(&f.StuckAfter, "watchdog", 0, "warn with a stack dump when a cell runs longer than this in wall-clock time (0 = off)")
+}
+
+// UsageError marks an error as bad invocation (exit code 2).
+type UsageError struct{ Err error }
+
+func (e *UsageError) Error() string { return e.Err.Error() }
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usagef builds a UsageError.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, args...)}
+}
+
+// InterruptError reports a sweep stopped by SIGINT or SIGTERM at a cell
+// boundary, with completed cells flushed to the store (when one is
+// configured).
+type InterruptError struct {
+	Sig  syscall.Signal
+	Hint string
+}
+
+func (e *InterruptError) Error() string {
+	msg := fmt.Sprintf("interrupted (%v); stopped at a cell boundary", e.Sig)
+	return msg + e.Hint
+}
+
+// ExitCode maps a run's outcome to the documented contract.
+func ExitCode(err error) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return ExitOK
+	}
+	var ie *InterruptError
+	if errors.As(err, &ie) {
+		return exitSignalOff + int(ie.Sig)
+	}
+	var ue *UsageError
+	if errors.As(err, &ue) {
+		return ExitUsage
+	}
+	return ExitFailure
+}
+
+// Sweeper runs experiments under the crash-safety machinery: one
+// Sweeper per CLI invocation. It owns the signal handler, the optional
+// wall-clock watchdog and the RunControl threaded into every sweep.
+type Sweeper struct {
+	flags  SweepFlags
+	rc     *experiments.RunControl
+	wd     *watchdog.Watchdog
+	stop   func()
+	sig    atomic.Int64
+	failed int
+	stderr io.Writer
+}
+
+// NewSweeper validates the flags, opens the store, installs the signal
+// handler and watchdog, and attaches everything to opts. Call Close
+// when the run is over.
+func NewSweeper(f SweepFlags, opts *experiments.Options) (*Sweeper, error) {
+	if f.Resume && f.StoreDir == "" {
+		return nil, Usagef("-resume requires -store")
+	}
+	s := &Sweeper{flags: f, stderr: os.Stderr}
+	s.rc = &experiments.RunControl{
+		KeepGoing: f.KeepGoing,
+		Retry:     f.Retry,
+		Resume:    f.Resume,
+		Canceled:  func() bool { return s.sig.Load() != 0 },
+		Logf:      func(format string, args ...any) { fmt.Fprintf(s.stderr, format+"\n", args...) },
+	}
+	if f.StoreDir != "" {
+		st, err := store.Open(f.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.rc.Store = st
+	}
+	if f.StuckAfter > 0 {
+		s.wd = watchdog.New(f.StuckAfter, func(r watchdog.Report) {
+			fmt.Fprintf(s.stderr, "warning: cell %d still running after %v — stuck? goroutine stacks:\n%s\n",
+				r.Cell, r.Elapsed.Round(time.Millisecond), r.Stack)
+		})
+		s.rc.Watch = s.wd
+	}
+	s.stop = watchdog.NotifyInterrupt(func(sig os.Signal) {
+		n, ok := sig.(syscall.Signal)
+		if !ok {
+			n = syscall.SIGINT
+		}
+		if !s.sig.CompareAndSwap(0, int64(n)) {
+			// Second signal: the operator means it. Completed cells are
+			// already durable in the store; exit immediately.
+			os.Exit(exitSignalOff + int(n))
+		}
+		fmt.Fprintf(s.stderr, "%v: finishing cells in flight, then stopping at the next cell boundary; signal again to exit immediately\n", sig)
+	})
+	opts.Run = s.rc
+	opts.Budget = sim.Budget{Events: f.MaxCellEvents, Virtual: sim.FromDuration(f.MaxCellVirtual)}
+	return s, nil
+}
+
+// Close releases the signal handler and watchdog.
+func (s *Sweeper) Close() {
+	if s.wd != nil {
+		s.wd.Stop()
+	}
+	if s.stop != nil {
+		s.stop()
+	}
+}
+
+// RunExperiment executes one named driver. On success the returned
+// tables carry explicit markers for any keep-going cell failures (also
+// counted toward Err). A canceled sweep returns an *InterruptError; a
+// fatal sweep failure without -keep-going returns the structured
+// *parallel.SweepError wrapped with the experiment name.
+func (s *Sweeper) RunExperiment(name string, driver Driver, opts experiments.Options) (tables []*experiments.Table, err error) {
+	s.rc.StartExperiment(name)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		se, ok := r.(*parallel.SweepError)
+		if !ok {
+			panic(r)
+		}
+		tables = nil
+		if se.Canceled {
+			err = s.interruptError()
+			return
+		}
+		err = fmt.Errorf("experiment %s: %w", name, se)
+	}()
+	tables = driver(opts)
+	fails := s.rc.TakeFailures()
+	if n := experiments.FailedCells(fails); n > 0 {
+		s.failed += n
+		for _, t := range tables {
+			experiments.MarkFailedCells(t, fails)
+		}
+		fmt.Fprintf(s.stderr, "experiment %s: %d cells failed; tables are partial and marked\n", name, n)
+	}
+	return tables, nil
+}
+
+// Err reports the accumulated keep-going failures, nil if every cell of
+// every experiment completed.
+func (s *Sweeper) Err() error {
+	if s.failed == 0 {
+		return nil
+	}
+	return fmt.Errorf("%d cells failed across the run; emitted tables are partial (failed cells marked)", s.failed)
+}
+
+// interruptError names the signal and, when a store is configured, how
+// to resume.
+func (s *Sweeper) interruptError() *InterruptError {
+	e := &InterruptError{Sig: syscall.Signal(s.sig.Load())}
+	if s.flags.StoreDir != "" {
+		e.Hint = fmt.Sprintf("; completed cells are flushed — add -resume (with -store %s) to continue where this run stopped", s.flags.StoreDir)
+	} else {
+		e.Hint = "; no -store configured, so nothing was saved"
+	}
+	return e
+}

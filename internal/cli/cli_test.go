@@ -1,0 +1,149 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"syscall"
+	"testing"
+
+	"nonortho/internal/experiments"
+	"nonortho/internal/parallel"
+)
+
+func TestSectionsNameOnlyRegisteredExperiments(t *testing.T) {
+	reg := Registry()
+	seen := map[string]bool{}
+	for _, sec := range Sections() {
+		for _, n := range sec.Names {
+			if _, ok := reg[n]; !ok {
+				t.Errorf("section %q names unknown experiment %q", sec.Heading, n)
+			}
+			if seen[n] {
+				t.Errorf("experiment %q appears in more than one section", n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestExitCodeContract(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{flag.ErrHelp, 0},
+		{fmt.Errorf("wrapped: %w", flag.ErrHelp), 0},
+		{errors.New("boom"), 1},
+		{Usagef("bad flag"), 2},
+		{fmt.Errorf("outer: %w", Usagef("bad")), 2},
+		{&InterruptError{Sig: syscall.SIGINT}, 130},
+		{&InterruptError{Sig: syscall.SIGTERM}, 143},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestResumeRequiresStore(t *testing.T) {
+	opts := experiments.Quick()
+	_, err := NewSweeper(SweepFlags{Resume: true}, &opts)
+	if ExitCode(err) != ExitUsage {
+		t.Fatalf("NewSweeper(-resume without -store) err = %v, want usage error", err)
+	}
+}
+
+// newTestSweeper builds a Sweeper with captured stderr.
+func newTestSweeper(t *testing.T, f SweepFlags, opts *experiments.Options) (*Sweeper, *bytes.Buffer) {
+	t.Helper()
+	s, err := NewSweeper(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	var buf bytes.Buffer
+	s.stderr = &buf
+	s.rc.Logf = func(format string, args ...any) { fmt.Fprintf(&buf, format+"\n", args...) }
+	return s, &buf
+}
+
+// A starved event budget fails every cell; keep-going still emits the
+// tables, marked, and the run exits nonzero via Err.
+func TestKeepGoingBudgetTripMarksTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulation cells; skipped in -short")
+	}
+	opts := experiments.Quick()
+	opts.Workers = 1
+	s, _ := newTestSweeper(t, SweepFlags{KeepGoing: true, MaxCellEvents: 50}, &opts)
+	tables, err := s.RunExperiment("fig1", Registry()["fig1"], opts)
+	if err != nil {
+		t.Fatalf("keep-going run errored: %v", err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("keep-going run produced no tables")
+	}
+	marked := false
+	for _, tbl := range tables {
+		if strings.Contains(tbl.String(), "FAILED cell") {
+			marked = true
+		}
+	}
+	if !marked {
+		t.Fatal("partial tables carry no failed-cell markers")
+	}
+	if s.Err() == nil {
+		t.Fatal("Sweeper.Err() == nil after failed cells")
+	}
+	if ExitCode(s.Err()) != ExitFailure {
+		t.Fatalf("ExitCode(%v) != 1", s.Err())
+	}
+}
+
+// Without -keep-going the same failure surfaces as the structured sweep
+// error naming the experiment.
+func TestFailFastSurfacesSweepError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulation cells; skipped in -short")
+	}
+	opts := experiments.Quick()
+	opts.Workers = 1
+	s, _ := newTestSweeper(t, SweepFlags{MaxCellEvents: 50}, &opts)
+	_, err := s.RunExperiment("fig1", Registry()["fig1"], opts)
+	var se *parallel.SweepError
+	if !errors.As(err, &se) || len(se.Fatal()) == 0 {
+		t.Fatalf("err = %v, want wrapped SweepError with fatal failures", err)
+	}
+	if !strings.Contains(err.Error(), "fig1") {
+		t.Fatalf("error does not name the experiment: %v", err)
+	}
+}
+
+// A pending signal cancels the sweep at a cell boundary and maps to the
+// 128+signal exit code with a resume hint.
+func TestSignalCancelsWithResumeHint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulation cells; skipped in -short")
+	}
+	dir := t.TempDir()
+	opts := experiments.Quick()
+	opts.Workers = 1
+	s, _ := newTestSweeper(t, SweepFlags{StoreDir: dir}, &opts)
+	s.sig.Store(int64(syscall.SIGTERM))
+	_, err := s.RunExperiment("fig1", Registry()["fig1"], opts)
+	var ie *InterruptError
+	if !errors.As(err, &ie) || ie.Sig != syscall.SIGTERM {
+		t.Fatalf("err = %v, want InterruptError(SIGTERM)", err)
+	}
+	if ExitCode(err) != 143 {
+		t.Fatalf("ExitCode = %d, want 143", ExitCode(err))
+	}
+	if !strings.Contains(err.Error(), "-resume") || !strings.Contains(err.Error(), dir) {
+		t.Fatalf("interrupt error carries no resume hint: %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package cli is the shared plumbing of the dcnsim and dcnreport
+// commands: the experiment registry both binaries draw from, the
+// crash-safety flags (-store, -resume, -keep-going, -retry, cell
+// budgets, watchdog), signal handling that stops a sweep at a cell
+// boundary with completed cells flushed, and the documented exit-code
+// contract. Keeping it in one package means the two CLIs cannot drift:
+// an experiment name, a flag or an exit code means the same thing in
+// both, and store entries written by one can resume the other.
+package cli
+
+import (
+	"nonortho/internal/experiments"
+)
+
+// Driver runs one experiment and returns its printable tables.
+type Driver func(opts experiments.Options) []*experiments.Table
+
+// tbl adapts the common (result, table...) driver shape.
+func tbl(ts ...*experiments.Table) []*experiments.Table { return ts }
+
+// Registry maps every experiment name to its driver. Names are stable
+// identifiers: they appear in -exp, in -list, in report sections and in
+// store keys, so renaming one silently orphans its cached cells.
+func Registry() map[string]Driver {
+	return map[string]Driver{
+		"fig1": func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig1(o); return tbl(t) },
+		"fig2": func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig2(o); return tbl(t) },
+		"fig4": func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig4(o); return tbl(t) },
+		"fig6": func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig6(o); return tbl(t) },
+		"fig7": func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig7(o); return tbl(t) },
+		"fig8": func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig8(o); return tbl(t) },
+		"fig9-10": func(o experiments.Options) []*experiments.Table {
+			_, t9, t10 := experiments.Fig9and10(o)
+			return tbl(t9, t10)
+		},
+		"fig14-15": func(o experiments.Options) []*experiments.Table {
+			_, t14, t15 := experiments.Fig14and15(o)
+			return tbl(t14, t15)
+		},
+		"fig16": func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig16(o); return tbl(t) },
+		"fig17": func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig17(o); return tbl(t) },
+		"fig18": func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig18(o); return tbl(t) },
+		"fig19": func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig19(o); return tbl(t) },
+		"fig20-21": func(o experiments.Options) []*experiments.Table {
+			_, t20, t21 := experiments.Fig20and21(o)
+			return tbl(t20, t21)
+		},
+		"table1": func(o experiments.Options) []*experiments.Table { _, t := experiments.TableI(o); return tbl(t) },
+		"fig25":  func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig25(o); return tbl(t) },
+		"fig26":  func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig26(o); return tbl(t) },
+		"fig27":  func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig27(o); return tbl(t) },
+		"fig28":  func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig28(o); return tbl(t) },
+		"fig29":  func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig29(o); return tbl(t) },
+		"fig30":  func(o experiments.Options) []*experiments.Table { _, t := experiments.Fig30(o); return tbl(t) },
+		"bands":  func(o experiments.Options) []*experiments.Table { _, t := experiments.BandSweep(o); return tbl(t) },
+		"ablation": func(o experiments.Options) []*experiments.Table {
+			_, t := experiments.AblationDCN(o)
+			return tbl(t)
+		},
+		"caseii-recovery": func(o experiments.Options) []*experiments.Table {
+			_, t := experiments.CaseIIRecovery(o)
+			return tbl(t)
+		},
+		"energy": func(o experiments.Options) []*experiments.Table {
+			_, t := experiments.EnergyComparison(o)
+			return tbl(t)
+		},
+		"scarcity": func(o experiments.Options) []*experiments.Table {
+			_, t := experiments.Scarcity(o)
+			return tbl(t)
+		},
+		"multihop": func(o experiments.Options) []*experiments.Table {
+			_, t := experiments.Multihop(o)
+			return tbl(t)
+		},
+		"upperbound": func(o experiments.Options) []*experiments.Table {
+			_, t := experiments.UpperBound(o)
+			return tbl(t)
+		},
+		"coexistence": func(o experiments.Options) []*experiments.Table {
+			_, t := experiments.Coexistence(o)
+			return tbl(t)
+		},
+		"beaconmode": func(o experiments.Options) []*experiments.Table {
+			_, t := experiments.BeaconMode(o)
+			return tbl(t)
+		},
+		"tsch": func(o experiments.Options) []*experiments.Table {
+			_, t := experiments.TSCH(o)
+			return tbl(t)
+		},
+		"layouts": func(o experiments.Options) []*experiments.Table {
+			_, ts := experiments.Layouts(o)
+			return ts
+		},
+		"lpl": func(o experiments.Options) []*experiments.Table {
+			_, t := experiments.LPL(o)
+			return tbl(t)
+		},
+		"faulteval": func(o experiments.Options) []*experiments.Table {
+			_, t := experiments.FaultEval(o)
+			return tbl(t)
+		},
+	}
+}
+
+// Section groups registry experiments under one report heading.
+type Section struct {
+	Heading string
+	// Names index into Registry, in print order.
+	Names []string
+}
+
+// Sections lays out the dcnreport document. Every name must exist in
+// Registry (cli_test enforces it).
+func Sections() []Section {
+	return []Section{
+		{"Motivation (Section III)", []string{"fig1", "fig2", "fig4"}},
+		{"CCA-threshold study (Section IV)", []string{"fig6", "fig7", "fig8", "fig9-10"}},
+		{"DCN evaluation (Section VI-A)", []string{"fig14-15", "fig16", "fig17", "fig18"}},
+		{"Headline comparison (Section VI-B)", []string{"fig19", "fig20-21", "table1"}},
+		{"Network configurations (Section VI-B.4)", []string{"fig25", "fig26", "fig27"}},
+		{"Discussion (Section VII)", []string{"fig28", "fig29", "fig30", "bands"}},
+		{"Extensions beyond the paper", []string{
+			"ablation", "caseii-recovery", "energy", "scarcity", "multihop",
+			"upperbound", "coexistence", "beaconmode", "tsch", "lpl"}},
+	}
+}

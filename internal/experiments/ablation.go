@@ -87,7 +87,7 @@ func AblationDCN(opts Options) (AblationResult, *Table) {
 }
 
 func ablationRun(seed int64, snap *topology.Snapshot, cfg *dcn.Config, opts Options) *testbed.Testbed {
-	tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+	tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 	for _, spec := range snap.Networks() {
 		nc := testbed.NetworkConfig{Scheme: testbed.SchemeFixed}
 		if cfg != nil {
@@ -120,7 +120,7 @@ type EnergyResult struct{ Rows []EnergyRow }
 func EnergyComparison(opts Options) (EnergyResult, *Table) {
 	opts = opts.withDefaults()
 
-	type cellSums struct{ pkts, mj, seconds float64 }
+	type cellSums struct{ Pkts, MJ, Seconds float64 }
 	// Energy meters run from t=0 but packet counters only during the
 	// measurement window; radios draw power near-uniformly, so scale
 	// the consumption to the measured share of the run.
@@ -134,26 +134,26 @@ func EnergyComparison(opts Options) (EnergyResult, *Table) {
 		if nonOrtho {
 			topos = dcnTopos
 		}
-		tb := bandDesign(seed, topos.at(seed), nonOrtho)
+		tb := bandDesign(opts, seed, topos.at(seed), nonOrtho)
 		defer tb.Close()
 		tb.Run(opts.Warmup, opts.Measure)
 		var c cellSums
-		c.seconds = tb.MeasuredDuration().Seconds()
+		c.Seconds = tb.MeasuredDuration().Seconds()
 		for _, n := range tb.Networks() {
-			c.pkts += float64(n.Stats().Received)
+			c.Pkts += float64(n.Stats().Received)
 			for _, node := range n.Senders {
-				c.mj += share * node.Radio.EnergyReport().Millijoules
+				c.MJ += share * node.Radio.EnergyReport().Millijoules
 			}
-			c.mj += share * n.Sink.Radio.EnergyReport().Millijoules
+			c.MJ += share * n.Sink.Radio.EnergyReport().Millijoules
 		}
 		return c
 	})
 	aggregate := func(cells []cellSums) (throughput, mjPerPkt float64) {
 		var totalPkts, totalMJ, seconds float64
 		for _, c := range cells {
-			totalPkts += c.pkts
-			totalMJ += c.mj
-			seconds += c.seconds
+			totalPkts += c.Pkts
+			totalMJ += c.MJ
+			seconds += c.Seconds
 		}
 		if totalPkts == 0 {
 			return 0, 0
@@ -199,7 +199,7 @@ type CaseIIRecoveryResult struct {
 func CaseIIRecovery(opts Options) (CaseIIRecoveryResult, *Table) {
 	opts = opts.withDefaults()
 
-	type cellResult struct{ tput, th float64 }
+	type cellResult struct{ Tput, Th float64 }
 	plan := evalPlan(3, 3) // observed network flanked by two neighbours
 	// Both cells of a seed share one snapshot; the weak node each cell
 	// appends below lives only in that cell's deep copy of the specs.
@@ -214,7 +214,7 @@ func CaseIIRecovery(opts Options) (CaseIIRecoveryResult, *Table) {
 	grid := runGrid(opts, 2, func(cell int, seed int64) cellResult {
 		disableCaseII := cell == 1
 		snap := topos.at(seed)
-		tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+		tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 		defer tb.Close()
 		{
 			nets := snap.Networks()
@@ -245,16 +245,16 @@ func CaseIIRecovery(opts Options) (CaseIIRecoveryResult, *Table) {
 			tb.Run(0, opts.Measure)
 
 			return cellResult{
-				tput: observed.Throughput(tb.MeasuredDuration()),
-				th:   float64(observed.Senders[0].Radio.CCAThreshold()),
+				Tput: observed.Throughput(tb.MeasuredDuration()),
+				Th:   float64(observed.Senders[0].Radio.CCAThreshold()),
 			}
 		}
 	})
 	aggregate := func(cells []cellResult) (throughput, threshold float64) {
 		var tput, th float64
 		for _, c := range cells {
-			tput += c.tput
-			th += c.th
+			tput += c.Tput
+			th += c.Th
 		}
 		n := float64(opts.Seeds)
 		return tput / n, th / n

@@ -37,7 +37,7 @@ func BeaconMode(opts Options) (BeaconModeResult, *Table) {
 	grid := runGrid(opts, 2, func(cell int, seed int64) float64 {
 		useDCN := cell == 1
 		{
-			core := leaseCore(seed)
+			core := leaseCore(opts, seed)
 			defer core.Release()
 			k := core.Kernel
 			sched := beacon.Schedule{BeaconOrder: 3, SuperframeOrder: 3}

@@ -48,7 +48,7 @@ func runCase(layout topology.Layout, opts Options) CaseResult {
 		if cell >= 1 {
 			topos = cfdTopos
 		}
-		tb := caseDesign(seed, topos.at(seed), cell == 2)
+		tb := caseDesign(opts, seed, topos.at(seed), cell == 2)
 		defer tb.Close()
 		tb.Run(opts.Warmup, opts.Measure)
 		return tb.OverallThroughput()
@@ -81,8 +81,8 @@ func caseConfig(nonOrthogonal bool, layout topology.Layout, power topology.Power
 }
 
 // caseDesign instantiates one deployment-case cell from a shared snapshot.
-func caseDesign(seed int64, snap *topology.Snapshot, dcnEnabled bool) *testbed.Testbed {
-	tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+func caseDesign(opts Options, seed int64, snap *topology.Snapshot, dcnEnabled bool) *testbed.Testbed {
+	tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 	scheme := testbed.SchemeFixed
 	if dcnEnabled {
 		scheme = testbed.SchemeDCN

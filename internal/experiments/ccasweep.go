@@ -103,7 +103,7 @@ var ccaSweepSnap = sync.OnceValue(func() *topology.Snapshot {
 
 func ccaSweepRun(seed int64, threshold phy.DBm, linkPower phy.DBm, coChannel bool, opts Options) ccaSweepResultRow {
 	specs := ccaSweepSpecs(linkPower, coChannel)
-	tb := newCellTestbed(testbed.Options{
+	tb := newCellTestbed(opts, testbed.Options{
 		Seed: seed, StaticFadingSigma: -1, Topology: ccaSweepSnap(),
 	})
 	defer tb.Close()

@@ -51,7 +51,7 @@ func Coexistence(opts Options) (CoexistenceResult, *Table) {
 	grid := runGrid(opts, len(variants), func(cell int, seed int64) float64 {
 		v := variants[cell]
 		snap := topos.at(seed)
-		tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+		tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 		defer tb.Close()
 		scheme := testbed.SchemeFixed
 		if v.dcnOn {

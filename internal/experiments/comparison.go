@@ -23,8 +23,8 @@ func bandConfig(nonOrthogonal bool, layout topology.Layout, power topology.Power
 
 // bandDesign instantiates one evaluation-band cell from a shared topology
 // snapshot, optionally with DCN.
-func bandDesign(seed int64, snap *topology.Snapshot, dcnEnabled bool) *testbed.Testbed {
-	tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+func bandDesign(opts Options, seed int64, snap *topology.Snapshot, dcnEnabled bool) *testbed.Testbed {
+	tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 	scheme := testbed.SchemeFixed
 	if dcnEnabled {
 		scheme = testbed.SchemeDCN
@@ -58,8 +58,8 @@ type Fig19Result struct {
 func Fig19(opts Options) (Fig19Result, *Table) {
 	opts = opts.withDefaults()
 	type cellResult struct {
-		per   []float64
-		total float64
+		Per   []float64
+		Total float64
 	}
 	// Cell 0 = ZigBee design, cell 1 = non-orthogonal DCN design; every
 	// (design, seed) simulation runs concurrently, sharing one topology
@@ -72,18 +72,18 @@ func Fig19(opts Options) (Fig19Result, *Table) {
 		if nonOrtho {
 			topos = dcnTopos
 		}
-		tb := bandDesign(seed, topos.at(seed), nonOrtho)
+		tb := bandDesign(opts, seed, topos.at(seed), nonOrtho)
 		defer tb.Close()
 		tb.Run(opts.Warmup, opts.Measure)
-		return cellResult{per: tb.PerNetworkThroughput(), total: tb.OverallThroughput()}
+		return cellResult{Per: tb.PerNetworkThroughput(), Total: tb.OverallThroughput()}
 	})
 	var zigRows, dcnRows [][]float64
 	var zigTotals, dcnTotals []float64
 	for s := 0; s < opts.Seeds; s++ {
-		zigRows = append(zigRows, grid[0][s].per)
-		zigTotals = append(zigTotals, grid[0][s].total)
-		dcnRows = append(dcnRows, grid[1][s].per)
-		dcnTotals = append(dcnTotals, grid[1][s].total)
+		zigRows = append(zigRows, grid[0][s].Per)
+		zigTotals = append(zigTotals, grid[0][s].Total)
+		dcnRows = append(dcnRows, grid[1][s].Per)
+		dcnTotals = append(dcnTotals, grid[1][s].Total)
 	}
 	res := Fig19Result{
 		ZigBeePerNetwork: meanRows(zigRows),
@@ -152,7 +152,7 @@ func Fig20and21(opts Options) (Fig20Result, *Table, *Table) {
 		Layout: topology.LayoutColocated,
 		Power:  topology.FixedPower(othersPower),
 	})
-	type pair struct{ n0, others float64 }
+	type pair struct{ N0, Others float64 }
 	grid := runGrid(opts, len(powers), func(cell int, seed int64) pair {
 		p := powers[cell]
 		snap := topos.at(seed)
@@ -162,17 +162,17 @@ func Fig20and21(opts Options) (Fig20Result, *Table, *Table) {
 			nets[mid].Senders[i].TxPower = p
 		}
 		nets[mid].Sink.TxPower = p
-		tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+		tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 		defer tb.Close()
 		for _, spec := range nets {
 			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeDCN})
 		}
 		tb.Run(opts.Warmup, opts.Measure)
 		per := tb.PerNetworkThroughput()
-		out := pair{n0: per[mid]}
+		out := pair{N0: per[mid]}
 		for i, v := range per {
 			if i != mid {
-				out.others += v
+				out.Others += v
 			}
 		}
 		return out
@@ -182,8 +182,8 @@ func Fig20and21(opts Options) (Fig20Result, *Table, *Table) {
 	for i, p := range powers {
 		var n0, others float64
 		for _, c := range grid[i] {
-			n0 += c.n0
-			others += c.others
+			n0 += c.N0
+			others += c.Others
 		}
 		res.Rows = append(res.Rows, Fig20Row{
 			Power:  p,
@@ -224,7 +224,7 @@ func TableI(opts Options) (TableIResult, *Table) {
 	opts = opts.withDefaults()
 	topos := snapshotSeeds(opts, bandConfig(true, topology.LayoutColocated, nil))
 	rows := runSeeds(opts, func(seed int64) []float64 {
-		tb := bandDesign(seed, topos.at(seed), true)
+		tb := bandDesign(opts, seed, topos.at(seed), true)
 		defer tb.Close()
 		tb.Run(opts.Warmup, opts.Measure)
 		return tb.PerNetworkThroughput()

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"nonortho/internal/parallel"
+	"nonortho/internal/store"
+)
+
+// Crash/resume identity: a sweep interrupted at an arbitrary cell
+// boundary, then resumed from the flushed store, must render tables
+// byte-identical to an uninterrupted run. The store key excludes worker
+// count, so a sweep interrupted at Workers=8 and resumed at Workers=1
+// (or vice versa) must also match.
+
+// cellCounter counts started cells so a test can cancel a sweep after a
+// chosen number of cell boundaries, simulating a signal arriving
+// mid-run.
+type cellCounter struct{ started atomic.Int64 }
+
+func (c *cellCounter) CellStarted(int)  { c.started.Add(1) }
+func (c *cellCounter) CellFinished(int) {}
+
+// interruptedRun executes run with a store-backed RunControl that
+// cancels once killAfter cells have started. Cells already in flight
+// complete and flush to the store; the canceled sweep panics with a
+// canceled *parallel.SweepError, swallowed here exactly as the CLI
+// swallows it before printing the resume hint. Reports whether the run
+// was actually cut short (an experiment with fewer cells than killAfter
+// just finishes).
+func interruptedRun(t *testing.T, name string, run func(Options) string, opts Options, st *store.Store, killAfter int64) (interrupted bool) {
+	t.Helper()
+	var c cellCounter
+	rc := &RunControl{
+		Store:    st,
+		Canceled: func() bool { return c.started.Load() >= killAfter },
+		Watch:    &c,
+	}
+	rc.StartExperiment(name)
+	opts.Run = rc
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		se, ok := r.(*parallel.SweepError)
+		if !ok || !se.Canceled {
+			panic(r)
+		}
+		interrupted = true
+	}()
+	run(opts)
+	return false
+}
+
+// resumedRun re-executes run against the same store with Resume set, as
+// `dcnsim -store DIR -resume` would after the interrupt.
+func resumedRun(name string, run func(Options) string, opts Options, st *store.Store) string {
+	rc := &RunControl{Store: st, Resume: true}
+	rc.StartExperiment(name)
+	opts.Run = rc
+	return run(opts)
+}
+
+// assertCrashResumeIdentity cuts one golden experiment short at the
+// given cell boundaries (one per worker count), resumes each from its
+// store, and requires both resumed tables to match an uninterrupted
+// serial baseline byte for byte. Returns how many of the two runs were
+// actually interrupted so callers can assert the kill points bit.
+func assertCrashResumeIdentity(t *testing.T, tc goldenTable, kill1, kill8 int64) (interrupted int) {
+	t.Helper()
+	baseline := tc.run(goldenOpts(1))
+	for _, w := range []struct {
+		workers int
+		kill    int64
+	}{{1, kill1}, {8, kill8}} {
+		st, err := store.Open(t.TempDir(), store.WithVersion("crashresume"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if interruptedRun(t, tc.name, tc.run, goldenOpts(w.workers), st, w.kill) {
+			interrupted++
+		}
+		if n, _ := st.Count(); n == 0 {
+			t.Errorf("%s workers=%d: no cells flushed before the cut at cell %d", tc.name, w.workers, w.kill)
+		}
+		got := resumedRun(tc.name, tc.run, goldenOpts(w.workers), st)
+		if got != baseline {
+			t.Errorf("%s workers=%d: resumed table differs from uninterrupted run\n--- uninterrupted ---\n%s\n--- resumed ---\n%s",
+				tc.name, w.workers, baseline, got)
+		}
+	}
+	return interrupted
+}
+
+// TestCrashResumeBitIdentitySubset is the always-on (race-enabled)
+// representative of TestCrashResumeBitIdentity: two structurally
+// different drivers — Fig19's headline grid and Fig14and15's two-table
+// multi-sweep — interrupted at seeded cell boundaries and resumed at
+// both worker counts.
+func TestCrashResumeBitIdentitySubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interrupts and resumes simulation sweeps; skipped in -short")
+	}
+	subset := map[string]bool{"Fig19": true, "Fig14and15": true}
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range goldenTables() {
+		if !subset[tc.name] {
+			continue
+		}
+		tc := tc
+		kill1, kill8 := 1+rng.Int63n(5), 1+rng.Int63n(5)
+		t.Run(tc.name, func(t *testing.T) {
+			assertCrashResumeIdentity(t, tc, kill1, kill8)
+		})
+	}
+}
+
+// TestCrashResumeBitIdentity interrupts every golden experiment at a
+// seeded, randomized cell boundary, resumes it from the flushed store,
+// and requires the resumed output byte-identical to an uninterrupted
+// run — at Workers=1 and Workers=8. This is the acceptance check that
+// `dcnsim -store DIR`, SIGINT, `dcnsim -store DIR -resume` cannot move
+// a single byte of any of the 17 golden tables.
+func TestCrashResumeBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interrupts and resumes 17 experiments twice each; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("minutes under the race detector; TestCrashResumeBitIdentitySubset covers the path under race")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	tables := goldenTables()
+	interrupted, runs := 0, 0
+	for _, tc := range tables {
+		tc := tc
+		kill1, kill8 := 1+rng.Int63n(5), 1+rng.Int63n(5)
+		t.Run(tc.name, func(t *testing.T) {
+			interrupted += assertCrashResumeIdentity(t, tc, kill1, kill8)
+			runs += 2
+		})
+	}
+	// The kill points must actually bite: if most runs finish before the
+	// cut, the suite degenerates into a cache test instead of a
+	// crash/resume test.
+	if interrupted < runs/2 {
+		t.Errorf("only %d of %d runs were cut short; kill points no longer exercise mid-sweep resume", interrupted, runs)
+	}
+}

@@ -15,8 +15,8 @@ func fiveNetworksConfig(cfd phy.MHz) topology.Config {
 // fiveNetworks instantiates one five-network cell from a shared topology
 // snapshot, with the DCN scheme applied to the selected network indices
 // (nil = none, the w/o-scheme baseline).
-func fiveNetworks(seed int64, snap *topology.Snapshot, dcnOn func(i int) bool) *testbed.Testbed {
-	tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+func fiveNetworks(opts Options, seed int64, snap *topology.Snapshot, dcnOn func(i int) bool) *testbed.Testbed {
+	tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 	for i, spec := range snap.Networks() {
 		scheme := testbed.SchemeFixed
 		if dcnOn != nil && dcnOn(i) {
@@ -53,7 +53,7 @@ func runFiveNetworksSet(variants []fiveNetsVariant, opts Options) [][]float64 {
 	}
 	grid := runGrid(opts, len(variants), func(cell int, seed int64) []float64 {
 		v := variants[cell]
-		tb := fiveNetworks(seed, topos[v.cfd].at(seed), v.dcnOn)
+		tb := fiveNetworks(opts, seed, topos[v.cfd].at(seed), v.dcnOn)
 		defer tb.Close()
 		tb.Run(opts.Warmup, opts.Measure)
 		return tb.PerNetworkThroughput()

@@ -86,18 +86,43 @@ func TestGoldenTablesWorkerInvariant(t *testing.T) {
 	if raceEnabled {
 		t.Skip("minutes under the race detector; the per-figure worker-invariance tests cover the parallel paths under race")
 	}
-	quick := func(workers int) Options {
-		return Options{
-			Seed: 1, Seeds: 2,
-			Warmup:  time.Second,
-			Measure: 500 * time.Millisecond,
-			Workers: workers,
-		}
+	tables := goldenTables()
+	if len(tables) != 17 {
+		t.Fatalf("expected 17 golden tables, have %d", len(tables))
 	}
-	tables := []struct {
-		name string
-		run  func(Options) string
-	}{
+	for _, tc := range tables {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got1 := tc.run(goldenOpts(1))
+			got8 := tc.run(goldenOpts(8))
+			if got1 != got8 {
+				t.Errorf("%s: Workers=1 and Workers=8 tables differ\n--- Workers=1 ---\n%s\n--- Workers=8 ---\n%s",
+					tc.name, got1, got8)
+			}
+		})
+	}
+}
+
+// goldenOpts are the short windows the golden-table suites run with.
+func goldenOpts(workers int) Options {
+	return Options{
+		Seed: 1, Seeds: 2,
+		Warmup:  time.Second,
+		Measure: 500 * time.Millisecond,
+		Workers: workers,
+	}
+}
+
+// goldenTable names one renderable golden table.
+type goldenTable struct {
+	name string
+	run  func(Options) string
+}
+
+// goldenTables lists the 17 golden experiment tables shared by the
+// worker-invariance and crash/resume identity suites.
+func goldenTables() []goldenTable {
+	return []goldenTable{
 		{"Fig1", func(o Options) string { _, tbl := Fig1(o); return tbl.String() }},
 		{"Fig2", func(o Options) string { _, tbl := Fig2(o); return tbl.String() }},
 		{"Fig4", func(o Options) string { _, tbl := Fig4(o); return tbl.String() }},
@@ -115,20 +140,6 @@ func TestGoldenTablesWorkerInvariant(t *testing.T) {
 		{"Fig28", func(o Options) string { _, tbl := Fig28(o); return tbl.String() }},
 		{"Fig30", func(o Options) string { _, tbl := Fig30(o); return tbl.String() }},
 		{"BandSweep", func(o Options) string { _, tbl := BandSweep(o); return tbl.String() }},
-	}
-	if len(tables) != 17 {
-		t.Fatalf("expected 17 golden tables, have %d", len(tables))
-	}
-	for _, tc := range tables {
-		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			got1 := tc.run(quick(1))
-			got8 := tc.run(quick(8))
-			if got1 != got8 {
-				t.Errorf("%s: Workers=1 and Workers=8 tables differ\n--- Workers=1 ---\n%s\n--- Workers=8 ---\n%s",
-					tc.name, got1, got8)
-			}
-		})
 	}
 }
 

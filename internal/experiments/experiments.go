@@ -29,19 +29,23 @@ import (
 // (determinism_test.go asserts this across worker counts).
 var cellArena = arena.New()
 
-// newCellTestbed builds one cell's testbed on the shared arena. Every
-// caller must Close the testbed when — and only when — all of the cell's
-// results have been read out.
-func newCellTestbed(o testbed.Options) *testbed.Testbed {
+// newCellTestbed builds one cell's testbed on the shared arena, with the
+// run's per-cell budget applied. Every caller must Close the testbed
+// when — and only when — all of the cell's results have been read out.
+func newCellTestbed(opts Options, o testbed.Options) *testbed.Testbed {
 	o.Arena = cellArena
+	o.Budget = opts.Budget
 	return testbed.New(o)
 }
 
 // leaseCore leases a raw kernel/medium core from the shared arena for
 // drivers that assemble their networks by hand instead of through the
-// testbed. Callers must Release it when the cell's results are read.
-func leaseCore(seed int64, mopts ...medium.Option) *arena.Core {
-	return cellArena.Lease(seed, mopts...)
+// testbed, with the run's per-cell budget applied. Callers must Release
+// it when the cell's results are read.
+func leaseCore(opts Options, seed int64, mopts ...medium.Option) *arena.Core {
+	core := cellArena.Lease(seed, mopts...)
+	core.Kernel.SetBudget(opts.Budget)
+	return core
 }
 
 // Options controls experiment execution. The zero value takes defaults
@@ -64,6 +68,14 @@ type Options struct {
 	// the join in cell-index order, so output is bit-identical at any
 	// setting.
 	Workers int
+	// Budget bounds each simulation cell's kernel work (fired events
+	// and/or virtual time); zero is unlimited. A tripped budget panics
+	// the cell with *sim.BudgetError, reported like any cell failure.
+	Budget sim.Budget
+	// Run, when set, attaches the crash-safety machinery — result store,
+	// deterministic retry, keep-going failure collection, cancellation,
+	// wall-clock watcher — to every sweep. Nil runs sweeps bare.
+	Run *RunControl
 }
 
 func (o Options) withDefaults() Options {
@@ -101,7 +113,7 @@ func (o Options) workerCount() int {
 // it builds its own kernel/medium/testbed from the seed and touches no
 // shared mutable state.
 func runSeeds[T any](opts Options, run func(seed int64) T) []T {
-	return parallel.Run(opts.workerCount(), opts.Seeds, func(i int) T {
+	return runEngine(opts, opts.Seeds, func(i int) T {
 		return run(opts.Seed + int64(i))
 	})
 }
@@ -111,7 +123,7 @@ func runSeeds[T any](opts Options, run func(seed int64) T) []T {
 // order. This is the workhorse of the sweep-style drivers: each parameter
 // value × seed is an independent simulation.
 func runGrid[T any](opts Options, cells int, run func(cell int, seed int64) T) [][]T {
-	flat := parallel.Run(opts.workerCount(), cells*opts.Seeds, func(i int) T {
+	flat := runEngine(opts, cells*opts.Seeds, func(i int) T {
 		return run(i/opts.Seeds, opts.Seed+int64(i%opts.Seeds))
 	})
 	out := make([][]T, cells)
@@ -124,7 +136,7 @@ func runGrid[T any](opts Options, cells int, run func(cell int, seed int64) T) [
 // runCells evaluates run once per cell with no per-seed fan-out, for
 // drivers whose cells iterate seeds internally or have none.
 func runCells[T any](opts Options, cells int, run func(cell int) T) []T {
-	return parallel.Run(opts.workerCount(), cells, run)
+	return runEngine(opts, cells, run)
 }
 
 // seedTopos holds one immutable topology snapshot per seed of a run —

@@ -90,7 +90,7 @@ func (r FaultEvalResult) Row(m FaultModel, scheme string) *FaultRow {
 // faultRun executes one seeded run and returns (overall, target goodput,
 // watchdog stats of the target network, injector stats).
 func faultRun(seed int64, snap *topology.Snapshot, fs faultScheme, model FaultModel, opts Options) FaultRow {
-	tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+	tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 	defer tb.Close()
 	cfg := testbed.NetworkConfig{Scheme: fs.scheme}
 	if fs.watchdog {

@@ -43,12 +43,12 @@ func LPL(opts Options) (LPLResult, *Table) {
 	opts = opts.withDefaults()
 
 	type seedResult struct {
-		delivered         int
-		falsePerS, mjPerS float64
+		Delivered         int
+		FalsePerS, MjPerS float64
 	}
 	run := func(threshold phy.DBm) (delivered int, falsePerS, mjPerS float64) {
 		cells := runSeeds(opts, func(seed int64) seedResult {
-			core := leaseCore(seed)
+			core := leaseCore(opts, seed)
 			defer core.Release()
 			k := core.Kernel
 
@@ -85,15 +85,15 @@ func LPL(opts Options) (LPLResult, *Table) {
 			k.RunFor(opts.Warmup + opts.Measure)
 			secs := (opts.Warmup + opts.Measure).Seconds()
 			return seedResult{
-				delivered: rcv.Received(),
-				falsePerS: float64(rcv.FalseWakeups()) / secs,
-				mjPerS:    rcv.Radio().EnergyReport().Millijoules / secs,
+				Delivered: rcv.Received(),
+				FalsePerS: float64(rcv.FalseWakeups()) / secs,
+				MjPerS:    rcv.Radio().EnergyReport().Millijoules / secs,
 			}
 		})
 		for _, c := range cells {
-			delivered += c.delivered
-			falsePerS += c.falsePerS
-			mjPerS += c.mjPerS
+			delivered += c.Delivered
+			falsePerS += c.FalsePerS
+			mjPerS += c.MjPerS
 		}
 		n := float64(opts.Seeds)
 		return delivered, falsePerS / n, mjPerS / n

@@ -46,7 +46,7 @@ func Fig1(opts Options) (Fig1Result, *Table) {
 	}
 	grid := runGrid(opts, len(cases), func(cell int, seed int64) []float64 {
 		snap := topos[cell].at(seed)
-		tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+		tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 		defer tb.Close()
 		for _, spec := range snap.Networks() {
 			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: testbed.SchemeFixed})
@@ -103,11 +103,11 @@ type Fig2Result struct {
 func Fig2(opts Options) (Fig2Result, *Table) {
 	opts = opts.withDefaults()
 
-	type pair struct{ wifi, wpan float64 }
+	type pair struct{ WiFi, WPAN float64 }
 	grid := runGrid(opts, 11, func(sep int, seed int64) pair {
 		return pair{
-			wifi: wifiPairThroughput(seed, sep, opts) / wifiPairThroughput(seed+1000, 99, opts),
-			wpan: wpanPairThroughput(seed, sep, opts) / wpanPairThroughput(seed+1000, 99, opts),
+			WiFi: wifiPairThroughput(seed, sep, opts) / wifiPairThroughput(seed+1000, 99, opts),
+			WPAN: wpanPairThroughput(seed, sep, opts) / wpanPairThroughput(seed+1000, 99, opts),
 		}
 	})
 
@@ -115,8 +115,8 @@ func Fig2(opts Options) (Fig2Result, *Table) {
 	for sep := 0; sep <= 10; sep++ {
 		var wifi, wpan float64
 		for _, p := range grid[sep] {
-			wifi += p.wifi
-			wpan += p.wpan
+			wifi += p.WiFi
+			wpan += p.WPAN
 		}
 		res.Rows = append(res.Rows, Fig2Row{
 			ChannelSep: sep,
@@ -155,7 +155,7 @@ var wifiPairSnap = sync.OnceValue(func() *topology.Snapshot {
 // wifiPairThroughput measures link A's delivered packets with link B
 // offset by sep Wi-Fi channels (sep = 99 isolates link A).
 func wifiPairThroughput(seed int64, sep int, opts Options) float64 {
-	core := leaseCore(seed,
+	core := leaseCore(opts, seed,
 		medium.WithRejection(net80211.OverlapCurve{}),
 		medium.WithFadingSigma(1),
 		medium.WithStaticFadingSigma(0),
@@ -194,7 +194,7 @@ var wpanPairSnap = sync.OnceValue(func() *topology.Snapshot {
 // wpanPairThroughput measures an 802.15.4 link's goodput with a second
 // link offset by sep ZigBee channels (5 MHz each); sep = 99 isolates it.
 func wpanPairThroughput(seed int64, sep int, opts Options) float64 {
-	tb := newCellTestbed(testbed.Options{
+	tb := newCellTestbed(opts, testbed.Options{
 		Seed: seed, StaticFadingSigma: -1, Topology: wpanPairSnap(),
 	})
 	defer tb.Close()
@@ -237,18 +237,18 @@ func Fig4(opts Options) (Fig4Result, *Table) {
 	opts = opts.withDefaults()
 
 	cfds := []phy.MHz{5, 4, 3, 2, 1}
-	type pair struct{ normal, attacker float64 }
+	type pair struct{ Normal, Attacker float64 }
 	grid := runGrid(opts, len(cfds), func(cell int, seed int64) pair {
 		n, a := cprrRun(seed, cfds[cell], opts)
-		return pair{normal: n, attacker: a}
+		return pair{Normal: n, Attacker: a}
 	})
 
 	var res Fig4Result
 	for i, cfd := range cfds {
 		var normal, attacker float64
 		for _, p := range grid[i] {
-			normal += p.normal
-			attacker += p.attacker
+			normal += p.Normal
+			attacker += p.Attacker
 		}
 		res.Rows = append(res.Rows, Fig4Row{
 			CFD:          cfd,
@@ -288,7 +288,7 @@ var cprrSnap = sync.OnceValue(func() *topology.Snapshot {
 // Static fading is disabled: the probe measures the rejection curve, not a
 // particular shadowing draw.
 func cprrRun(seed int64, cfd phy.MHz, opts Options) (normalCPRR, attackerCPRR float64) {
-	tb := newCellTestbed(testbed.Options{
+	tb := newCellTestbed(opts, testbed.Options{
 		Seed: seed, StaticFadingSigma: -1, Topology: cprrSnap(),
 	})
 	defer tb.Close()

@@ -82,9 +82,9 @@ func multihopTreeLayout(cluster int) (pos []phy.Position, root int) {
 
 func multihopRun(opts Options, useDCN bool) MultihopRow {
 	const trees = 6
-	type seedSums struct{ delivered, generated, hopsW, seconds float64 }
+	type seedSums struct{ Delivered, Generated, HopsW, Seconds float64 }
 	cells := runSeeds(opts, func(seed int64) seedSums {
-		core := leaseCore(seed)
+		core := leaseCore(opts, seed)
 		defer core.Release()
 		k, m := core.Kernel, core.Medium
 
@@ -146,20 +146,20 @@ func multihopRun(opts Options, useDCN bool) MultihopRow {
 		k.RunUntil(sim.FromDuration(opts.Warmup + opts.Measure))
 
 		var s seedSums
-		s.seconds = opts.Measure.Seconds()
+		s.Seconds = opts.Measure.Seconds()
 		for _, c := range collectors {
-			s.delivered += float64(c.Delivered())
-			s.generated += float64(c.Generated())
-			s.hopsW += c.MeanHops() * float64(c.Delivered())
+			s.Delivered += float64(c.Delivered())
+			s.Generated += float64(c.Generated())
+			s.HopsW += c.MeanHops() * float64(c.Delivered())
 		}
 		return s
 	})
 	var delivered, generated, hopsW, seconds float64
 	for _, s := range cells {
-		delivered += s.delivered
-		generated += s.generated
-		hopsW += s.hopsW
-		seconds += s.seconds
+		delivered += s.Delivered
+		generated += s.Generated
+		hopsW += s.HopsW
+		seconds += s.Seconds
 	}
 	row := MultihopRow{}
 	if seconds > 0 {

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nonortho/internal/parallel"
+	"nonortho/internal/store"
+)
+
+// RunControl carries the cross-cutting sweep machinery — the resumable
+// result store, deterministic retry, keep-going failure collection,
+// cancellation and the wall-clock watcher — across every parallel sweep
+// an experiment runs. One RunControl serves a whole CLI invocation; the
+// driver registry calls StartExperiment before each driver so sweep
+// ordinals and store keys are scoped per experiment.
+//
+// RunControl is not itself concurrency-safe: StartExperiment,
+// TakeFailures and the sweeps that record into it all run on the
+// invoking goroutine (sweeps join before returning). Canceled and Watch
+// are called from worker goroutines and must be safe for that, exactly
+// as in parallel.RunOptions.
+type RunControl struct {
+	// Store, when set, memoises every completed cell under a canonical
+	// key; failed cells are never stored.
+	Store *store.Store
+	// Resume serves store hits instead of recomputing. Without Resume
+	// the store is write-only: cells recompute and overwrite, which
+	// refreshes entries without ever trusting old ones.
+	Resume bool
+	// KeepGoing records failed cells and lets the sweep emit a partial
+	// result (zero values at failed cells, marked via MarkFailedCells)
+	// instead of panicking on the first failed sweep.
+	KeepGoing bool
+	// Retry re-runs each failed cell once to classify the failure as
+	// deterministic (fails identically again) or environmental (passes
+	// on retry; the retry result is used).
+	Retry bool
+	// Canceled, polled between cells, stops the sweep at the next cell
+	// boundary; the sweep then panics with a canceled *parallel.SweepError
+	// regardless of KeepGoing, so the caller can print a resume hint.
+	Canceled func() bool
+	// Watch observes every cell attempt (the wall-clock watchdog).
+	Watch parallel.Watcher
+	// Logf receives loud non-fatal diagnostics (environmental retries).
+	Logf func(format string, args ...any)
+
+	experiment string
+	sweepSeq   int
+	failures   []SweepFailure
+}
+
+// SweepFailure records one sweep's failures for later reporting: which
+// experiment, which of its sweeps, and the structured error listing
+// every failed cell.
+type SweepFailure struct {
+	Experiment string
+	Sweep      int
+	Err        *parallel.SweepError
+}
+
+// StartExperiment scopes subsequent sweeps (their store keys and
+// failure records) to the named experiment and resets the sweep
+// ordinal. The name must be stable across runs — it is part of the
+// store key — so drivers use their CLI registry names.
+func (rc *RunControl) StartExperiment(name string) {
+	if rc == nil {
+		return
+	}
+	rc.experiment = name
+	rc.sweepSeq = 0
+}
+
+// TakeFailures returns and clears the failures recorded since the last
+// call. CLIs call it after each experiment to mark tables and set the
+// exit code.
+func (rc *RunControl) TakeFailures() []SweepFailure {
+	if rc == nil {
+		return nil
+	}
+	f := rc.failures
+	rc.failures = nil
+	return f
+}
+
+// FailedCells counts the fatal (non-environmental) cell failures in a
+// batch of sweep failures.
+func FailedCells(fails []SweepFailure) int {
+	n := 0
+	for _, sf := range fails {
+		n += len(sf.Err.Fatal())
+	}
+	return n
+}
+
+// key builds the store key for one cell of the current sweep. Workers
+// is deliberately absent — results are worker-invariant — and so is the
+// cell budget: a budget either trips (failed cells are never stored) or
+// changes nothing.
+func (rc *RunControl) key(opts Options, sweep, cells, cell int) store.Key {
+	return store.Key{
+		Experiment: rc.experiment,
+		Sweep:      sweep,
+		Cell:       cell,
+		Config: fmt.Sprintf("cells=%d seeds=%d seed=%d warmup=%s measure=%s",
+			cells, opts.Seeds, opts.Seed, opts.Warmup, opts.Measure),
+	}
+}
+
+// runEngine is the single funnel every sweep helper goes through. It
+// layers the store (serve hits on resume, persist completed cells) and
+// the failure policy (keep-going collection vs fail-fast panic) over
+// parallel.RunSweep.
+func runEngine[T any](opts Options, n int, fn func(cell int) T) []T {
+	rc := opts.Run
+	if rc == nil {
+		return parallel.Run(opts.workerCount(), n, fn)
+	}
+	sweep := rc.sweepSeq
+	rc.sweepSeq++
+	cellFn := fn
+	if rc.Store != nil {
+		cellFn = func(i int) T {
+			k := rc.key(opts, sweep, n, i)
+			if rc.Resume {
+				if v, ok := store.Get[T](rc.Store, k); ok {
+					return v
+				}
+			}
+			v := fn(i)
+			// A Put error is store misuse (an unencodable cell type), not an
+			// environmental hiccup: fail the cell loudly rather than let
+			// -resume silently recompute forever.
+			if err := store.Put(rc.Store, k, v); err != nil {
+				panic(err)
+			}
+			return v
+		}
+	}
+	res, err := parallel.RunSweep(parallel.RunOptions{
+		Workers:  opts.workerCount(),
+		Retry:    rc.Retry,
+		Canceled: rc.Canceled,
+		Watch:    rc.Watch,
+		Logf:     rc.Logf,
+	}, n, cellFn)
+	if err != nil {
+		// Cancellation always propagates — a partial table after SIGINT
+		// would defeat the resume-to-byte-identical contract. Fatal
+		// failures propagate unless keep-going; environmental-only sweeps
+		// (every failure passed on retry) have valid results either way.
+		if err.Canceled || (!rc.KeepGoing && len(err.Fatal()) > 0) {
+			panic(err)
+		}
+		rc.failures = append(rc.failures, SweepFailure{Experiment: rc.experiment, Sweep: sweep, Err: err})
+	}
+	return res
+}
+
+// MarkFailedCells appends one explicit marker row per fatally failed
+// cell, so a keep-going sweep's partial table cannot be mistaken for a
+// complete one. Rows at failed cells hold zero-value aggregates; the
+// markers name the cells and the panic values that produced them.
+func MarkFailedCells(t *Table, fails []SweepFailure) {
+	for _, sf := range fails {
+		for _, cf := range sf.Err.Fatal() {
+			t.AddRow(fmt.Sprintf("!! FAILED cell %d of sweep %d (%s): %v",
+				cf.Cell, sf.Sweep, cf.Class, cf.Value))
+		}
+	}
+}

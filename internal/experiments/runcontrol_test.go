@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"nonortho/internal/parallel"
+	"nonortho/internal/store"
+)
+
+func testStore(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.Open(t.TempDir(), store.WithVersion("test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// engineOpts builds Options routing through a RunControl without the
+// experiment defaults (runEngine never reads the durations).
+func engineOpts(rc *RunControl) Options {
+	return Options{Seed: 1, Seeds: 2, Workers: 1, Run: rc}.withDefaults()
+}
+
+func TestRunEngineStoreServesResumedCells(t *testing.T) {
+	rc := &RunControl{Store: testStore(t)}
+	rc.StartExperiment("enginetest")
+	opts := engineOpts(rc)
+	var computed atomic.Int64
+	fn := func(cell int) float64 {
+		computed.Add(1)
+		return float64(cell) * 2
+	}
+	first := runCells(opts, 5, fn)
+	if got := computed.Load(); got != 5 {
+		t.Fatalf("first pass computed %d cells, want 5", got)
+	}
+
+	// Same experiment re-started: sweep ordinals rewind, keys match.
+	rc.Resume = true
+	rc.StartExperiment("enginetest")
+	second := runCells(opts, 5, fn)
+	if got := computed.Load(); got != 5 {
+		t.Fatalf("resume recomputed cells: %d total computations, want 5", got)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("cell %d: resumed %v != computed %v", i, second[i], first[i])
+		}
+	}
+
+	// Without Resume the store is write-only: cells recompute.
+	rc.Resume = false
+	rc.StartExperiment("enginetest")
+	runCells(opts, 5, fn)
+	if got := computed.Load(); got != 10 {
+		t.Fatalf("non-resume run should recompute: %d computations, want 10", got)
+	}
+}
+
+// Each sweep within an experiment gets its own ordinal, and StartExperiment
+// rewinds it, so a resumed run's Nth sweep hits the original Nth sweep's
+// entries and never another's.
+func TestRunEngineSweepOrdinalsIsolateSweeps(t *testing.T) {
+	rc := &RunControl{Store: testStore(t), Resume: true}
+	rc.StartExperiment("ordinals")
+	opts := engineOpts(rc)
+	a := runCells(opts, 2, func(cell int) float64 { return 10 + float64(cell) })
+	b := runCells(opts, 2, func(cell int) float64 { return 20 + float64(cell) })
+
+	rc.StartExperiment("ordinals")
+	a2 := runCells(opts, 2, func(cell int) float64 { t.Error("sweep 0 recomputed"); return -1 })
+	b2 := runCells(opts, 2, func(cell int) float64 { t.Error("sweep 1 recomputed"); return -1 })
+	if a2[0] != a[0] || a2[1] != a[1] || b2[0] != b[0] || b2[1] != b[1] {
+		t.Fatalf("sweeps crossed: %v %v vs %v %v", a2, b2, a, b)
+	}
+}
+
+// Differing run configuration (here the seed) misses the store instead of
+// serving a stale result.
+func TestRunEngineConfigKeysStore(t *testing.T) {
+	rc := &RunControl{Store: testStore(t), Resume: true}
+	rc.StartExperiment("cfg")
+	opts := engineOpts(rc)
+	runCells(opts, 1, func(cell int) float64 { return 1 })
+
+	opts2 := opts
+	opts2.Seed = 99
+	rc.StartExperiment("cfg")
+	var recomputed bool
+	runCells(opts2, 1, func(cell int) float64 { recomputed = true; return 2 })
+	if !recomputed {
+		t.Fatal("changed seed served a stale store entry")
+	}
+}
+
+func TestRunEngineKeepGoingCollectsAndMarks(t *testing.T) {
+	rc := &RunControl{KeepGoing: true}
+	rc.StartExperiment("partial")
+	opts := engineOpts(rc)
+	res := runCells(opts, 6, func(cell int) float64 {
+		if cell == 2 || cell == 4 {
+			panic(fmt.Sprintf("boom %d", cell))
+		}
+		return float64(cell)
+	})
+	if len(res) != 6 || res[2] != 0 || res[4] != 0 || res[5] != 5 {
+		t.Fatalf("partial results wrong: %v", res)
+	}
+	fails := rc.TakeFailures()
+	if len(fails) != 1 || fails[0].Experiment != "partial" || fails[0].Sweep != 0 {
+		t.Fatalf("failures = %+v, want one record for sweep 0 of partial", fails)
+	}
+	if n := FailedCells(fails); n != 2 {
+		t.Fatalf("FailedCells = %d, want 2", n)
+	}
+	tbl := &Table{Title: "t", Columns: []string{"a", "b"}}
+	tbl.AddRow("x", "y")
+	MarkFailedCells(tbl, fails)
+	out := tbl.String()
+	if !strings.Contains(out, "FAILED cell 2") || !strings.Contains(out, "FAILED cell 4") || !strings.Contains(out, "boom 2") {
+		t.Fatalf("table not marked with failed cells:\n%s", out)
+	}
+	if rc.TakeFailures() != nil {
+		t.Fatal("TakeFailures did not clear")
+	}
+}
+
+// Without KeepGoing the sweep panics with the structured *SweepError, as
+// parallel.Run always did.
+func TestRunEngineFailFastPanics(t *testing.T) {
+	rc := &RunControl{}
+	rc.StartExperiment("fatal")
+	opts := engineOpts(rc)
+	defer func() {
+		se, ok := recover().(*parallel.SweepError)
+		if !ok || len(se.Fatal()) != 1 || se.Failures[0].Cell == 0 {
+			t.Fatalf("recover = %+v, want SweepError with one fatal failure", se)
+		}
+	}()
+	runCells(opts, 3, func(cell int) float64 {
+		if cell == 1 {
+			panic("boom")
+		}
+		return 0
+	})
+	t.Fatal("sweep with a failed cell returned")
+}
+
+// Cancellation propagates even under keep-going: partial output after
+// SIGINT would break the resume contract.
+func TestRunEngineCancelPropagates(t *testing.T) {
+	rc := &RunControl{KeepGoing: true, Canceled: func() bool { return true }}
+	rc.StartExperiment("cancel")
+	opts := engineOpts(rc)
+	defer func() {
+		se, ok := recover().(*parallel.SweepError)
+		if !ok || !se.Canceled {
+			t.Fatalf("recover = %+v, want canceled SweepError", se)
+		}
+	}()
+	runCells(opts, 3, func(cell int) float64 { return 0 })
+	t.Fatal("canceled sweep returned")
+}
+
+// Failed cells never reach the store: a resume after a keep-going run
+// recomputes exactly the cells that failed.
+func TestRunEngineStoresOnlyCompletedCells(t *testing.T) {
+	rc := &RunControl{Store: testStore(t), KeepGoing: true}
+	rc.StartExperiment("sparse")
+	opts := engineOpts(rc)
+	runCells(opts, 4, func(cell int) float64 {
+		if cell == 1 {
+			panic("boom")
+		}
+		return float64(cell)
+	})
+	if n, _ := rc.Store.Count(); n != 3 {
+		t.Fatalf("store holds %d entries after 3 completed cells, want 3", n)
+	}
+	rc.TakeFailures()
+
+	rc.Resume = true
+	rc.StartExperiment("sparse")
+	var recomputed []int
+	res := runCells(opts, 4, func(cell int) float64 {
+		recomputed = append(recomputed, cell)
+		return float64(cell)
+	})
+	if len(recomputed) != 1 || recomputed[0] != 1 {
+		t.Fatalf("resume recomputed %v, want just the failed cell [1]", recomputed)
+	}
+	if res[1] != 1 || res[3] != 3 {
+		t.Fatalf("resumed results wrong: %v", res)
+	}
+}
+
+// A nil RunControl in Options degrades to the bare parallel sweep.
+func TestRunEngineNilControl(t *testing.T) {
+	res := runCells(Options{Workers: 2}.withDefaults(), 4, func(cell int) float64 { return float64(cell) })
+	if len(res) != 4 || res[3] != 3 {
+		t.Fatalf("bare sweep broken: %v", res)
+	}
+}

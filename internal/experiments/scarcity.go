@@ -76,7 +76,7 @@ func Scarcity(opts Options) (ScarcityResult, *Table) {
 				panic(err)
 			}
 		}
-		tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+		tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 		defer tb.Close()
 		for _, spec := range nets {
 			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})

@@ -33,10 +33,10 @@ type TSCHResult struct {
 func TSCH(opts Options) (TSCHResult, *Table) {
 	opts = opts.withDefaults()
 
-	type seedSums struct{ delivered, generated float64 }
+	type seedSums struct{ Delivered, Generated float64 }
 	run := func(hops []phy.MHz, offsets []int) (rate, ratio float64) {
 		cells := runSeeds(opts, func(seed int64) seedSums {
-			core := leaseCore(seed)
+			core := leaseCore(opts, seed)
 			defer core.Release()
 			k, m := core.Kernel, core.Medium
 
@@ -88,14 +88,14 @@ func TSCH(opts Options) (TSCHResult, *Table) {
 				recvNow += receivers[i].Received()
 			}
 			return seedSums{
-				delivered: float64(recvNow - recvBase),
-				generated: float64(sentNow - sentBase),
+				Delivered: float64(recvNow - recvBase),
+				Generated: float64(sentNow - sentBase),
 			}
 		})
 		var delivered, generated float64
 		for _, c := range cells {
-			delivered += c.delivered
-			generated += c.generated
+			delivered += c.Delivered
+			generated += c.Generated
 		}
 		secs := float64(opts.Seeds) * opts.Measure.Seconds()
 		if generated == 0 {

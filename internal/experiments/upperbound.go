@@ -79,7 +79,7 @@ func UpperBound(opts Options) (UpperBoundResult, *Table) {
 			topos = sparseTopos
 		}
 		snap := topos.at(seed)
-		tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+		tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 		defer tb.Close()
 		for _, spec := range snap.Networks() {
 			tb.AddNetwork(spec, testbed.NetworkConfig{Scheme: scheme})

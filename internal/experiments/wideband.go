@@ -95,7 +95,7 @@ func widebandRun(nChannels int, opts Options) Fig30Result {
 	// Cell 0 = fixed threshold, cell 1 = DCN.
 	grid := runGrid(opts, 2, func(cell int, seed int64) []float64 {
 		snap := topos.at(seed)
-		tb := newCellTestbed(testbed.Options{Seed: seed, Topology: snap})
+		tb := newCellTestbed(opts, testbed.Options{Seed: seed, Topology: snap})
 		defer tb.Close()
 		scheme := testbed.SchemeFixed
 		if cell == 1 {

@@ -13,7 +13,8 @@ import (
 // fixtures' clean declarations double as negative cases.
 
 func TestDetsource(t *testing.T) {
-	linttest.Run(t, lint.Detsource, "internal/detsrc", "cmdtool")
+	linttest.Run(t, lint.Detsource, "internal/detsrc", "cmdtool",
+		"internal/watchdog", "internal/store")
 }
 
 func TestMaporder(t *testing.T) {
@@ -25,7 +26,8 @@ func TestDbmunits(t *testing.T) {
 }
 
 func TestConfinedgo(t *testing.T) {
-	linttest.Run(t, lint.Confinedgo, "internal/confgo", "internal/parallel")
+	linttest.Run(t, lint.Confinedgo, "internal/confgo", "internal/parallel",
+		"internal/watchdog", "internal/store")
 }
 
 func TestResetcomplete(t *testing.T) {

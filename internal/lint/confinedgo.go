@@ -7,11 +7,14 @@ import (
 
 // Confinedgo keeps the deterministic kernel single-threaded by
 // construction: goroutine launches, sync.WaitGroup fan-in and channel
-// creation are allowed only inside internal/parallel — the bounded
-// worker pool that fans whole simulation cells out and joins their
-// results back in cell order — and in _test.go files (tests may race
-// the suite or time wall-clock overlap). Everywhere else a `go`
-// statement would let scheduler timing perturb event order.
+// creation are allowed only inside the concurrency quarantine —
+// internal/parallel (the bounded worker pool that fans whole simulation
+// cells out and joins their results back in cell order) and
+// internal/watchdog (the wall-clock stuck-cell sentry and signal relay,
+// which observe a sweep but never feed back into it) — and in _test.go
+// files (tests may race the suite or time wall-clock overlap).
+// Everywhere else a `go` statement would let scheduler timing perturb
+// event order.
 //
 // sync.Mutex and sync.OnceValue stay legal: guarding a pool that the
 // parallel engine's workers share (internal/arena) and memoizing
@@ -19,12 +22,12 @@ import (
 var Confinedgo = &Analyzer{
 	Name: "confinedgo",
 	Doc: "forbid go statements, sync.WaitGroup and channel creation outside " +
-		"internal/parallel (and _test.go files); the simulation kernel is single-threaded",
+		"internal/parallel and internal/watchdog (and _test.go files); the simulation kernel is single-threaded",
 	Run: runConfinedgo,
 }
 
 func runConfinedgo(pass *Pass) error {
-	if isParallelPackage(pass.Path) {
+	if isConfinedPackage(pass.Path) {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -35,17 +38,17 @@ func runConfinedgo(pass *Pass) error {
 			switch n := n.(type) {
 			case *ast.GoStmt:
 				pass.Reportf(n.Pos(),
-					"go statement outside internal/parallel: concurrency in simulation code makes event order scheduler-dependent; fan work out through parallel.Run")
+					"go statement outside the concurrency quarantine (internal/parallel, internal/watchdog): concurrency in simulation code makes event order scheduler-dependent; fan work out through parallel.Run")
 			case *ast.SelectorExpr:
 				if obj, ok := pass.TypesInfo.Uses[n.Sel].(*types.TypeName); ok &&
 					obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
 					pass.Reportf(n.Pos(),
-						"sync.WaitGroup outside internal/parallel: goroutine fan-in belongs to the bounded worker pool (parallel.Run)")
+						"sync.WaitGroup outside the concurrency quarantine (internal/parallel, internal/watchdog): goroutine fan-in belongs to the bounded worker pool (parallel.Run)")
 				}
 			case *ast.CallExpr:
 				if isMakeChan(pass.TypesInfo, n) {
 					pass.Reportf(n.Pos(),
-						"channel creation outside internal/parallel: channels imply concurrent producers, which the deterministic kernel forbids")
+						"channel creation outside the concurrency quarantine (internal/parallel, internal/watchdog): channels imply concurrent producers, which the deterministic kernel forbids")
 				}
 			}
 			return true

@@ -9,12 +9,19 @@ import (
 // Simulation-package scoping. Determinism invariants bind everything
 // under internal/ except the packages that are deliberately outside the
 // deterministic kernel: internal/parallel (the one place concurrency
-// lives), internal/prof (wall-clock profiling plumbing) and this linter
-// itself. cmd/ and examples/ are drivers and UI, free to read clocks.
+// lives), internal/prof (wall-clock profiling plumbing), this linter
+// itself, and the crash-safety quarantine — internal/watchdog (the
+// wall-clock stuck-cell sentry and signal relay) and internal/store
+// (the durable result cache, whose file I/O never feeds back into a
+// simulation). cmd/ and examples/ are drivers and UI, free to read
+// clocks. Adding a package here is an API decision: it removes every
+// determinism guarantee dcnlint provides for that package.
 var nonSimInternal = map[string]bool{
 	"parallel": true,
 	"prof":     true,
 	"lint":     true,
+	"watchdog": true,
+	"store":    true,
 }
 
 // isSimPackage reports whether the import path names a package whose
@@ -30,13 +37,25 @@ func isSimPackage(path string) bool {
 	return false
 }
 
-// isParallelPackage reports whether the path is the concurrency package
-// (or, in test fixtures, a stand-in laid out as .../internal/parallel).
-func isParallelPackage(path string) bool {
+// confinedConcurrency names the only internal packages allowed
+// goroutines, WaitGroups and channels: parallel (the bounded worker
+// pool cells fan out through) and watchdog (the wall-clock sentry whose
+// scanner and signal-relay goroutines observe a sweep but never touch a
+// simulation). Note internal/store is deliberately absent — durability
+// needs no concurrency.
+var confinedConcurrency = map[string]bool{
+	"parallel": true,
+	"watchdog": true,
+}
+
+// isConfinedPackage reports whether the path is one of the concurrency
+// quarantine packages (or, in test fixtures, a stand-in laid out as
+// .../internal/parallel or .../internal/watchdog).
+func isConfinedPackage(path string) bool {
 	segs := strings.Split(path, "/")
 	for i, s := range segs {
 		if s == "internal" && i+1 < len(segs) {
-			return segs[i+1] == "parallel"
+			return confinedConcurrency[segs[i+1]]
 		}
 	}
 	return false

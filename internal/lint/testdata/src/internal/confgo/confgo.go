@@ -5,16 +5,16 @@ package confgo
 import "sync"
 
 func launches() {
-	go func() {}() // want "go statement outside internal/parallel"
+	go func() {}() // want "go statement outside the concurrency quarantine"
 }
 
 func fanIn() {
-	var wg sync.WaitGroup // want "sync.WaitGroup outside internal/parallel"
+	var wg sync.WaitGroup // want "sync.WaitGroup outside the concurrency quarantine"
 	wg.Wait()
 }
 
 func channels() {
-	ch := make(chan int, 4) // want "channel creation outside internal/parallel"
+	ch := make(chan int, 4) // want "channel creation outside the concurrency quarantine"
 	close(ch)
 }
 

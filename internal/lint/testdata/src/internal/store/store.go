@@ -1,0 +1,16 @@
+// Package store is the detsource negative fixture for the durable
+// result cache: laid out as internal/store, where wall-clock reads are
+// legal (cache bookkeeping never feeds back into a simulation). Note
+// the package stays single-threaded — it is NOT in the concurrency
+// quarantine, so confinedgo runs over it too and must find nothing.
+package store
+
+import "time"
+
+func entryAge(wrote time.Time) time.Duration {
+	return time.Since(wrote) // legal here: cache metadata, not simulation state
+}
+
+func stamp() time.Time {
+	return time.Now() // legal here
+}

@@ -1,0 +1,35 @@
+// Package watchdog is the negative fixture for the concurrency
+// quarantine: laid out as internal/watchdog, where both confinedgo
+// (goroutines, channels, WaitGroup) and detsource (wall-clock reads)
+// permit what every simulation package forbids — the real watchdog's
+// scanner and signal relay need exactly these.
+package watchdog
+
+import (
+	"sync"
+	"time"
+)
+
+func scanLoop(limit time.Duration, report func(time.Duration)) func() {
+	started := time.Now() // legal here: the stuck-cell sentry measures wall time
+	done := make(chan struct{})
+	var wg sync.WaitGroup // legal here
+	wg.Add(1)
+	go func() { // legal here
+		defer wg.Done()
+		t := time.NewTicker(limit / 4) // legal here
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				report(now.Sub(started))
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

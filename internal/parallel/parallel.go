@@ -5,11 +5,24 @@
 // keeping the results in cell order, so that every floating-point
 // aggregation downstream runs in exactly the order a serial loop would
 // use. Same seed, any worker count: bit-identical output.
+//
+// Beyond fan-out the engine is the sweep's fault boundary. A panicking
+// cell never takes down its siblings: every failure is recovered,
+// attributed to its cell index, and collected into one SweepError that
+// lists them all. Callers opt into a deterministic retry (a failed cell
+// is re-run once — two identical failures classify the cell as a
+// deterministic bug, a pass-after-fail as environmental), cooperative
+// cancellation at cell boundaries (for SIGINT-safe sweeps that flush
+// completed work and resume later), and a Watcher seam that observes
+// cell start/finish (the wall-clock watchdog in internal/watchdog hangs
+// off it to flag stuck cells).
 package parallel
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -18,27 +31,164 @@ import (
 // GOMAXPROCS, i.e. one worker per schedulable CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// CellPanic wraps a panic raised inside a cell with the cell's index, so
-// a crash in cell 37 of a 105-cell sweep says so.
-type CellPanic struct {
+// FailureClass records what the deterministic retry learned about a
+// cell failure.
+type FailureClass int
+
+const (
+	// ClassUnclassified means no retry was attempted: the failure is
+	// reported as observed, nature unknown.
+	ClassUnclassified FailureClass = iota
+	// ClassDeterministic means the cell failed again when re-run from the
+	// same seed: the failure reproduces, so it is a bug in the cell's
+	// code or configuration, not in the machinery around it.
+	ClassDeterministic
+	// ClassEnvironmental means the cell passed when re-run: the first
+	// failure did not reproduce from identical inputs, implicating the
+	// environment (a leaked core, memory corruption, hardware) rather
+	// than the cell. The retry's result is valid and used, but the event
+	// is loudly logged — in a deterministic simulator a pass-after-fail
+	// is never normal.
+	ClassEnvironmental
+)
+
+// String implements fmt.Stringer.
+func (c FailureClass) String() string {
+	switch c {
+	case ClassDeterministic:
+		return "deterministic"
+	case ClassEnvironmental:
+		return "environmental"
+	default:
+		return "unclassified"
+	}
+}
+
+// CellFailure wraps a panic raised inside a cell with the cell's index,
+// so a crash in cell 37 of a 105-cell sweep says so, plus what the
+// deterministic retry (when enabled) concluded about it.
+type CellFailure struct {
 	// Cell is the index of the cell whose evaluation panicked.
 	Cell int
 	// Value is the original panic value.
 	Value any
 	// Stack is the goroutine stack captured at recovery time.
 	Stack []byte
+	// Class is what the retry concluded; ClassUnclassified without one.
+	Class FailureClass
+	// RetryValue and RetryStack capture the second failure when the
+	// retry also panicked (Class == ClassDeterministic).
+	RetryValue any
+	RetryStack []byte
 }
 
-func (p *CellPanic) Error() string {
-	return fmt.Sprintf("parallel: cell %d panicked: %v\n%s", p.Cell, p.Value, p.Stack)
+func (f *CellFailure) Error() string {
+	return fmt.Sprintf("parallel: cell %d panicked (%s): %v\n%s", f.Cell, f.Class, f.Value, f.Stack)
 }
 
 // Unwrap exposes the original panic value when it was an error.
-func (p *CellPanic) Unwrap() error {
-	if err, ok := p.Value.(error); ok {
+func (f *CellFailure) Unwrap() error {
+	if err, ok := f.Value.(error); ok {
 		return err
 	}
 	return nil
+}
+
+// SweepError aggregates everything that went wrong in one sweep: every
+// failed cell (not just the first), in ascending cell order, plus
+// whether the sweep was cancelled before all cells ran. It is the
+// single failure value RunSweep reports and Run panics with.
+type SweepError struct {
+	// Cells is the grid size the sweep was asked to evaluate.
+	Cells int
+	// Ran counts cells whose evaluation started (and, absent a failure,
+	// finished); Cells-Ran were skipped by cancellation.
+	Ran int
+	// Canceled reports that the Canceled hook stopped the sweep at a
+	// cell boundary before every cell had started.
+	Canceled bool
+	// Failures lists every failed cell in ascending cell order.
+	// Environmental entries recovered on retry: their result slots hold
+	// valid values and Fatal() excludes them.
+	Failures []*CellFailure
+}
+
+// Fatal returns the failures whose result slots are invalid — every
+// class except environmental (which recovered on retry).
+func (e *SweepError) Fatal() []*CellFailure {
+	var out []*CellFailure
+	for _, f := range e.Failures {
+		if f.Class != ClassEnvironmental {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (e *SweepError) Error() string {
+	switch {
+	case e == nil:
+		return "parallel: <nil> sweep error"
+	case len(e.Failures) == 0 && e.Canceled:
+		return fmt.Sprintf("parallel: sweep canceled after %d/%d cells", e.Ran, e.Cells)
+	}
+	msg := fmt.Sprintf("parallel: %d of %d cells failed", len(e.Fatal()), e.Cells)
+	if e.Canceled {
+		msg += fmt.Sprintf(" (canceled after %d)", e.Ran)
+	}
+	for _, f := range e.Failures {
+		msg += fmt.Sprintf("\n  cell %d (%s): %v", f.Cell, f.Class, f.Value)
+	}
+	return msg
+}
+
+// Unwrap exposes the first fatal failure, so errors.As reaches a
+// *CellFailure through a *SweepError.
+func (e *SweepError) Unwrap() error {
+	if fatal := e.Fatal(); len(fatal) > 0 {
+		return fatal[0]
+	}
+	return nil
+}
+
+// Watcher observes cell lifecycle from the worker goroutines. Both
+// methods may be called concurrently and must not block; the wall-clock
+// watchdog (internal/watchdog) implements it to flag stuck cells. A
+// retried cell reports a fresh Started/Finished pair per attempt.
+type Watcher interface {
+	CellStarted(cell int)
+	CellFinished(cell int)
+}
+
+// RunOptions configures a sweep beyond plain fan-out. The zero value
+// reproduces Run's behaviour: no retry, no cancellation, no watcher.
+type RunOptions struct {
+	// Workers bounds concurrent cells; <= 0 means DefaultWorkers(),
+	// 1 runs inline on the calling goroutine with no pool at all.
+	Workers int
+	// Retry re-runs each failed cell once. The simulation is
+	// deterministic, so the rerun doubles as an audit: fail-again is a
+	// reproducible bug (ClassDeterministic), pass-after-fail is
+	// environmental and its result is accepted but loudly logged.
+	Retry bool
+	// Canceled, when non-nil, is polled before each cell starts; once it
+	// returns true no new cell begins (in-flight cells finish) and the
+	// sweep reports a canceled SweepError. Must be safe for concurrent
+	// calls.
+	Canceled func() bool
+	// Watch observes cell start/finish when non-nil.
+	Watch Watcher
+	// Logf receives loud diagnostics (environmental recoveries). Nil
+	// logs to stderr: a pass-after-fail must never be silent.
+	Logf func(format string, args ...any)
+}
+
+func (o RunOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+		return
+	}
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 // Run evaluates fn(0) … fn(n-1) on at most workers goroutines and returns
@@ -47,11 +197,28 @@ func (p *CellPanic) Unwrap() error {
 //
 // If any cell panics, every remaining cell still runs (they are
 // independent), and Run then re-panics on the caller's goroutine with a
-// *CellPanic identifying the first failed cell.
+// *SweepError listing every failed cell.
 func Run[T any](workers, n int, fn func(cell int) T) []T {
-	if n <= 0 {
-		return nil
+	out, err := RunSweep(RunOptions{Workers: workers}, n, fn)
+	if err != nil {
+		panic(err)
 	}
+	return out
+}
+
+// RunSweep evaluates fn(0) … fn(n-1) under opts and returns the results
+// indexed by cell plus a SweepError describing every failure — nil when
+// all cells completed (an all-environmental sweep, where every failure
+// recovered on retry, still returns the SweepError so callers can see
+// the recoveries; its Fatal() list is empty and every result is valid).
+// Cells skipped by cancellation and fatally failed cells keep the zero
+// value of T in the result slice — callers in keep-going mode must mark
+// them, never silently use them.
+func RunSweep[T any](opts RunOptions, n int, fn func(cell int) T) ([]T, *SweepError) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -59,50 +226,97 @@ func Run[T any](workers, n int, fn func(cell int) T) []T {
 		workers = n
 	}
 	out := make([]T, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			out[i] = fn(i)
-		}
-		return out
-	}
 
 	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		firstMu  sync.Mutex
-		firstErr *CellPanic
+		mu       sync.Mutex
+		failures []*CellFailure
+		ran      atomic.Int64
+		canceled atomic.Bool
 	)
-	runCell := func(i int) {
+	// attempt runs fn(i) once, converting a panic into a *CellFailure.
+	attempt := func(i int) (failure *CellFailure) {
 		defer func() {
 			if r := recover(); r != nil {
-				p := &CellPanic{Cell: i, Value: r, Stack: captureStack()}
-				firstMu.Lock()
-				if firstErr == nil || p.Cell < firstErr.Cell {
-					firstErr = p
-				}
-				firstMu.Unlock()
+				failure = &CellFailure{Cell: i, Value: r, Stack: captureStack()}
 			}
 		}()
+		if opts.Watch != nil {
+			opts.Watch.CellStarted(i)
+			defer opts.Watch.CellFinished(i)
+		}
 		out[i] = fn(i)
+		return nil
 	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				runCell(i)
+	runCell := func(i int) {
+		ran.Add(1)
+		f := attempt(i)
+		if f == nil {
+			return
+		}
+		if opts.Retry {
+			if f2 := attempt(i); f2 != nil {
+				f.Class = ClassDeterministic
+				f.RetryValue, f.RetryStack = f2.Value, f2.Stack
+			} else {
+				f.Class = ClassEnvironmental
+				opts.logf("parallel: cell %d passed on retry after failing with %v — "+
+					"environmental failure (leaked state or hardware?); retry result used", i, f.Value)
 			}
-		}()
+		}
+		mu.Lock()
+		failures = append(failures, f)
+		mu.Unlock()
 	}
-	wg.Wait()
-	if firstErr != nil {
-		panic(firstErr)
+	stop := func() bool {
+		if canceled.Load() {
+			return true
+		}
+		if opts.Canceled != nil && opts.Canceled() {
+			canceled.Store(true)
+			return true
+		}
+		return false
 	}
-	return out
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if stop() {
+				break
+			}
+			runCell(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					if stop() {
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runCell(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	if len(failures) == 0 && !canceled.Load() {
+		return out, nil
+	}
+	sort.Slice(failures, func(a, b int) bool { return failures[a].Cell < failures[b].Cell })
+	return out, &SweepError{
+		Cells:    n,
+		Ran:      int(ran.Load()),
+		Canceled: canceled.Load(),
+		Failures: failures,
+	}
 }
 
 func captureStack() []byte {

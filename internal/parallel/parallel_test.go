@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -122,15 +124,16 @@ func TestRunPanicCarriesCellIndex(t *testing.T) {
 				if r == nil {
 					t.Fatalf("workers=%d: no panic propagated", workers)
 				}
-				p, ok := r.(*CellPanic)
+				se, ok := r.(*SweepError)
 				if !ok {
-					t.Fatalf("workers=%d: panic value %T, want *CellPanic", workers, r)
+					t.Fatalf("workers=%d: panic value %T, want *SweepError", workers, r)
 				}
-				if p.Cell != 7 {
-					t.Fatalf("workers=%d: panic attributed to cell %d, want 7", workers, p.Cell)
+				if len(se.Failures) != 1 || se.Failures[0].Cell != 7 {
+					t.Fatalf("workers=%d: failures %v, want exactly cell 7", workers, se.Failures)
 				}
-				if !strings.Contains(p.Error(), "cell 7 panicked: boom") {
-					t.Fatalf("workers=%d: Error() = %q", workers, p.Error())
+				if !strings.Contains(se.Failures[0].Error(), "cell 7 panicked") ||
+					!strings.Contains(se.Error(), "cell 7") {
+					t.Fatalf("workers=%d: Error() = %q", workers, se.Error())
 				}
 			}()
 			Run(workers, 16, func(i int) int {
@@ -148,20 +151,198 @@ func TestRunPanicCarriesCellIndex(t *testing.T) {
 	}
 }
 
-func TestRunPanicReportsLowestCell(t *testing.T) {
-	defer func() {
-		p, ok := recover().(*CellPanic)
-		if !ok {
-			t.Fatal("no *CellPanic propagated")
+// Every failed cell is collected — not just the first — in ascending
+// cell order, and the surviving cells' results are intact.
+func TestSweepCollectsAllFailures(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, se := RunSweep(RunOptions{Workers: workers}, 32, func(i int) int {
+			if i%7 == 3 {
+				panic(i)
+			}
+			return i * 2
+		})
+		if se == nil {
+			t.Fatalf("workers=%d: no SweepError", workers)
 		}
-		if p.Cell != 3 {
-			t.Fatalf("panic attributed to cell %d, want lowest failing cell 3", p.Cell)
+		want := []int{3, 10, 17, 24, 31}
+		if len(se.Failures) != len(want) {
+			t.Fatalf("workers=%d: %d failures, want %d: %v", workers, len(se.Failures), len(want), se)
 		}
-	}()
-	Run(4, 32, func(i int) int {
-		if i >= 3 {
-			panic(i)
+		for k, f := range se.Failures {
+			if f.Cell != want[k] {
+				t.Fatalf("workers=%d: failure %d attributed to cell %d, want %d (ascending)", workers, k, f.Cell, want[k])
+			}
+			if f.Class != ClassUnclassified {
+				t.Fatalf("workers=%d: class %v without retry, want unclassified", workers, f.Class)
+			}
 		}
-		return i
-	})
+		if len(se.Fatal()) != len(want) {
+			t.Fatalf("workers=%d: Fatal() = %d entries, want %d", workers, len(se.Fatal()), len(want))
+		}
+		for i, v := range out {
+			if i%7 == 3 {
+				if v != 0 {
+					t.Fatalf("workers=%d: failed cell %d holds %d, want zero value", workers, i, v)
+				}
+				continue
+			}
+			if v != i*2 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*2)
+			}
+		}
+	}
+}
+
+// A cell that fails identically on the retry is a deterministic bug:
+// both panic values are captured and the failure stays fatal.
+func TestSweepRetryClassifiesDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var logged atomic.Int64
+		attempts := make([]atomic.Int64, 8)
+		_, se := RunSweep(RunOptions{
+			Workers: workers,
+			Retry:   true,
+			Logf:    func(string, ...any) { logged.Add(1) },
+		}, 8, func(i int) int {
+			attempts[i].Add(1)
+			if i == 5 {
+				panic("always broken")
+			}
+			return i
+		})
+		if se == nil || len(se.Failures) != 1 {
+			t.Fatalf("workers=%d: sweep error %v, want one failure", workers, se)
+		}
+		f := se.Failures[0]
+		if f.Cell != 5 || f.Class != ClassDeterministic {
+			t.Fatalf("workers=%d: failure %+v, want cell 5 deterministic", workers, f)
+		}
+		if f.RetryValue != "always broken" || len(f.RetryStack) == 0 {
+			t.Fatalf("workers=%d: retry evidence missing: %+v", workers, f)
+		}
+		if got := attempts[5].Load(); got != 2 {
+			t.Fatalf("workers=%d: failing cell ran %d times, want exactly 2 (one retry)", workers, got)
+		}
+		if got := attempts[0].Load(); got != 1 {
+			t.Fatalf("workers=%d: healthy cell ran %d times, want 1", workers, got)
+		}
+		if logged.Load() != 0 {
+			t.Fatalf("workers=%d: deterministic failure logged as environmental", workers)
+		}
+		if len(se.Fatal()) != 1 {
+			t.Fatalf("workers=%d: deterministic failure must stay fatal", workers)
+		}
+	}
+}
+
+// A cell that passes on retry is environmental: its retry result is
+// used, the event is loudly logged, and the sweep is not fatal.
+func TestSweepRetryClassifiesEnvironmental(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var logLines []string
+		var logMu sync.Mutex
+		attempts := make([]atomic.Int64, 8)
+		out, se := RunSweep(RunOptions{
+			Workers: workers,
+			Retry:   true,
+			Logf: func(format string, args ...any) {
+				logMu.Lock()
+				logLines = append(logLines, fmt.Sprintf(format, args...))
+				logMu.Unlock()
+			},
+		}, 8, func(i int) int {
+			if attempts[i].Add(1) == 1 && i == 2 {
+				panic("cosmic ray")
+			}
+			return i * 10
+		})
+		if se == nil || len(se.Failures) != 1 {
+			t.Fatalf("workers=%d: sweep error %v, want one (recovered) failure", workers, se)
+		}
+		f := se.Failures[0]
+		if f.Cell != 2 || f.Class != ClassEnvironmental {
+			t.Fatalf("workers=%d: failure %+v, want cell 2 environmental", workers, f)
+		}
+		if len(se.Fatal()) != 0 {
+			t.Fatalf("workers=%d: environmental recovery must not be fatal: %v", workers, se.Fatal())
+		}
+		if out[2] != 20 {
+			t.Fatalf("workers=%d: out[2] = %d, want retry result 20", workers, out[2])
+		}
+		logMu.Lock()
+		defer logMu.Unlock()
+		if len(logLines) != 1 || !strings.Contains(logLines[0], "cell 2 passed on retry") {
+			t.Fatalf("workers=%d: environmental recovery not loudly logged: %q", workers, logLines)
+		}
+	}
+}
+
+// Cancellation stops the sweep at a cell boundary: no new cell starts
+// once Canceled reports true, in-flight cells finish, and the
+// SweepError says how far the sweep got.
+func TestSweepCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var started atomic.Int64
+		const stopAfter = 5
+		out, se := RunSweep(RunOptions{
+			Workers:  workers,
+			Canceled: func() bool { return started.Load() >= stopAfter },
+		}, 64, func(i int) int {
+			started.Add(1)
+			return i + 1
+		})
+		if se == nil || !se.Canceled {
+			t.Fatalf("workers=%d: sweep error %v, want canceled", workers, se)
+		}
+		if se.Ran >= 64 || se.Ran < stopAfter {
+			t.Fatalf("workers=%d: Ran = %d, want in [%d, 64)", workers, se.Ran, stopAfter)
+		}
+		if len(se.Failures) != 0 {
+			t.Fatalf("workers=%d: cancellation reported failures: %v", workers, se.Failures)
+		}
+		if !strings.Contains(se.Error(), "canceled") {
+			t.Fatalf("workers=%d: Error() = %q", workers, se.Error())
+		}
+		// Completed cells keep their results; skipped ones stay zero.
+		completed := 0
+		for _, v := range out {
+			if v != 0 {
+				completed++
+			}
+		}
+		if completed == 0 || completed >= 64 {
+			t.Fatalf("workers=%d: %d completed cells, want partial", workers, completed)
+		}
+	}
+}
+
+// countingWatcher tallies start/finish notifications.
+type countingWatcher struct{ started, finished atomic.Int64 }
+
+func (w *countingWatcher) CellStarted(int)  { w.started.Add(1) }
+func (w *countingWatcher) CellFinished(int) { w.finished.Add(1) }
+
+// The Watcher sees one Started/Finished pair per attempt — including
+// the retry attempt of a failing cell, and including attempts that
+// panic (Finished fires during unwinding, so a watchdog never considers
+// a crashed cell still running).
+func TestSweepWatcherSeesEveryAttempt(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var w countingWatcher
+		_, se := RunSweep(RunOptions{Workers: workers, Retry: true, Watch: &w,
+			Logf: func(string, ...any) {}}, 10, func(i int) int {
+			if i == 4 {
+				panic("broken")
+			}
+			return i
+		})
+		if se == nil {
+			t.Fatalf("workers=%d: expected sweep error", workers)
+		}
+		// 10 cells + 1 retry of the failing cell.
+		if w.started.Load() != 11 || w.finished.Load() != 11 {
+			t.Fatalf("workers=%d: watcher saw %d/%d started/finished, want 11/11",
+				workers, w.started.Load(), w.finished.Load())
+		}
+	}
 }

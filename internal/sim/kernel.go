@@ -87,6 +87,10 @@ type Kernel struct {
 	running bool
 	stopped bool
 	seed int64
+	// budget caps the cell's execution; fired counts events executed
+	// against budget.Events.
+	budget Budget
+	fired  uint64
 	// streams survives Reset by design: stream objects stay parked and
 	// streamGen makes every lease reseed lazily, so a recycled kernel
 	// hands out fresh-identical draws without rebuilding the map.
@@ -136,8 +140,58 @@ func (k *Kernel) Reset(seed int64) {
 	k.live = 0
 	k.stopped = false
 	k.seed = seed
+	k.budget = Budget{}
+	k.fired = 0
 	k.streamGen++
 }
+
+// Budget caps a simulation cell's execution deterministically: Events
+// bounds the number of events the kernel will fire, Virtual bounds the
+// instant any event may fire at. Zero fields are unlimited. Budgets are
+// the runaway-cell guard for long sweeps — a scheduling loop (an event
+// that reschedules itself without advancing useful work) trips the
+// event budget, an experiment mis-sized by orders of magnitude trips
+// the virtual-time budget — and because events fire in a fixed order,
+// a budgeted cell trips at exactly the same event on every run: the
+// failure is reproducible, never schedule-dependent.
+type Budget struct {
+	// Events is the maximum number of events fired; 0 means unlimited.
+	Events uint64
+	// Virtual is the latest instant an event may fire at; 0 means
+	// unlimited. The clock itself may still advance past it idle (e.g.
+	// RunUntil with an empty queue): only event execution is runaway.
+	Virtual Time
+}
+
+// BudgetError is the panic value raised when a kernel exceeds its
+// budget. It identifies the cell via the kernel's seed and where the
+// run stood, so a sweep's failure report says which cell ran away and
+// how far it got.
+type BudgetError struct {
+	// Kind is "events" or "virtual-time".
+	Kind string
+	// Budget is the limit that was exceeded.
+	Budget Budget
+	// Seed is the kernel's root seed (the cell identity within a sweep).
+	Seed int64
+	// At is the virtual instant of the event that tripped the budget.
+	At Time
+	// Fired is the number of events executed before tripping.
+	Fired uint64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: %s budget exceeded (seed %d): %d events fired, clock %v, budget {events %d, virtual %v}",
+		e.Kind, e.Seed, e.Fired, e.At, e.Budget.Events, e.Budget.Virtual)
+}
+
+// SetBudget installs an execution budget for the current incarnation.
+// Reset clears it; re-apply after each arena lease. Call before Run.
+func (k *Kernel) SetBudget(b Budget) { k.budget = b }
+
+// FiredEvents reports the number of events executed since the last
+// Reset (or construction).
+func (k *Kernel) FiredEvents() uint64 { return k.fired }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
@@ -246,8 +300,16 @@ func (k *Kernel) run(keep func(Time) bool) {
 			k.recycle(next)
 			continue
 		}
+		// Budget enforcement happens at the instant an event would fire,
+		// so a budgeted cell trips at the same event on every run.
+		if b := k.budget; b.Virtual > 0 && next.at > b.Virtual {
+			panic(&BudgetError{Kind: "virtual-time", Budget: b, Seed: k.seed, At: next.at, Fired: k.fired})
+		} else if b.Events > 0 && k.fired >= b.Events {
+			panic(&BudgetError{Kind: "events", Budget: b, Seed: k.seed, At: next.at, Fired: k.fired})
+		}
 		k.now = next.at
 		k.live--
+		k.fired++
 		fn := next.fn
 		// Recycle before invoking: fn may schedule new events, and the node
 		// may be handed right back out. The generation bump means any handle

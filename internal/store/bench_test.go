@@ -1,0 +1,35 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCellStoreRoundTrip measures the full Put+Get cycle for a
+// representative cell value (a per-band PER slice plus scalars), i.e.
+// the per-cell overhead a -store sweep pays on a cold run plus what a
+// -resume run pays per served cell. The store must stay far below the
+// cost of simulating a cell (tens of milliseconds to seconds) for
+// memoisation to be worthwhile.
+func BenchmarkCellStoreRoundTrip(b *testing.B) {
+	s, err := Open(b.TempDir(), WithVersion("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := cellValue{Per: make([]float64, 64), Total: 290, Sent: 123456}
+	for i := range val.Per {
+		val.Per[i] = 1.0 / float64(i+1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := Key{Experiment: "bench", Sweep: 0, Cell: i % 256, Config: fmt.Sprintf("n=%d", i%256)}
+		if err := Put(s, k, val); err != nil {
+			b.Fatal(err)
+		}
+		got, ok := Get[cellValue](s, k)
+		if !ok || got.Total != val.Total {
+			b.Fatalf("round trip failed at iteration %d", i)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package store is the content-addressed result store that makes
+// sweeps resumable. Every simulation cell is a pure function of
+// (experiment, sweep position, configuration, seed) — deterministic by
+// construction and audited by dcnlint — so its result is
+// content-addressable: the store keys each entry by a canonical hash of
+// that identity plus the code version, and a sweep that died partway
+// can be re-run with the completed cells served back bit-for-bit
+// instead of recomputed.
+//
+// The store is paranoid by design, because a cache that silently serves
+// a wrong byte poisons a "byte-identical or bust" pipeline:
+//
+//   - every entry embeds its full canonical key and a SHA-256 checksum;
+//   - Get verifies magic, lengths, key (which includes the code
+//     version) and checksum, and a mismatch of any kind discards the
+//     entry and reports a miss — corrupted or stale results are
+//     recomputed, never trusted;
+//   - Put writes to a temp file and renames, so a crash mid-write can
+//     never leave a half-entry under a valid name;
+//   - the typed codec refuses values whose type gob would silently
+//     truncate (unexported struct fields), turning a quiet
+//     wrong-result bug into a loud error at the first Put.
+//
+// One entry is one file named by the key hash: completed cells are
+// durable the moment Put returns, which is what makes SIGINT-safe
+// sweeps trivial — there is nothing to flush beyond the cell that just
+// finished.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime/debug"
+)
+
+// magic heads every entry file; the trailing digit is the format
+// version, so a format change invalidates old entries by magic
+// mismatch rather than by misparse.
+const magic = "dcncell1\n"
+
+// Key identifies one cell result. Equal Keys (under the same code
+// version) address the same bytes; any field differing addresses a
+// different entry.
+type Key struct {
+	// Experiment names the driver (the CLI registry name, e.g. "fig19").
+	Experiment string
+	// Sweep is the ordinal of the parallel sweep within the experiment —
+	// drivers that fan out more than once number them in call order,
+	// which is deterministic.
+	Sweep int
+	// Cell is the cell index within the sweep.
+	Cell int
+	// Config is the canonical encoding of everything else that
+	// determines the cell's result: grid size, seed base, seed count,
+	// warmup and measurement windows. The caller builds it; the store
+	// only requires that equal configurations encode equally.
+	Config string
+}
+
+// canonical renders the key (plus code version) as the byte string that
+// is hashed for the entry's address and embedded in the entry for
+// verification. Fields are quoted so no value can alias another by
+// embedding a separator.
+func (k Key) canonical(version string) []byte {
+	return []byte(fmt.Sprintf("experiment=%q\nsweep=%d\ncell=%d\nconfig=%q\nversion=%q\n",
+		k.Experiment, k.Sweep, k.Cell, k.Config, version))
+}
+
+// Store is a directory of checksummed cell results. Safe for concurrent
+// use: distinct keys touch distinct files, and same-key races resolve
+// to one of the (identical, content-addressed) values.
+type Store struct {
+	dir     string
+	version string
+}
+
+// Option configures Open.
+type Option func(*Store)
+
+// WithVersion overrides the code version baked into every key. Tests
+// pin it; production uses DefaultVersion.
+func WithVersion(v string) Option { return func(s *Store) { s.version = v } }
+
+// DefaultVersion derives the code version from the build info: the VCS
+// revision (suffixed "+dirty" for modified trees) when the binary was
+// built from a checkout, else the main module version, else
+// "unversioned". Entries written by different code versions never
+// collide, so a stale cache is impossible by construction — at worst a
+// rebuilt binary starts cold.
+func DefaultVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unversioned"
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		return rev + dirty
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "unversioned"
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string, opts ...Option) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, version: DefaultVersion()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Version returns the code version baked into this store's keys.
+func (s *Store) Version() string { return s.version }
+
+// path is the entry file for a key: the hex SHA-256 of its canonical
+// form. The content address covers the code version, so entries from
+// different code versions coexist without aliasing.
+func (s *Store) path(k Key) string {
+	sum := sha256.Sum256(k.canonical(s.version))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".cell")
+}
+
+// entry layout after the magic:
+//
+//	uint64 big-endian  len(canonical key)
+//	bytes              canonical key
+//	uint64 big-endian  len(payload)
+//	bytes              payload
+//	32 bytes           SHA-256 over everything above (magic included)
+
+// PutBytes stores payload under k, overwriting any previous entry. The
+// write is atomic (temp file + rename): concurrent writers and crashes
+// can produce at worst a stray temp file, never a torn entry.
+func (s *Store) PutBytes(k Key, payload []byte) error {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	canon := k.canonical(s.version)
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(canon)))
+	buf.Write(n[:])
+	buf.Write(canon)
+	binary.BigEndian.PutUint64(n[:], uint64(len(payload)))
+	buf.Write(n[:])
+	buf.Write(payload)
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path(k)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// GetBytes returns the payload stored under k. Any defect — missing
+// entry, truncation, corruption, key or version mismatch, bad checksum
+// — is a miss: the broken entry is deleted so the caller recomputes
+// and overwrites it, and a diagnostic describing what was wrong with
+// the entry is returned alongside (empty for a plain miss).
+func (s *Store) GetBytes(k Key) (payload []byte, ok bool, defect string) {
+	path := s.path(k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, "" // plain miss
+	}
+	payload, defect = decodeEntry(data, k.canonical(s.version))
+	if defect != "" {
+		os.Remove(path) // corrupted: discard so it is recomputed, never served
+		return nil, false, defect
+	}
+	return payload, true, ""
+}
+
+// decodeEntry verifies one entry against the expected canonical key and
+// returns its payload, or a description of the defect.
+func decodeEntry(data, wantKey []byte) (payload []byte, defect string) {
+	rest := data
+	if len(rest) < len(magic) || string(rest[:len(magic)]) != magic {
+		return nil, "bad magic"
+	}
+	rest = rest[len(magic):]
+	keyLen, rest, ok := takeLen(rest)
+	if !ok || keyLen > uint64(len(rest)) {
+		return nil, "truncated key"
+	}
+	key := rest[:keyLen]
+	rest = rest[keyLen:]
+	payLen, rest, ok := takeLen(rest)
+	if !ok || payLen > uint64(len(rest)) {
+		return nil, "truncated payload"
+	}
+	if uint64(len(rest))-payLen != sha256.Size {
+		return nil, "truncated or oversized entry"
+	}
+	payload = rest[:payLen]
+	want := rest[payLen:]
+	got := sha256.Sum256(data[:len(data)-sha256.Size])
+	if !bytes.Equal(got[:], want) {
+		return nil, "checksum mismatch"
+	}
+	// Key compared after the checksum: a failed key check on a valid
+	// checksum means a genuine identity mismatch (a hash collision or a
+	// version change racing a read), not corruption.
+	if !bytes.Equal(key, wantKey) {
+		return nil, "key mismatch: entry holds " + string(key)
+	}
+	return payload, ""
+}
+
+// takeLen pops a big-endian uint64 length prefix.
+func takeLen(b []byte) (n uint64, rest []byte, ok bool) {
+	if len(b) < 8 {
+		return 0, nil, false
+	}
+	return binary.BigEndian.Uint64(b[:8]), b[8:], true
+}
+
+// Count reports the number of entry files present (any version).
+func (s *Store) Count() (int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".cell" {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Put gob-encodes v and stores it under k. It refuses value types gob
+// would silently truncate — any reachable unexported struct field —
+// because a dropped field would resume a sweep with subtly different
+// numbers instead of failing.
+func Put[T any](s *Store, k Key, v T) error {
+	if err := checkGobSafe(reflect.TypeOf(v)); err != nil {
+		return fmt.Errorf("store: cell type %T is not safely encodable: %w", v, err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return fmt.Errorf("store: encoding %T: %w", v, err)
+	}
+	return s.PutBytes(k, buf.Bytes())
+}
+
+// Get retrieves and decodes the value stored under k. Misses and
+// defective entries return ok == false (defective entries are deleted);
+// a payload that fails to decode as T is likewise discarded as a miss.
+func Get[T any](s *Store, k Key) (v T, ok bool) {
+	payload, ok, _ := s.GetBytes(k)
+	if !ok {
+		return v, false
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&v); err != nil {
+		os.Remove(s.path(k))
+		var zero T
+		return zero, false
+	}
+	return v, true
+}
+
+// checkGobSafe rejects types with reachable unexported struct fields,
+// which gob drops silently (or rejects entirely when no field is
+// exported). Interface-typed fields cannot be checked statically and
+// are rejected too: the concrete value behind them could smuggle
+// unexported state past the check.
+func checkGobSafe(t reflect.Type) error {
+	return gobSafe(t, make(map[reflect.Type]bool))
+}
+
+func gobSafe(t reflect.Type, seen map[reflect.Type]bool) error {
+	if t == nil {
+		return fmt.Errorf("nil interface value")
+	}
+	if seen[t] {
+		return nil
+	}
+	seen[t] = true
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.Array:
+		return gobSafe(t.Elem(), seen)
+	case reflect.Map:
+		if err := gobSafe(t.Key(), seen); err != nil {
+			return err
+		}
+		return gobSafe(t.Elem(), seen)
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				return fmt.Errorf("unexported field %s.%s would be silently dropped by gob", t, f.Name)
+			}
+			if err := gobSafe(f.Type, seen); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Interface:
+		return fmt.Errorf("interface-typed value %s cannot be checked for unexported state", t)
+	case reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		return fmt.Errorf("type %s is not encodable", t)
+	default:
+		return nil
+	}
+}

@@ -87,6 +87,12 @@ type Options struct {
 	// the cell's results have been read to return them. Results are
 	// bit-identical with or without an arena.
 	Arena *arena.Arena
+	// Budget bounds the kernel work this testbed's cell may do (fired
+	// events and/or virtual time). The zero value is unlimited. A cell
+	// exceeding its budget panics with *sim.BudgetError, which the sweep
+	// engine reports as a cell failure; completed cells are unaffected —
+	// a budget that never trips changes no result.
+	Budget sim.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -216,9 +222,12 @@ func New(opts Options) *Testbed {
 	}
 	if opts.Arena != nil {
 		core := opts.Arena.Lease(opts.Seed, mopts...)
+		// After Lease: Reset has already cleared any previous cell's budget.
+		core.Kernel.SetBudget(opts.Budget)
 		return &Testbed{Kernel: core.Kernel, Medium: core.Medium, core: core, opts: opts, nextAddr: 1}
 	}
 	k := sim.NewKernel(opts.Seed)
+	k.SetBudget(opts.Budget)
 	m := medium.New(k, mopts...)
 	return &Testbed{Kernel: k, Medium: m, opts: opts, nextAddr: 1}
 }

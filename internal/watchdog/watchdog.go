@@ -1,0 +1,175 @@
+// Package watchdog is the sweep engine's wall-clock sentry. The
+// simulation itself is forbidden the wall clock (dcnlint's detsource
+// analyzer enforces it), but a crash-safe sweep still needs two things
+// only the wall clock can provide: noticing that a cell has been
+// running implausibly long in real time (a runaway the deterministic
+// kernel budgets did not catch, or a genuine hang), and reacting to
+// SIGINT/SIGTERM so an interrupted sweep stops at a cell boundary with
+// its completed cells flushed.
+//
+// Both live here, deliberately quarantined: along with
+// internal/parallel and internal/store, this is one of the only
+// packages allowed goroutines and wall-clock reads (dcnlint's
+// confinedgo and detsource scopes name them explicitly), and nothing in
+// it can influence simulation results — a watchdog only observes and
+// reports, it never stops or mutates a cell.
+package watchdog
+
+import (
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Report describes one stuck cell.
+type Report struct {
+	// Cell is the sweep cell index that exceeded the limit.
+	Cell int
+	// Elapsed is the cell's wall-clock runtime when it was flagged.
+	Elapsed time.Duration
+	// Stack is an all-goroutine dump captured at flag time, so the
+	// report shows where the stuck cell actually is.
+	Stack []byte
+}
+
+// Watchdog flags sweep cells that exceed a wall-clock limit. It
+// implements parallel.Watcher: hand it to RunOptions.Watch and every
+// cell's start/finish is tracked; a scanner goroutine flags each
+// overdue cell exactly once. Flagging is observational — the cell keeps
+// running (goroutines cannot be killed), but the operator learns which
+// cell is stuck and where, instead of staring at a silent sweep.
+type Watchdog struct {
+	limit   time.Duration
+	onStuck func(Report)
+
+	mu      sync.Mutex
+	active  map[int]time.Time
+	flagged map[int]bool
+	done    chan struct{}
+	stop    sync.Once
+}
+
+// New starts a watchdog flagging cells that run longer than limit.
+// onStuck is called from the scanner goroutine, once per stuck cell; it
+// must be safe to call concurrently with the sweep. Call Stop when the
+// sweep is done.
+func New(limit time.Duration, onStuck func(Report)) *Watchdog {
+	if limit <= 0 {
+		limit = time.Minute
+	}
+	w := &Watchdog{
+		limit:   limit,
+		onStuck: onStuck,
+		active:  make(map[int]time.Time),
+		flagged: make(map[int]bool),
+		done:    make(chan struct{}),
+	}
+	go w.scan()
+	return w
+}
+
+// CellStarted implements parallel.Watcher.
+func (w *Watchdog) CellStarted(cell int) {
+	w.mu.Lock()
+	w.active[cell] = time.Now()
+	delete(w.flagged, cell)
+	w.mu.Unlock()
+}
+
+// CellFinished implements parallel.Watcher.
+func (w *Watchdog) CellFinished(cell int) {
+	w.mu.Lock()
+	delete(w.active, cell)
+	delete(w.flagged, cell)
+	w.mu.Unlock()
+}
+
+// Stop shuts the scanner goroutine down. Idempotent.
+func (w *Watchdog) Stop() { w.stop.Do(func() { close(w.done) }) }
+
+// scan wakes a few times per limit and flags overdue cells.
+func (w *Watchdog) scan() {
+	period := w.limit / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case now := <-t.C:
+			for _, r := range w.overdue(now) {
+				w.onStuck(r)
+			}
+		}
+	}
+}
+
+// overdue collects newly overdue cells in ascending cell order (sorted
+// so reports never depend on map iteration order) and marks them
+// flagged. The stack dump is captured outside the callback so every
+// report carries the state at flag time.
+func (w *Watchdog) overdue(now time.Time) []Report {
+	w.mu.Lock()
+	var cells []int
+	for cell, started := range w.active {
+		if now.Sub(started) >= w.limit && !w.flagged[cell] {
+			w.flagged[cell] = true
+			cells = append(cells, cell)
+		}
+	}
+	elapsed := make(map[int]time.Duration, len(cells))
+	for _, c := range cells {
+		elapsed[c] = now.Sub(w.active[c])
+	}
+	w.mu.Unlock()
+	if len(cells) == 0 {
+		return nil
+	}
+	sort.Ints(cells)
+	stack := allStacks()
+	out := make([]Report, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, Report{Cell: c, Elapsed: elapsed[c], Stack: stack})
+	}
+	return out
+}
+
+// allStacks dumps every goroutine's stack.
+func allStacks() []byte {
+	buf := make([]byte, 256<<10)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return buf[:n]
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// NotifyInterrupt invokes fn for each SIGINT or SIGTERM until stop is
+// called. fn runs on a dedicated goroutine; implementations typically
+// flip an atomic flag that the sweep's Canceled hook polls, so the
+// sweep stops at the next cell boundary, and escalate (os.Exit) on a
+// second signal. The signal channel lives here rather than in the CLIs
+// because channel creation outside the confined concurrency packages is
+// a dcnlint violation.
+func NotifyInterrupt(fn func(os.Signal)) (stop func()) {
+	ch := make(chan os.Signal, 4)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		for sig := range ch {
+			fn(sig)
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}

@@ -1,0 +1,132 @@
+package watchdog
+
+import (
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// collectReports is a thread-safe sink for watchdog reports.
+type collectReports struct {
+	mu   sync.Mutex
+	list []Report
+}
+
+func (c *collectReports) add(r Report) {
+	c.mu.Lock()
+	c.list = append(c.list, r)
+	c.mu.Unlock()
+}
+
+func (c *collectReports) snapshot() []Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Report(nil), c.list...)
+}
+
+// waitFor polls cond for up to 2 s. Wall-clock waiting is the point of
+// this package; the generous ceiling keeps the test stable on loaded
+// CI hosts while the happy path returns in tens of milliseconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}
+
+func TestWatchdogFlagsStuckCellOnce(t *testing.T) {
+	var sink collectReports
+	w := New(40*time.Millisecond, sink.add)
+	defer w.Stop()
+
+	w.CellStarted(7)
+	waitFor(t, func() bool { return len(sink.snapshot()) >= 1 })
+	// Give the scanner several more periods: the cell must be flagged
+	// exactly once, not once per scan.
+	time.Sleep(120 * time.Millisecond)
+	got := sink.snapshot()
+	if len(got) != 1 {
+		t.Fatalf("stuck cell flagged %d times, want exactly once", len(got))
+	}
+	r := got[0]
+	if r.Cell != 7 {
+		t.Fatalf("report names cell %d, want 7", r.Cell)
+	}
+	if r.Elapsed < 40*time.Millisecond {
+		t.Fatalf("reported elapsed %v below the 40ms limit", r.Elapsed)
+	}
+	if len(r.Stack) == 0 {
+		t.Fatal("report carries no stack dump")
+	}
+	w.CellFinished(7)
+}
+
+func TestWatchdogIgnoresFinishedCells(t *testing.T) {
+	var sink collectReports
+	w := New(50*time.Millisecond, sink.add)
+	defer w.Stop()
+
+	w.CellStarted(3)
+	w.CellFinished(3)
+	time.Sleep(150 * time.Millisecond)
+	if got := sink.snapshot(); len(got) != 0 {
+		t.Fatalf("finished cell flagged: %+v", got)
+	}
+}
+
+// A cell index reused by a later attempt (the engine's deterministic
+// retry) is tracked afresh: the retry gets its own full limit.
+func TestWatchdogRetryResetsClock(t *testing.T) {
+	var sink collectReports
+	w := New(60*time.Millisecond, sink.add)
+	defer w.Stop()
+
+	w.CellStarted(1)
+	time.Sleep(40 * time.Millisecond)
+	w.CellFinished(1)
+	w.CellStarted(1) // retry attempt
+	time.Sleep(40 * time.Millisecond)
+	w.CellFinished(1)
+	if got := sink.snapshot(); len(got) != 0 {
+		t.Fatalf("two sub-limit attempts flagged: %+v", got)
+	}
+}
+
+func TestWatchdogStopIsIdempotent(t *testing.T) {
+	w := New(time.Hour, func(Report) {})
+	w.Stop()
+	w.Stop()
+}
+
+// NotifyInterrupt delivers our own SIGINT to fn and stops cleanly.
+// signal.Notify holds the default death-on-SIGINT behaviour off while
+// registered, so sending the signal to ourselves is safe.
+func TestNotifyInterrupt(t *testing.T) {
+	var got atomic.Int64
+	stop := NotifyInterrupt(func(sig os.Signal) {
+		if sig == os.Interrupt || sig == syscall.SIGTERM {
+			got.Add(1)
+		}
+	})
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	waitFor(t, func() bool { return got.Load() >= 1 })
+	stop()
+	// After stop the handler is deregistered; fn must not fire again.
+	// (We cannot self-signal here — the default handler is restored and
+	// would kill the test process — so just assert stop() returned and
+	// the goroutine drained without panic on the closed channel.)
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() < 1 {
+		t.Fatal("handler never fired")
+	}
+}
