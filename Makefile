@@ -1,7 +1,7 @@
 GO ?= go
 BENCH ?= .
-BENCH_OUT ?= BENCH_PR6.json
-BENCH_BASE ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR6.json
 
 # Pinned third-party analyzer versions for `make lint-full` (LINT_FULL=1).
 # Both are fetched with `go run pkg@version`, so they need module-proxy
@@ -24,7 +24,8 @@ vet:
 	$(GO) vet ./...
 
 ## lint: the project-specific go/analysis suite (detsource, maporder,
-## dbmunits, confinedgo, resetcomplete). Offline: stdlib-only driver.
+## dbmunits, confinedgo, resetcomplete, seedtaint). Offline:
+## stdlib-only driver.
 lint:
 	$(GO) run ./cmd/dcnlint ./...
 

@@ -49,10 +49,11 @@ go run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense|OnAirFanout'
 	-benchtime 1x -pkgs ./internal/sim,./internal/medium -out /dev/null
 go run ./cmd/dcnbench -bench 'CellSetupArena' \
 	-benchtime 1x -pkgs ./internal/testbed -out /dev/null
-echo "== bench compare smoke (vs BENCH_PR4.json)"
-# The medium sensing benchmarks (sped up severalfold in PR 3) plus the
-# PR 4 dissemination fan-out: all are tight enough that a >20% regression
-# signal here is real, not measurement noise. The store round trip rides
+echo "== bench compare smoke (vs BENCH_PR6.json)"
+# The medium sensing benchmarks (sped up severalfold in PR 3, again via
+# the SoA link rows in PR 7) plus the PR 4 dissemination fan-out: all
+# are tight enough that a >20% regression signal here is real, not
+# measurement noise. The store round trip rides
 # along so a cell-cache slowdown (it sits on every -store sweep's path)
 # trips the same gate.
 smoke_json=$(mktemp)
@@ -64,7 +65,7 @@ compare_ok=0
 for attempt in 1 2 3; do
 	go run ./cmd/dcnbench -bench 'SensedPowerDense|InterferenceDense|OnAirFanout' \
 		-benchtime 2000000x -pkgs ./internal/medium -out "$smoke_json"
-	if go run ./cmd/dcnbench -compare BENCH_PR4.json "$smoke_json"; then
+	if go run ./cmd/dcnbench -compare BENCH_PR6.json "$smoke_json"; then
 		compare_ok=1
 		break
 	fi

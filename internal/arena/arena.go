@@ -44,12 +44,30 @@ type Core struct {
 	owner  *Arena
 	radios []*radio.Radio
 	used   int
+	// topo is the topology identity the current cell declared via
+	// LeaseTopo (nil when leased plainly). A lease whose key equals the
+	// previous cell's keeps the medium's per-link loss slabs.
+	topo any
 }
 
 // Lease returns a core reset for the given seed and medium options —
 // recycled from the pool when one is available, freshly built otherwise.
 // The caller owns the core until Release.
 func (a *Arena) Lease(seed int64, mopts ...medium.Option) *Core {
+	return a.LeaseTopo(seed, nil, mopts...)
+}
+
+// LeaseTopo is Lease for sweeps that run many cells over one immutable
+// topology: topo declares the cell's topology identity (any comparable
+// value; the shared *topology.Snapshot pointer is the canonical key).
+// When the recycled core's previous cell declared the same non-nil key,
+// the medium resets via ResetKeepLinks and the new cell's link budgets
+// reuse the previous cell's path losses instead of refilling the matrix
+// pair by pair. Equal keys must imply bit-identical loss configuration —
+// same placements, same path-loss model or provider — which a shared
+// snapshot guarantees. Results are bit-identical either way; the key only
+// decides how much setup work the lease skips.
+func (a *Arena) LeaseTopo(seed int64, topo any, mopts ...medium.Option) *Core {
 	a.mu.Lock()
 	var c *Core
 	if n := len(a.cores); n > 0 {
@@ -60,13 +78,19 @@ func (a *Arena) Lease(seed int64, mopts ...medium.Option) *Core {
 	a.mu.Unlock()
 	if c == nil {
 		k := sim.NewKernel(seed)
-		return &Core{Kernel: k, Medium: medium.New(k, mopts...), owner: a}
+		return &Core{Kernel: k, Medium: medium.New(k, mopts...), owner: a, topo: topo}
 	}
+	keep := topo != nil && c.topo == topo
 	c.owner = a
+	c.topo = topo
 	// Kernel first: the medium re-leases its fading/shadowing streams from
 	// the kernel, which must already be rewound to the new seed.
 	c.Kernel.Reset(seed)
-	c.Medium.Reset(mopts...)
+	if keep {
+		c.Medium.ResetKeepLinks(mopts...)
+	} else {
+		c.Medium.Reset(mopts...)
+	}
 	c.used = 0
 	return c
 }

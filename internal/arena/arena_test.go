@@ -8,6 +8,7 @@ import (
 	"nonortho/internal/frame"
 	"nonortho/internal/phy"
 	"nonortho/internal/radio"
+	"nonortho/internal/sim"
 	"nonortho/internal/testbed"
 	"nonortho/internal/topology"
 )
@@ -98,4 +99,58 @@ func TestDoubleReleasePanics(t *testing.T) {
 		}
 	}()
 	core.Release()
+}
+
+// runSnapCell is runCell over a shared topology snapshot, the
+// configuration under which LeaseTopo may keep the medium's link-loss
+// slabs between cells.
+func runSnapCell(seed int64, ar *arena.Arena, snap *topology.Snapshot) []float64 {
+	tb := testbed.New(testbed.Options{Seed: seed, Arena: ar, Topology: snap})
+	defer tb.Close()
+	for _, spec := range snap.Networks() {
+		tb.AddNetwork(spec, testbed.NetworkConfig{})
+	}
+	tb.Run(500*time.Millisecond, 500*time.Millisecond)
+	return tb.PerNetworkThroughput()
+}
+
+// TestLeaseTopoKeepsResultsBitIdentical pins the retained-links lease to
+// the same contract as any other recycled core: whether a cell runs on a
+// fresh core, a core recycled under the same snapshot (link losses
+// retained), or a core dirtied by a different topology in between (full
+// reset), its results are bit-identical to the arena-free run.
+func TestLeaseTopoKeepsResultsBitIdentical(t *testing.T) {
+	newSnap := func(start phy.MHz) *topology.Snapshot {
+		snap, err := topology.NewSnapshot(topology.Config{
+			Plan: phy.ChannelPlan{
+				Start: start, Bandwidth: 9, CFD: 3,
+				Centers: []phy.MHz{start, start + 3, start + 6},
+			},
+			Layout: topology.LayoutColocated,
+		}, sim.NewRNG(1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	snap := newSnap(2458)
+	other := newSnap(2461)
+
+	want := runSnapCell(42, nil, snap) // no arena: the reference
+
+	ar := arena.New()
+	fresh := runSnapCell(42, ar, snap)    // builds the core
+	retained := runSnapCell(42, ar, snap) // same snapshot: links kept
+	_ = runSnapCell(7, ar, other)         // different topology: full reset
+	refilled := runSnapCell(42, ar, snap) // links refilled from scratch
+
+	for i := range want {
+		for name, got := range map[string][]float64{
+			"fresh": fresh, "retained": retained, "refilled": refilled,
+		} {
+			if got[i] != want[i] {
+				t.Errorf("network %d: %s-core %v != arena-free %v", i, name, got[i], want[i])
+			}
+		}
+	}
 }

@@ -8,6 +8,7 @@ func All() []*Analyzer {
 		Detsource,
 		Maporder,
 		Resetcomplete,
+		Seedtaint,
 	}
 }
 

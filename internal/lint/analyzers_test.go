@@ -34,6 +34,10 @@ func TestResetcomplete(t *testing.T) {
 	linttest.Run(t, lint.Resetcomplete, "resetcpl")
 }
 
+func TestSeedtaint(t *testing.T) {
+	linttest.Run(t, lint.Seedtaint, "internal/seedt", "internal/sim")
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range lint.All() {
 		if got := lint.ByName(a.Name); got != a {

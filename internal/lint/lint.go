@@ -4,8 +4,9 @@
 // tool checks: no wall-clock or global randomness in simulation code
 // (detsource), no order-dependent work inside map iteration (maporder),
 // no mixing of dBm and milliwatt quantities in arithmetic (dbmunits),
-// concurrency confined to internal/parallel (confinedgo), and
-// constructor/Reset parity for every arena-recycled type (resetcomplete).
+// concurrency confined to internal/parallel (confinedgo),
+// constructor/Reset parity for every arena-recycled type (resetcomplete),
+// and every RNG seeded from the cell's (config, seed) tuple (seedtaint).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer owns a Run function over a type-checked Pass — but is

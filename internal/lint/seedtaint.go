@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Seedtaint requires every random generator constructed in simulation
+// code to be visibly seeded from the cell's (configuration, seed) tuple.
+// Detsource already bans the global math/rand state; this analyzer closes
+// the remaining hole — a *seeded* generator whose seed is a constant, a
+// loop counter, or anything else unrelated to the cell identity. Such a
+// generator is deterministic but wrong: every cell of a sweep draws the
+// same sequence regardless of its seed, correlating results that the
+// paper's tables assume independent, and a replay under a different root
+// seed silently reproduces the stale stream.
+//
+// Flagged inside simulation packages (see isSimPackage), test files
+// exempt: calls to rand.NewSource / rand.NewPCG / rand.NewChaCha8
+// (math/rand and math/rand/v2) and to the kernel's own sim.NewRNG whose
+// arguments contain no seed-derived input — no identifier, field, or
+// callee whose name mentions "seed" (Seed, seed, streamSeed, opts.Seed,
+// k.seed, ...). Derivations like opts.Seed+int64(i) pass: the taint only
+// has to appear somewhere in the expression.
+var Seedtaint = &Analyzer{
+	Name: "seedtaint",
+	Doc: "require RNG constructors in simulation packages to be seeded from the " +
+		"cell's (config, seed) tuple, not constants or ambient values",
+	Run: runSeedtaint,
+}
+
+// seededSourceCtors are the explicitly seeded math/rand[/v2] constructors
+// whose seed argument must carry the cell's taint. rand.New and NewZipf
+// wrap an existing source, so the taint is checked where that source was
+// built.
+var seededSourceCtors = map[string]bool{
+	"NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// isSimKernelPkg matches the simulation kernel package in the real tree
+// (nonortho/internal/sim) and in fixture layouts (internal/sim).
+func isSimKernelPkg(path string) bool {
+	return path == "internal/sim" || strings.HasSuffix(path, "/internal/sim")
+}
+
+func runSeedtaint(pass *Pass) error {
+	if !isSimPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(pass.TypesInfo, call)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			var what string
+			switch {
+			case isRandPkg(obj.Pkg().Path()) && seededSourceCtors[obj.Name()]:
+				what = "rand." + obj.Name()
+			case obj.Name() == "NewRNG" && isSimKernelPkg(obj.Pkg().Path()):
+				what = "sim.NewRNG"
+			default:
+				return true
+			}
+			if !anySeedDerived(call.Args) {
+				pass.Reportf(call.Pos(),
+					"%s seeded by an expression with no seed-derived input; derive every generator from the cell's (config, seed) tuple or a named kernel stream (sim.Kernel.Stream)",
+					what)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// anySeedDerived reports whether any argument contains an identifier
+// whose name mentions "seed" — a variable, field selection, or callee
+// like seed, opts.Seed, k.seed, streamSeed(...). Selector fields and call
+// names are themselves identifiers, so one walk over idents covers every
+// shape the taint can take.
+func anySeedDerived(args []ast.Expr) bool {
+	for _, a := range args {
+		found := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok &&
+				strings.Contains(strings.ToLower(id.Name), "seed") {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+// Package seedt is a seedtaint fixture laid out as a simulation package
+// (internal/<pkg>), so the analyzer applies.
+package seedt
+
+import (
+	"math/rand"
+
+	"internal/sim"
+)
+
+// opts mimics an experiment option block whose Seed field identifies the
+// cell.
+type opts struct{ Seed int64 }
+
+// streamSeed mimics the kernel's name-keyed seed derivation.
+func streamSeed(seed int64, name string) int64 {
+	return seed ^ int64(len(name))
+}
+
+func seeded(seed int64, o opts) {
+	_ = rand.NewSource(seed)                   // taint: parameter named seed
+	_ = rand.New(rand.NewSource(o.Seed))       // taint: field selection
+	_ = sim.NewRNG(o.Seed + 7)                 // taint anywhere in the expression
+	_ = sim.NewRNG(streamSeed(seed, "medium")) // taint: callee name
+	_ = sim.NewRNG(deriveSeed(o))              // taint: callee name contains seed
+	for i := 0; i < 3; i++ {
+		_ = sim.NewRNG(o.Seed + int64(i)) // per-stream offsets stay tied to the cell
+	}
+}
+
+func deriveSeed(o opts) int64 { return o.Seed * 977 }
+
+func untainted(x int64) {
+	_ = rand.NewSource(42) // want "rand.NewSource seeded by an expression with no seed-derived input"
+	_ = rand.NewSource(x)  // want "rand.NewSource seeded by an expression with no seed-derived input"
+	_ = sim.NewRNG(1)      // want "sim.NewRNG seeded by an expression with no seed-derived input"
+	_ = sim.NewRNG(x * 31) // want "sim.NewRNG seeded by an expression with no seed-derived input"
+	for i := int64(0); i < 3; i++ {
+		_ = sim.NewRNG(i) // want "sim.NewRNG seeded by an expression with no seed-derived input"
+	}
+}
+
+func suppressed() {
+	//lint:ignore seedtaint fixture exercises the suppression convention
+	_ = sim.NewRNG(7)
+}

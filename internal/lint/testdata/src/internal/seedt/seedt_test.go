@@ -1,0 +1,7 @@
+package seedt
+
+import "internal/sim"
+
+// Test files are exempt: fixed literal seeds are exactly how unit tests
+// pin deterministic scenarios.
+func testHelperRNG() *sim.RNG { return sim.NewRNG(7) }

@@ -1,0 +1,14 @@
+// Package sim is a minimal stand-in for the repository's simulation
+// kernel, laid out as internal/sim so seedtaint fixtures can exercise
+// the NewRNG call-site rule through a resolvable import.
+package sim
+
+// RNG mimics the kernel's seeded generator.
+type RNG struct{ state int64 }
+
+// NewRNG mirrors the kernel constructor: the seed parameter name itself
+// carries the taint, so the constructor's own body stays clean.
+func NewRNG(seed int64) *RNG { return &RNG{state: seed} }
+
+// Float64 is a placeholder draw.
+func (g *RNG) Float64() float64 { return float64(g.state) }

@@ -106,9 +106,9 @@ func TestDetachDropsCachedLinkBudgets(t *testing.T) {
 
 	m.Detach(goneID)
 
-	for key := range m.links {
-		if key.listener == goneID {
-			t.Fatalf("link-budget row for detached listener %d survived Detach", goneID)
+	for src, slot := range m.rows[goneID] {
+		if slot != (linkSlot{}) {
+			t.Fatalf("link row slot [%d][%d] for detached listener survived Detach: %+v", goneID, src, slot)
 		}
 	}
 	if tx.perL[goneID] != (txListenerCache{}) {

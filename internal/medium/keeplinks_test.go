@@ -1,0 +1,132 @@
+package medium
+
+import (
+	"testing"
+	"time"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+// countingLoss wraps a path-loss model and counts Loss evaluations, so
+// the tests below can prove ResetKeepLinks actually skips the lookups it
+// promises to skip.
+type countingLoss struct {
+	model phy.PathLossModel
+	calls int
+}
+
+func (c *countingLoss) Loss(d float64) float64 {
+	c.calls++
+	return c.model.Loss(d)
+}
+
+// runKeepLinksCell drives one deterministic mini-cell on the medium:
+// three listeners, a handful of transmissions from each, sensing samples
+// at every step. It returns the sampled values in order.
+func runKeepLinksCell(k *sim.Kernel, m *Medium) []phy.DBm {
+	positions := []phy.Position{{X: 0}, {X: 3, Y: 1}, {X: -2, Y: 4}}
+	var ids []int
+	listeners := make([]*fakeListener, len(positions))
+	for i, p := range positions {
+		listeners[i] = &fakeListener{pos: p}
+		ids = append(ids, m.Attach(listeners[i]))
+	}
+	var samples []phy.DBm
+	for round := 0; round < 3; round++ {
+		for i, src := range ids {
+			at := time.Duration(round*400+i*130) * time.Microsecond
+			src := src
+			i := i
+			k.After(at, func() {
+				tx := m.Transmit(src, positions[i], -3, 2460+phy.MHz(i), testFrame(24))
+				for _, lid := range ids {
+					samples = append(samples, m.SensedPower(lid, 2460, nil))
+					samples = append(samples, m.RxPower(tx, lid))
+				}
+			})
+		}
+	}
+	k.Run()
+	return samples
+}
+
+// TestResetKeepLinksBitIdentical proves the retained-loss lease is
+// invisible in the results: a cell run on a ResetKeepLinks-recycled
+// medium produces bit-identical samples to the same cell on a fresh
+// kernel/medium pair — with shadowing and fading on, so the static and
+// fading streams must advance identically too — while performing zero
+// path-loss evaluations.
+func TestResetKeepLinksBitIdentical(t *testing.T) {
+	loss := &countingLoss{model: phy.DefaultPathLoss()}
+	opts := []Option{WithPathLoss(loss)}
+
+	k := sim.NewKernel(11)
+	m := New(k, opts...)
+	first := runKeepLinksCell(k, m)
+	if loss.calls == 0 {
+		t.Fatal("first cell computed no path losses")
+	}
+
+	// Fresh reference: what any cell with this seed must produce.
+	k2 := sim.NewKernel(11)
+	reference := runKeepLinksCell(k2, New(k2, opts...))
+
+	k.Reset(11)
+	m.ResetKeepLinks(opts...)
+	loss.calls = 0
+	second := runKeepLinksCell(k, m)
+	if loss.calls != 0 {
+		t.Fatalf("recycled cell recomputed %d path losses, want 0", loss.calls)
+	}
+
+	for _, got := range [][]phy.DBm{second, reference} {
+		if len(got) != len(first) {
+			t.Fatalf("sample counts differ: %d vs %d", len(got), len(first))
+		}
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("sample %d differs: %v vs %v", i, got[i], first[i])
+			}
+		}
+	}
+}
+
+// TestResetKeepLinksDetectsMovedGeometry: retention is per slot, guarded
+// by the recorded geometry — a node at a new position in the next cell
+// gets a freshly computed loss, not the carried-over one.
+func TestResetKeepLinksDetectsMovedGeometry(t *testing.T) {
+	loss := &countingLoss{model: phy.DefaultPathLoss()}
+	opts := []Option{WithPathLoss(loss), WithFadingSigma(0), WithStaticFadingSigma(0)}
+
+	k := sim.NewKernel(3)
+	m := New(k, opts...)
+	a := &fakeListener{pos: phy.Position{X: 0}}
+	b := &fakeListener{pos: phy.Position{X: 2}}
+	idA := m.Attach(a)
+	idB := m.Attach(b)
+	tx := m.Transmit(idA, a.pos, 0, 2460, testFrame(16))
+	sameBefore := m.RxPower(tx, idB)
+	k.Run()
+
+	k.Reset(3)
+	m.ResetKeepLinks(opts...)
+	// Same listeners, but b now stands farther out.
+	b2 := &fakeListener{pos: phy.Position{X: 7}}
+	idA = m.Attach(a)
+	idB = m.Attach(b2)
+	loss.calls = 0
+	tx = m.Transmit(idA, a.pos, 0, 2460, testFrame(16))
+	moved := m.RxPower(tx, idB)
+	if loss.calls == 0 {
+		t.Fatal("moved geometry reused the retained loss")
+	}
+	if moved == sameBefore {
+		t.Fatalf("RxPower unchanged (%v) despite the longer link", moved)
+	}
+	want := phy.DBm(0) - phy.DBm(loss.model.Loss(7))
+	if moved != want {
+		t.Fatalf("RxPower after move = %v, want %v", moved, want)
+	}
+	k.Run()
+}

@@ -44,10 +44,13 @@ type Transmission struct {
 	// Start and End bound the on-air interval.
 	Start, End sim.Time
 
-	// perL caches per-listener quantities that are constant for the
-	// lifetime of the transmission (fading draw, received and in-channel
-	// power in milliwatts), indexed by listener ID. Lazily sized; zeroed
-	// and reused when the transmission is recycled through the free-list.
+	// perL caches each listener's per-transmission fading draw, indexed
+	// by listener ID. The draw must live on the transmission (not the
+	// listener's link row): it is consumed lazily from a shared stream at
+	// first use, and pinning it here keeps the draw order — and therefore
+	// every downstream draw — identical however often the power caches
+	// thrash. Lazily sized; zeroed and reused when the transmission is
+	// recycled through the free-list.
 	perL []txListenerCache
 
 	// activeIdx is the transmission's current index in Medium.active
@@ -55,18 +58,12 @@ type Transmission struct {
 	activeIdx int
 }
 
-// txListenerCache holds one listener's memoized view of a transmission.
-// Everything here is a pure function of state frozen at Transmit time
-// (positions, powers, frequencies, the per-pair fading draws), so caching
-// is exact: the cached value is bit-identical to recomputation.
+// txListenerCache holds one listener's per-transmission fading draw. The
+// memoized power values that used to sit beside it live in the listener's
+// dense link row (linkSlot), keyed by transmission ID.
 type txListenerCache struct {
 	fade    float64 // per-transmission fading draw, dB
-	rxMW    float64 // RxPower in milliwatts
-	inMW    float64 // InChannelPower at inFreq, in milliwatts
-	inFreq  phy.MHz // receiver tuning inMW was computed for
 	hasFade bool
-	hasRx   bool
-	hasIn   bool
 }
 
 // Option configures a Medium.
@@ -151,10 +148,16 @@ type Medium struct {
 	// sums holds each listener's cached sensing sums, indexed by attach
 	// ID in lockstep with listeners.
 	sums []listenerSums
-	// links caches the per-(src, listener) link budget: the path-loss dB
-	// for the pair's geometry plus its persistent shadowing draw.
-	// Invalidated when either endpoint detaches or moves.
-	links map[linkKey]*linkBudget
+	// rows holds each listener's dense link cache: rows[listener][src] is
+	// the structure-of-arrays replacement for the old map[linkKey]
+	// lookup. A slot carries the pair's link budget (path loss for the
+	// recorded geometry plus the persistent shadowing draw) and the
+	// last-computed received/in-channel powers in milliwatts, keyed by
+	// transmission ID — so the ID-ordered power sums index straight into
+	// one contiguous row instead of hashing per transmission. Rows are
+	// grown lazily, zeroed (not freed) on Detach, and keep their slab
+	// capacity across Reset.
+	rows [][]linkSlot
 	// rejDB caches the rejection curve per signed frequency offset — the
 	// set of channel-pair offsets in a run is tiny and fixed.
 	rejDB    map[phy.MHz]float64
@@ -210,20 +213,34 @@ type listenerSums struct {
 	interf interfCache
 }
 
-type linkKey struct {
-	src      int
-	listener int
-}
-
-// linkBudget is the cached static portion of a (src, listener) link: path
-// loss for the recorded geometry and the pair's one-time shadowing draw.
-// The positions are kept so a moved endpoint invalidates the loss while
-// the shadowing draw — a property of the pair, as before — persists.
-type linkBudget struct {
+// linkSlot is one source's entry in a listener's dense link row. The
+// first half is the static link budget: path loss for the recorded
+// geometry and the pair's one-time shadowing draw (the positions are kept
+// so a moved endpoint invalidates the loss while the shadowing draw — a
+// property of the pair, as before — persists). The second half memoizes
+// the pair's received and in-channel powers in milliwatts for one
+// transmission (txID) and receiver tuning (inFreq); everything cached is
+// a pure function of state frozen at Transmit time plus the
+// transmission-pinned fading draw, so a recompute after any cache
+// turnover is bit-identical.
+type linkSlot struct {
 	from, to phy.Position
 	loss     float64 // path loss, dB
 	static   float64 // persistent shadowing draw, dB
-	stale    bool    // set by Moved; forces a loss recompute on next use
+	rxMW     float64 // RxPower of txID, milliwatts
+	inMW     float64 // InChannelPower of txID at inFreq, milliwatts
+	inFreq   phy.MHz // receiver tuning inMW was computed for
+	txID     uint64  // transmission the mW caches belong to
+	known    bool    // link budget computed (shadowing drawn)
+	// lossValid marks loss as computed for the recorded geometry. It can
+	// hold without known across a ResetKeepLinks: the loss — a pure
+	// function of the geometry — carried over from the previous cell,
+	// while the shadowing draw must be redrawn so the static stream
+	// advances exactly as on a fresh medium. known implies lossValid.
+	lossValid bool
+	stale     bool // set by Moved; forces a loss recompute on next use
+	hasRx     bool
+	hasIn     bool
 }
 
 // noiseFloorMW is phy.NoiseFloor converted once; the CCA hot path adds it
@@ -238,7 +255,6 @@ var noiseFloorMW = phy.NoiseFloor.Milliwatts()
 func New(k *sim.Kernel, opts ...Option) *Medium {
 	m := &Medium{
 		kernel: k,
-		links:  make(map[linkKey]*linkBudget),
 		rejDB:  make(map[phy.MHz]float64),
 	}
 	m.Reset(opts...)
@@ -254,7 +270,23 @@ func New(k *sim.Kernel, opts ...Option) *Medium {
 // bit-identical to building a fresh medium: recycled transmissions are
 // zeroed on reuse and every cache is keyed or cleared, so a reused medium
 // produces the same draws and sums as a new one.
-func (m *Medium) Reset(opts ...Option) {
+func (m *Medium) Reset(opts ...Option) { m.reset(false, opts...) }
+
+// ResetKeepLinks is Reset for a cell whose topology is unchanged from the
+// previous cell on this medium: in addition to the warm slabs, every link
+// slot keeps its recorded geometry and path loss, so the next cell's
+// first power sum skips the loss lookups entirely. The shadowing draws do
+// NOT carry over — they are redrawn from the rewound static stream at the
+// same first-use points, keeping a recycled medium bit-identical to a
+// fresh one. The caller asserts that the new cell's loss configuration
+// (placements, path-loss model, provider matrix) yields bit-identical
+// losses for matching geometry; a changed position is still detected and
+// recomputed per slot, but a changed model under identical positions is
+// not, so callers must key retention on a topology-snapshot identity (see
+// arena.LeaseTopo).
+func (m *Medium) ResetKeepLinks(opts ...Option) { m.reset(true, opts...) }
+
+func (m *Medium) reset(keepLinks bool, opts ...Option) {
 	// Park any still-in-flight transmissions: their scheduled finish died
 	// with the kernel reset, so they go straight back to the free-list.
 	for i, tx := range m.active {
@@ -275,9 +307,24 @@ func (m *Medium) Reset(opts ...Option) {
 	for f := range m.bands {
 		delete(m.bands, f)
 	}
-	for k := range m.links {
-		delete(m.links, k)
+	// Zero the link rows across their full capacity but keep the slabs:
+	// the next cell re-fills the same memory. Slots beyond a row's length
+	// were zeroed when last parked, so re-extension never exposes stale
+	// link budgets. Under keepLinks the loss half (geometry + path loss)
+	// survives instead, marked lossValid for link() to reuse; draws and
+	// power memos are cleared unconditionally.
+	for i := range m.rows {
+		row := m.rows[i][:cap(m.rows[i])]
+		for j := range row {
+			if s := &row[j]; keepLinks && s.lossValid {
+				*s = linkSlot{from: s.from, to: s.to, loss: s.loss, lossValid: true}
+			} else {
+				*s = linkSlot{}
+			}
+		}
+		m.rows[i] = row[:0]
 	}
+	m.rows = m.rows[:0]
 	// The rejection curve may change with the new options; drop its memo
 	// rather than reason about curve identity. Repopulating costs a
 	// handful of lookups per cell.
@@ -314,6 +361,13 @@ func (m *Medium) Rejection() phy.RejectionCurve { return m.rejection }
 func (m *Medium) Attach(l Listener) int {
 	m.listeners = append(m.listeners, l)
 	m.sums = append(m.sums, listenerSums{})
+	// Re-extend into a parked (zeroed) row slab when one exists from a
+	// previous cell on this medium; append a fresh row otherwise.
+	if n := len(m.listeners); cap(m.rows) >= n {
+		m.rows = m.rows[:n]
+	} else {
+		m.rows = append(m.rows, nil)
+	}
 	id := len(m.listeners) - 1
 	m.registerInterest(id, l)
 	return id
@@ -332,17 +386,17 @@ func (m *Medium) Detach(id int) {
 	m.dropInterest(id, m.interests[id])
 	m.interests[id] = Interest{Scope: ScopeOwn} // pending interest dies with the listener
 	m.listeners[id] = nil
-	// Drop the departed listener's cached link-budget rows and its slots
-	// in every in-flight transmission's per-listener cache: a detached
-	// listener measures Silent, and a stale cached power must not survive
-	// to contradict that. Rows where the departed node is the *source*
-	// stay — a transmission it originated may still be on the air, and the
-	// remaining listeners must keep seeing the exact same link budget
-	// (including the pair's shadowing draw) for the rest of the flight.
-	for key := range m.links {
-		if key.listener == id {
-			delete(m.links, key)
-		}
+	// Zero the departed listener's link row and its slots in every
+	// in-flight transmission's fading cache: a detached listener measures
+	// Silent, and a stale cached power must not survive to contradict
+	// that. Slots where the departed node is the *source* (other
+	// listeners' rows) stay — a transmission it originated may still be
+	// on the air, and the remaining listeners must keep seeing the exact
+	// same link budget (including the pair's shadowing draw) for the rest
+	// of the flight.
+	row := m.rows[id]
+	for j := range row {
+		row[j] = linkSlot{}
 	}
 	for _, tx := range m.active {
 		if id < len(tx.perL) {
@@ -360,9 +414,20 @@ func (m *Medium) Detach(id int) {
 // per-transmission caches are untouched because a Transmission's Pos is
 // frozen at Transmit time.
 func (m *Medium) Moved(id int) {
-	for key, lb := range m.links {
-		if key.listener == id || key.src == id {
-			lb.stale = true
+	if id < 0 || id >= len(m.rows) {
+		return
+	}
+	// Listener side: every slot in the moved node's own row.
+	row := m.rows[id]
+	for j := range row {
+		if row[j].known {
+			row[j].stale = true
+		}
+	}
+	// Source side: the moved node's column in every other row.
+	for i := range m.rows {
+		if r := m.rows[i]; id < len(r) && r[id].known {
+			r[id].stale = true
 		}
 	}
 	// Defensive: cached sums of in-flight transmissions are actually
@@ -509,28 +574,60 @@ func (m *Medium) RxPower(tx *Transmission, listenerID int) phy.DBm {
 	return base + phy.DBm(lb.static) + phy.DBm(m.fade(tx, listenerID))
 }
 
-// link returns the cached budget of the (src, listener) pair, creating it
-// on first use: the path loss for the current geometry plus the pair's
-// one-time shadowing draw (drawn lazily, exactly when the first RxPower
-// for the pair used to draw it). A stale or moved geometry recomputes the
-// loss; the shadowing draw persists — it models the pair, not the path.
-func (m *Medium) link(src, listenerID int, from, to phy.Position) *linkBudget {
-	key := linkKey{src: src, listener: listenerID}
-	lb, ok := m.links[key]
-	if !ok {
-		lb = &linkBudget{from: from, to: to, loss: m.lookupLoss(src, listenerID, from, to)}
-		if m.staticSigma != 0 {
-			lb.static = m.staticRNG.Gaussian(0, m.staticSigma)
+// linkRow returns the listener's dense link row grown to cover src,
+// re-extending into zeroed slab capacity when possible. Growth past the
+// current listener count sizes for the whole population at once, so a
+// power sum grows its listener's row exactly once.
+func (m *Medium) linkRow(listenerID, src int) []linkSlot {
+	row := m.rows[listenerID]
+	if src < len(row) {
+		return row
+	}
+	n := len(m.listeners)
+	if src >= n {
+		n = src + 1
+	}
+	if cap(row) >= n {
+		row = row[:n]
+	} else {
+		grown := make([]linkSlot, n)
+		copy(grown, row)
+		row = grown
+	}
+	m.rows[listenerID] = row
+	return row
+}
+
+// link returns the cached slot of the (src, listener) pair, filling its
+// budget half on first use: the path loss for the current geometry plus
+// the pair's one-time shadowing draw (drawn lazily, exactly when the
+// first RxPower for the pair used to draw it). A stale or moved geometry
+// recomputes the loss; the shadowing draw persists — it models the pair,
+// not the path.
+func (m *Medium) link(src, listenerID int, from, to phy.Position) *linkSlot {
+	s := &m.linkRow(listenerID, src)[src]
+	if !s.known {
+		// A lossValid slot carried its loss across ResetKeepLinks; reuse
+		// it when the geometry still matches, else fall through to a
+		// fresh lookup. The shadowing draw happens either way — first use
+		// advances the static stream exactly like a fresh medium.
+		if !s.lossValid || s.from != from || s.to != to {
+			s.from, s.to = from, to
+			s.loss = m.lookupLoss(src, listenerID, from, to)
+			s.lossValid = true
 		}
-		m.links[key] = lb
-		return lb
+		if m.staticSigma != 0 {
+			s.static = m.staticRNG.Gaussian(0, m.staticSigma)
+		}
+		s.known = true
+		return s
 	}
-	if lb.stale || lb.from != from || lb.to != to {
-		lb.from, lb.to = from, to
-		lb.loss = m.lookupLoss(src, listenerID, from, to)
-		lb.stale = false
+	if s.stale || s.from != from || s.to != to {
+		s.from, s.to = from, to
+		s.loss = m.lookupLoss(src, listenerID, from, to)
+		s.stale = false
 	}
-	return lb
+	return s
 }
 
 // lookupLoss resolves the pair's path loss: from the installed provider's
@@ -546,9 +643,10 @@ func (m *Medium) lookupLoss(src, listenerID int, from, to phy.Position) float64 
 	return m.pathLoss.Loss(from.DistanceTo(to))
 }
 
-// slot returns tx's cache slot for the listener, growing the table to the
-// medium's current listener count on first touch. Recycled transmissions
-// regrow into their previous (zeroed) capacity without allocating.
+// slot returns tx's fading-cache slot for the listener, growing the table
+// to the medium's current listener count on first touch. Recycled
+// transmissions regrow into their previous (zeroed) capacity without
+// allocating.
 func (m *Medium) slot(tx *Transmission, listenerID int) *txListenerCache {
 	if listenerID >= len(tx.perL) {
 		n := len(m.listeners)
@@ -603,11 +701,27 @@ func (m *Medium) rejectionDB(deltaF phy.MHz) float64 {
 	return v
 }
 
+// powerSlot returns the listener's link slot for tx's source, rekeyed to
+// tx: a slot whose mW caches belong to an earlier transmission from the
+// same source is invalidated first. Rekeying is exact — the cached values
+// are pure functions of frozen transmission state plus the
+// transmission-pinned fading draw, so recomputing after turnover yields
+// the same bits.
+func (m *Medium) powerSlot(tx *Transmission, listenerID int) *linkSlot {
+	s := &m.linkRow(listenerID, tx.Src)[tx.Src]
+	if s.txID != tx.ID {
+		s.txID = tx.ID
+		s.hasRx = false
+		s.hasIn = false
+	}
+	return s
+}
+
 // inChannelMW returns InChannelPower in milliwatts, cached on the
-// transmission per listener. The cache keys on the receiver tuning because
-// a radio can retune mid-flight (channel-hopping MACs).
+// listener's link row per transmission. The cache keys on the receiver
+// tuning because a radio can retune mid-flight (channel-hopping MACs).
 func (m *Medium) inChannelMW(tx *Transmission, listenerID int, freq phy.MHz) float64 {
-	s := m.slot(tx, listenerID)
+	s := m.powerSlot(tx, listenerID)
 	if !s.hasIn || s.inFreq != freq {
 		s.inMW = m.InChannelPower(tx, listenerID, freq).Milliwatts()
 		s.inFreq = freq
@@ -616,10 +730,10 @@ func (m *Medium) inChannelMW(tx *Transmission, listenerID int, freq phy.MHz) flo
 	return s.inMW
 }
 
-// rxMW returns RxPower in milliwatts, cached on the transmission per
-// listener.
+// rxMW returns RxPower in milliwatts, cached on the listener's link row
+// per transmission.
 func (m *Medium) rxMW(tx *Transmission, listenerID int) float64 {
-	s := m.slot(tx, listenerID)
+	s := m.powerSlot(tx, listenerID)
 	if !s.hasRx {
 		s.rxMW = m.RxPower(tx, listenerID).Milliwatts()
 		s.hasRx = true

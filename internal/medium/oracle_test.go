@@ -13,8 +13,8 @@ import (
 // The differential oracle: the cached sensing accessors must return values
 // bit-identical to a brute-force sum the test maintains itself, under a
 // randomized churn of transmissions starting and ending, listeners
-// detaching and attaching, receivers retuning across channels, and radios
-// excluding their own signal. The oracle tracks the on-air set through the
+// detaching, attaching and moving, receivers retuning across channels,
+// and radios excluding their own signal. The oracle tracks the on-air set through the
 // public OnAir/OffAir listener callbacks and sums per-transmission powers
 // through the public InChannelPower/RxPower accessors in ID order — it
 // never touches the medium's active slice, epoch counter, or sum caches.
@@ -145,6 +145,7 @@ func testCachedSumsMatchBruteForce(t *testing.T, seed int64, filterOn bool, reco
 	// Six listeners scattered over the field; listener 0 maintains the
 	// tracked set. One extra joins and one leaves mid-run.
 	pos := make(map[int]phy.Position)
+	byID := make(map[int]*trackerListener)
 	var ids []int
 	attach := func(p phy.Position, tracked bool) int {
 		l := &trackerListener{pos: p}
@@ -153,6 +154,7 @@ func testCachedSumsMatchBruteForce(t *testing.T, seed int64, filterOn bool, reco
 		}
 		id := m.Attach(l)
 		pos[id] = p
+		byID[id] = l
 		ids = append(ids, id)
 		return id
 	}
@@ -248,6 +250,24 @@ func testCachedSumsMatchBruteForce(t *testing.T, seed int64, filterOn bool, reco
 			in = Interest{Scope: ScopeOwn}
 		}
 		k.After(time.Duration(rng.Intn(int(span))), func() { m.SetInterest(id, in) })
+	}
+	// Motion churn: listeners drift mid-run, sources and samplers alike.
+	// Moved marks every link touching the mover stale — path loss is
+	// recomputed from the new positions at the next use, while persistent
+	// shadowing draws and per-transmission fading stay put — and
+	// invalidates the cached sums, so every sample after a move compares a
+	// freshly resummed value against the brute-force walk over the same
+	// recomputed links.
+	for i := 0; i < 40; i++ {
+		id := ids[rng.Intn(len(ids))]
+		dx := rng.Float64()*8 - 4
+		dy := rng.Float64()*8 - 4
+		k.After(time.Duration(rng.Intn(int(span))), func() {
+			l := byID[id]
+			l.pos = phy.Position{X: l.pos.X + dx, Y: l.pos.Y + dy}
+			pos[id] = l.pos
+			m.Moved(id)
+		})
 	}
 	k.After(span/2, func() { m.Detach(victim) })
 	k.After(3*span/4, func() {

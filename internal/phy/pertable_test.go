@@ -1,0 +1,143 @@
+package phy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPERTableGridBitEquality is the differential oracle over the full
+// quantisation domain: every grid point of a production-sized table must
+// return, through the quantising lookups, exactly the bits the closed
+// forms produce. (The constructor proves this too — the test keeps the
+// property pinned independently of the constructor's own check.)
+func TestPERTableGridBitEquality(t *testing.T) {
+	const minDB, maxDB, stepDB = -20.0, 20.0, 0.05
+	tab, err := NewPERTable(minDB, maxDB, stepDB, 648)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(math.Round((maxDB-minDB)/stepDB)) + 1
+	for i := 0; i < n; i++ {
+		s := minDB + float64(i)*stepDB
+		if got, want := tab.BER(s), BitErrorRate(s); got != want {
+			t.Fatalf("BER(%v) = %v via table, %v via closed form", s, got, want)
+		}
+		if got, want := tab.PER(s), PacketErrorRate(s, 648); got != want {
+			t.Fatalf("PER(%v) = %v via table, %v via closed form", s, got, want)
+		}
+	}
+	if tab.Bits() != 648 {
+		t.Fatalf("Bits() = %d, want 648", tab.Bits())
+	}
+}
+
+// TestPERTableRounding checks that off-grid inputs snap to the nearest
+// grid point and out-of-domain inputs clamp to the edges.
+func TestPERTableRounding(t *testing.T) {
+	tab, err := NewPERTable(-10, 10, 0.1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tab.PER(2.04), tab.PER(2.0); got != want {
+		t.Fatalf("PER(2.04) = %v, want the 2.0 grid value %v", got, want)
+	}
+	if got, want := tab.PER(2.06), tab.PER(2.1); got != want {
+		t.Fatalf("PER(2.06) = %v, want the 2.1 grid value %v", got, want)
+	}
+	if got, want := tab.PER(-40), tab.PER(-10); got != want {
+		t.Fatalf("PER(-40) = %v, want the low clamp %v", got, want)
+	}
+	if got, want := tab.PER(40), tab.PER(10); got != want {
+		t.Fatalf("PER(40) = %v, want the high clamp %v", got, want)
+	}
+	if got := tab.PER(-40); got != PacketErrorRate(-10, 256) {
+		t.Fatalf("low clamp %v differs from closed form at the edge %v", got, PacketErrorRate(-10, 256))
+	}
+}
+
+// TestPERTableRejectsBadParameters covers the constructor's refusal
+// paths: malformed domains never yield a table.
+func TestPERTableRejectsBadParameters(t *testing.T) {
+	cases := []struct {
+		name           string
+		min, max, step float64
+		bits           int
+	}{
+		{"zero step", -10, 10, 0, 648},
+		{"negative step", -10, 10, -0.1, 648},
+		{"inverted domain", 10, -10, 0.1, 648},
+		{"zero bits", -10, 10, 0.1, 0},
+		{"nan bound", math.NaN(), 10, 0.1, 648},
+		{"oversized grid", -10, 1e9, 0.001, 648},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if tab, err := NewPERTable(c.min, c.max, c.step, c.bits); err == nil {
+				t.Fatalf("NewPERTable(%v, %v, %v, %d) built a table (%d points), want rejection",
+					c.min, c.max, c.step, c.bits, len(tab.per))
+			}
+		})
+	}
+}
+
+// TestPERTableVerifyCatchesCorruption drives the equivalence proof
+// itself: flip one stored value and the verifier must reject the table.
+func TestPERTableVerifyCatchesCorruption(t *testing.T) {
+	tab, err := NewPERTable(-10, 10, 0.1, 648)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.verify(); err != nil {
+		t.Fatalf("pristine table failed verification: %v", err)
+	}
+	mid := len(tab.per) / 2
+	tab.per[mid] = math.Nextafter(tab.per[mid], 2)
+	err = tab.verify()
+	if err == nil {
+		t.Fatal("verification passed on a corrupted table")
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("corruption error %q does not say the table is rejected", err)
+	}
+}
+
+// TestPERTableBudget: a coarse grid across the DSSS cliff cannot meet a
+// tight accuracy budget (midpoint error near the cliff is order 0.5 PER),
+// while a fine grid does.
+func TestPERTableBudget(t *testing.T) {
+	if _, err := NewPERTableWithBudget(-10, 10, 1.0, 648, 1e-3); err == nil {
+		t.Fatal("1 dB grid met a 1e-3 PER budget across the cliff")
+	}
+	tab, err := NewPERTableWithBudget(-10, 10, 0.001, 648, 5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil {
+		t.Fatal("budgeted build returned no table")
+	}
+	if _, err := NewPERTableWithBudget(-10, 10, 0.1, 648, math.NaN()); err == nil {
+		t.Fatal("NaN budget accepted")
+	}
+}
+
+// TestPERBatchMatchesScalar: the batch fill must agree element-wise with
+// the scalar lookup, including the empty batch.
+func TestPERBatchMatchesScalar(t *testing.T) {
+	tab, err := NewPERTable(-15, 15, 0.05, 648)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinrs := make([]float64, 512)
+	for i := range sinrs {
+		sinrs[i] = float64(i)*0.07 - 18 // spills past both clamps
+	}
+	dst := make([]float64, len(sinrs))
+	tab.PERBatch(dst, sinrs)
+	for i, s := range sinrs {
+		if dst[i] != tab.PER(s) {
+			t.Fatalf("batch[%d] = %v, scalar PER(%v) = %v", i, dst[i], s, tab.PER(s))
+		}
+	}
+	tab.PERBatch(nil, nil) // must not panic
+}

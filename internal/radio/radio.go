@@ -96,6 +96,12 @@ type Config struct {
 	// being received steals the lock (the weaker frame is lost). Zero
 	// disables capture, the conservative default.
 	CaptureMargin phy.DBm
+	// PERTable, when non-nil, makes the radio evaluate per-segment bit
+	// errors through the quantised BER lookup instead of the exact closed
+	// form. This is an explicit opt-in approximation for large sweeps —
+	// the published experiments leave it nil, so their outputs always
+	// come from the reference curve.
+	PERTable *phy.PERTable
 }
 
 // RegisterStats counts anomalous interactions with the CCA threshold
@@ -118,6 +124,11 @@ type Radio struct {
 	cfg    Config
 	state  State
 	rng    *sim.RNG
+	// streamName caches the formatted bit-stream name ("radio.N.bits").
+	// An arena sweep Reinits each radio once per cell, almost always at
+	// the same address; reusing the string skips a fmt round-trip and its
+	// allocation on the cell-setup path.
+	streamName string
 
 	// rssiOffset is a calibration error added to every measured power
 	// (sensed energy and reported packet RSSI). It shifts what the radio
@@ -168,12 +179,17 @@ func New(k *sim.Kernel, m *medium.Medium, cfg Config) *Radio {
 // bit-stream RNG is the kernel's stream for the new address, so a reused
 // radio draws the same sequence a fresh one would.
 func (r *Radio) Reinit(k *sim.Kernel, m *medium.Medium, cfg Config) {
+	name := r.streamName
+	if name == "" || cfg.Address != r.cfg.Address {
+		name = fmt.Sprintf("radio.%d.bits", cfg.Address)
+	}
 	*r = Radio{
-		kernel: k,
-		medium: m,
-		cfg:    cfg,
-		state:  StateIdle,
-		rng:    k.Stream(fmt.Sprintf("radio.%d.bits", cfg.Address)),
+		kernel:     k,
+		medium:     m,
+		cfg:        cfg,
+		state:      StateIdle,
+		streamName: name,
+		rng:        k.Stream(name),
 	}
 	// The hardware register cannot hold an out-of-range threshold, however
 	// the radio was configured.
@@ -430,7 +446,12 @@ func (r *Radio) closeSegment() {
 	}
 	interf := r.medium.Interference(r.rx.tx, r.id, r.cfg.Freq)
 	sinr := phy.SINR(r.rx.signal, interf)
-	ber := phy.BitErrorRate(sinr)
+	var ber float64
+	if t := r.cfg.PERTable; t != nil {
+		ber = t.BER(sinr)
+	} else {
+		ber = phy.BitErrorRate(sinr)
+	}
 	r.rx.bitErrors += r.rng.Binomial(bits, ber)
 }
 

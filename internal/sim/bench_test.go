@@ -47,6 +47,35 @@ func BenchmarkKernelScheduleCancel(b *testing.B) {
 	k.Run()
 }
 
+// BenchmarkEventQueueTimerHeavy models the event-queue load of duty-cycled
+// MACs (LPL wake samples, TSCH slot timers, ACK timeouts): a few hundred
+// outstanding timers at sub-millisecond to millisecond horizons, most of
+// them cancelled and rescheduled before they fire, with periodic wake
+// windows draining whatever came due. This is the workload where a
+// calendar queue's O(1) bucket operations beat a binary heap's O(log n)
+// sift per push/pop.
+func BenchmarkEventQueueTimerHeavy(b *testing.B) {
+	k := NewKernel(1)
+	const outstanding = 256
+	pend := make([]Event, outstanding)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := i % outstanding
+		// The slot's previous timeout is still pending: cancel it, as a MAC
+		// cancels an ACK timer when the ACK arrives.
+		k.Cancel(pend[slot])
+		// Reschedule at a jittered sub-millisecond horizon (LPL wake
+		// sample / TSCH slot boundary scale).
+		d := time.Duration(500+(i*37)%1500) * time.Microsecond
+		pend[slot] = k.After(d, func() {})
+		if i%64 == 63 {
+			k.RunFor(200 * time.Microsecond) // wake window: fire what came due
+		}
+	}
+	k.Run()
+}
+
 func BenchmarkTickerChurn(b *testing.B) {
 	k := NewKernel(1)
 	n := 0

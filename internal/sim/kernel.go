@@ -1,13 +1,12 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // The kernel owns a virtual clock with nanosecond resolution and a
-// binary-heap event queue. Events scheduled for the same instant fire in
-// scheduling order (FIFO), which together with seeded random streams makes
-// every simulation run bit-for-bit reproducible.
+// calendar-queue event store (see calendar.go). Events scheduled for the
+// same instant fire in scheduling order (FIFO), which together with seeded
+// random streams makes every simulation run bit-for-bit reproducible.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -45,7 +44,6 @@ type eventNode struct {
 	at       Time
 	seq      uint64
 	fn       func()
-	index    int // heap index, -1 once popped
 	gen      uint64
 	canceled bool
 }
@@ -80,13 +78,13 @@ func (e Event) Canceled() bool { return e.live() && e.n.canceled }
 // NewKernel.
 type Kernel struct {
 	now     Time
-	queue   eventHeap
+	queue   calendarQueue
 	seq     uint64
 	live    int // scheduled events not yet fired or cancelled
 	free    []*eventNode
 	running bool
 	stopped bool
-	seed int64
+	seed    int64
 	// budget caps the cell's execution; fired counts events executed
 	// against budget.Events.
 	budget Budget
@@ -130,11 +128,7 @@ func (k *Kernel) Reset(seed int64) {
 	if k.running {
 		panic("sim: Kernel.Reset called while running")
 	}
-	for _, n := range k.queue {
-		n.index = -1
-		k.recycle(n)
-	}
-	k.queue = k.queue[:0]
+	k.queue.reset(k.recycle)
 	k.now = 0
 	k.seq = 0
 	k.live = 0
@@ -209,7 +203,7 @@ func (k *Kernel) At(t Time, fn func()) Event {
 	n := k.newNode()
 	n.at, n.seq, n.fn = t, k.seq, fn
 	k.seq++
-	heap.Push(&k.queue, n)
+	k.queue.push(n)
 	k.live++
 	return Event{n: n, gen: n.gen}
 }
@@ -290,12 +284,15 @@ func (k *Kernel) run(keep func(Time) bool) {
 	k.running = true
 	defer func() { k.running = false }()
 	k.stopped = false
-	for k.queue.Len() > 0 && !k.stopped {
-		next := k.queue[0]
+	for !k.stopped {
+		next := k.queue.peek()
+		if next == nil {
+			return
+		}
 		if !keep(next.at) {
 			return
 		}
-		heap.Pop(&k.queue)
+		k.queue.pop()
 		if next.canceled {
 			k.recycle(next)
 			continue
@@ -317,38 +314,4 @@ func (k *Kernel) run(keep func(Time) bool) {
 		k.recycle(next)
 		fn()
 	}
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*eventNode
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*eventNode)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
 }

@@ -221,7 +221,14 @@ func New(opts Options) *Testbed {
 		mopts = append(mopts, medium.WithLossProvider(opts.Topology))
 	}
 	if opts.Arena != nil {
-		core := opts.Arena.Lease(opts.Seed, mopts...)
+		// The snapshot doubles as the arena's topology-identity key: two
+		// cells sharing it (with its model in force) have bit-identical
+		// loss matrices, so a recycled core keeps its link-loss slabs.
+		var topo any
+		if opts.Topology != nil && opts.PathLoss == opts.Topology.Model() {
+			topo = opts.Topology
+		}
+		core := opts.Arena.LeaseTopo(opts.Seed, topo, mopts...)
 		// After Lease: Reset has already cleared any previous cell's budget.
 		core.Kernel.SetBudget(opts.Budget)
 		return &Testbed{Kernel: core.Kernel, Medium: core.Medium, core: core, opts: opts, nextAddr: 1}
