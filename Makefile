@@ -1,7 +1,7 @@
 GO ?= go
 BENCH ?= .
-BENCH_OUT ?= BENCH_PR7.json
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR9.json
+BENCH_BASE ?= BENCH_PR7.json
 
 # Pinned third-party analyzer versions for `make lint-full` (LINT_FULL=1).
 # Both are fetched with `go run pkg@version`, so they need module-proxy
@@ -24,8 +24,8 @@ vet:
 	$(GO) vet ./...
 
 ## lint: the project-specific go/analysis suite (detsource, maporder,
-## dbmunits, confinedgo, resetcomplete, seedtaint). Offline:
-## stdlib-only driver.
+## dbmunits, confinedgo, resetcomplete, seedtaint, deliveryfreeze).
+## Offline: stdlib-only driver.
 lint:
 	$(GO) run ./cmd/dcnlint ./...
 
@@ -56,10 +56,12 @@ bench:
 ## benchmarks, to catch benchmark-code rot without paying full
 ## measurement time.
 benchsmoke:
-	$(GO) run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense|OnAirFanout' \
+	$(GO) run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense|OnAirFanout$$' \
 		-benchtime 1x -pkgs ./internal/sim,./internal/medium -out /dev/null
 	$(GO) run ./cmd/dcnbench -bench 'CellSetupArena' \
 		-benchtime 1x -pkgs ./internal/testbed -out /dev/null
+	$(GO) run ./cmd/dcnbench -bench 'SensedPower5kNodes|OnAirFanout5kNodes' \
+		-benchtime 1x -pkgs ./internal/medium -out /dev/null
 
 ## bench-compare: run the benchmarks into $(BENCH_OUT), then fail if any
 ## shared benchmark's ns/op regressed >20% against $(BENCH_BASE).

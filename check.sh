@@ -19,12 +19,13 @@ echo "== go build ./..."
 go build ./...
 echo "== dissemination oracle + filter tests under -race"
 # The interest-filter correctness surface, run first and by name: the
-# brute-force sensing oracle (filter on and off), the filter-on/off
-# bit-identity replay, the frozen-delivery-set edge cases, and the arena
-# recycling contract. A filtering bug fails here in seconds instead of
-# somewhere inside the full suite below.
+# brute-force sensing oracle (filter on and off), the filter-on/off and
+# spatial-exact bit-identity replays, the folded-mode bounded-error
+# oracle, the frozen-delivery-set edge cases, and the arena recycling
+# contract. A filtering or spatial-tier bug fails here in seconds
+# instead of somewhere inside the full suite below.
 go test -race -count=1 \
-	-run 'TestCachedSumsMatchBruteForce|TestFilteredChurnBitIdentical|TestRetuneWhileOnAir|TestDetachWithPendingInterest|TestWidebandDeliverySpansBands' \
+	-run 'TestCachedSumsMatchBruteForce|TestFilteredChurnBitIdentical|TestSpatialExactChurnBitIdentical|TestFoldedChurnBoundedError|TestRetuneWhileOnAir|TestDetachWithPendingInterest|TestWidebandDeliverySpansBands' \
 	./internal/medium
 go test -race -count=1 ./internal/arena ./internal/sim
 echo "== crash-safety surface under -race"
@@ -45,11 +46,16 @@ echo "== go test -race ./..."
 # grids headroom beyond the 10m default before calling a hang.
 go test -race -timeout 1800s ./...
 echo "== bench smoke (1 iteration)"
-go run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense|OnAirFanout' \
+go run ./cmd/dcnbench -bench 'KernelScheduleCancel|SensedPowerDense|OnAirFanout$' \
 	-benchtime 1x -pkgs ./internal/sim,./internal/medium -out /dev/null
 go run ./cmd/dcnbench -bench 'CellSetupArena' \
 	-benchtime 1x -pkgs ./internal/testbed -out /dev/null
-echo "== bench compare smoke (vs BENCH_PR6.json)"
+# City-scale smoke: one iteration proves the 5,000-node spatial-tier
+# benchmarks still set up (near snapshot build, far-field fold, grid
+# culled fan-out) without paying measurement time.
+go run ./cmd/dcnbench -bench 'SensedPower5kNodes|OnAirFanout5kNodes' \
+	-benchtime 1x -pkgs ./internal/medium -out /dev/null
+echo "== bench compare smoke (vs BENCH_PR7.json)"
 # The medium sensing benchmarks (sped up severalfold in PR 3, again via
 # the SoA link rows in PR 7) plus the PR 4 dissemination fan-out: all
 # are tight enough that a >20% regression signal here is real, not
@@ -63,9 +69,9 @@ smoke_json=$(mktemp)
 # clean — a real regression fails all three.
 compare_ok=0
 for attempt in 1 2 3; do
-	go run ./cmd/dcnbench -bench 'SensedPowerDense|InterferenceDense|OnAirFanout' \
+	go run ./cmd/dcnbench -bench 'SensedPowerDense|InterferenceDense|OnAirFanout$' \
 		-benchtime 2000000x -pkgs ./internal/medium -out "$smoke_json"
-	if go run ./cmd/dcnbench -compare BENCH_PR6.json "$smoke_json"; then
+	if go run ./cmd/dcnbench -compare BENCH_PR7.json "$smoke_json"; then
 		compare_ok=1
 		break
 	fi

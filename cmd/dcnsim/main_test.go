@@ -42,7 +42,7 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 		"table1", "fig25", "fig26", "fig27", "fig28", "fig29", "fig30",
 		"bands", "ablation", "caseii-recovery", "energy", "scarcity",
 		"multihop", "upperbound", "coexistence", "beaconmode", "tsch",
-		"layouts", "lpl", "faulteval",
+		"layouts", "lpl", "faulteval", "cityscale",
 	}
 	for _, name := range want {
 		if _, ok := reg[name]; !ok {

@@ -146,17 +146,30 @@ type seedTopos struct {
 	snaps []*topology.Snapshot
 }
 
+// spatialLossBoundDB is the near-field loss bound every driver-built
+// snapshot uses: pairs whose path loss provably reaches it are never
+// materialised. The paper's layouts span meters, so their pairs are all
+// near-field and the sparse rows hold exactly what the dense matrix would
+// — golden tables are byte-identical either way (the determinism suite
+// pins this) — while city-scale drivers get O(n·k) snapshots from the
+// same code path. 150 dB is ~820 m under the default indoor model, and
+// leaves a certified-far transmitter at least 16 dB below the weakest
+// interest floor in use (phy.Sensitivity) even with the full
+// phy.ReachMarginDB fade allowance.
+const spatialLossBoundDB = 150
+
 // snapshotSeeds builds one topology snapshot per seed (Seed..Seed+Seeds-1)
 // of cfg, serially before the cells fan out across the worker pool. Each
 // snapshot consumes exactly the RNG draws a cell calling
 // topology.Generate(cfg, sim.NewRNG(seed)) itself would, so placements are
 // bit-identical to per-cell generation; cells sharing a (cfg, seed) then
 // share one set of placements and one precomputed path-loss matrix instead
-// of regenerating both.
+// of regenerating both. Snapshots are near-field (the spatial tier in
+// exact mode: no error budget, losses bit-identical where materialised).
 func snapshotSeeds(opts Options, cfg topology.Config) seedTopos {
 	st := seedTopos{base: opts.Seed, snaps: make([]*topology.Snapshot, opts.Seeds)}
 	for i := range st.snaps {
-		snap, err := topology.NewSnapshot(cfg, sim.NewRNG(opts.Seed+int64(i)), nil)
+		snap, err := topology.NewSnapshotNear(cfg, sim.NewRNG(opts.Seed+int64(i)), nil, spatialLossBoundDB)
 		if err != nil {
 			panic(err) // driver configurations are static; cannot fail
 		}

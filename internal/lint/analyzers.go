@@ -5,6 +5,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Confinedgo,
 		Dbmunits,
+		Deliveryfreeze,
 		Detsource,
 		Maporder,
 		Resetcomplete,

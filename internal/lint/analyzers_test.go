@@ -21,6 +21,10 @@ func TestMaporder(t *testing.T) {
 	linttest.Run(t, lint.Maporder, "mapord")
 }
 
+func TestDeliveryfreeze(t *testing.T) {
+	linttest.Run(t, lint.Deliveryfreeze, "delivfreeze")
+}
+
 func TestDbmunits(t *testing.T) {
 	linttest.Run(t, lint.Dbmunits, "dbmunits")
 }

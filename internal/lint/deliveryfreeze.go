@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Deliveryfreeze guards the medium's frozen-delivery-set contract. An
+// event's delivery set is computed up front (deliverySet / getIDScratch)
+// precisely so that handlers running mid-fan-out can retune, detach or
+// re-file interests without changing who the in-flight event reaches —
+// the snapshot is the determinism boundary. That only holds if the code
+// BETWEEN acquiring the frozen set and releasing it (putIDScratch) never
+// edits the interest buckets itself: a mutation there would be observed
+// by the very fan-out it sits inside on some code paths and not others,
+// reintroducing iteration-order and timing hazards the freeze exists to
+// remove. Handlers invoked dynamically during the loop are exempt (their
+// edits land in the buckets, not the frozen slice); this analyzer flags
+// only lexical mutations in the freezing function itself.
+//
+// Flagged between an acquire (x := m.deliverySet(...) / m.getIDScratch())
+// and the matching m.putIDScratch(x) in the same function:
+//   - calls to the bucket mutators SetInterest, addInterest,
+//     dropInterest, insertID, removeID;
+//   - assignments (including append self-assignments) whose target is an
+//     allIDs, bands or bandsTough field — the raw bucket storage.
+var Deliveryfreeze = &Analyzer{
+	Name: "deliveryfreeze",
+	Doc: "flag interest-bucket mutations between a frozen delivery-set acquire " +
+		"(deliverySet/getIDScratch) and its putIDScratch release",
+	Run: runDeliveryfreeze,
+}
+
+// bucketMutators are callee names that re-file listeners in the interest
+// index's delivery buckets.
+var bucketMutators = map[string]bool{
+	"SetInterest": true, "addInterest": true, "dropInterest": true,
+	"insertID": true, "removeID": true,
+}
+
+// bucketFields are the raw bucket storage fields of the interest index.
+var bucketFields = map[string]bool{
+	"allIDs": true, "bands": true, "bandsTough": true,
+}
+
+func runDeliveryfreeze(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFrozenWindows(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFrozenWindows locates the lexical window between the first frozen-
+// set acquire and the last putIDScratch release in the function body and
+// reports bucket mutations positioned inside it.
+func checkFrozenWindows(pass *Pass, body *ast.BlockStmt) {
+	acquire, release := token.NoPos, token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeName(call) {
+		case "deliverySet", "getIDScratch":
+			if !acquire.IsValid() || call.Pos() < acquire {
+				acquire = call.Pos()
+			}
+		case "putIDScratch":
+			if call.Pos() > release {
+				release = call.Pos()
+			}
+		}
+		return true
+	})
+	if !acquire.IsValid() || !release.IsValid() || release <= acquire {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || n.Pos() <= acquire || n.Pos() >= release {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := calleeName(n); bucketMutators[name] {
+				pass.Reportf(n.Pos(),
+					"%s between deliverySet/getIDScratch and putIDScratch: the delivery set is frozen — re-filing interest buckets mid-fan-out makes delivery depend on traversal timing; mutate before the freeze or after the release",
+					name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if field := bucketFieldOf(lhs); field != "" {
+					pass.Reportf(n.Pos(),
+						"write to bucket field %s between deliverySet/getIDScratch and putIDScratch: the delivery set is frozen — mutate before the freeze or after the release",
+						field)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeName extracts the bare method/function name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// bucketFieldOf reports the bucket field name an assignment target
+// resolves to, or "" — matches m.allIDs, m.bands[f], m.bandsTough[f].
+func bucketFieldOf(lhs ast.Expr) string {
+	e := ast.Unparen(lhs)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || !bucketFields[sel.Sel.Name] {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,76 @@
+// Package delivfreeze is the deliveryfreeze fixture: a miniature medium
+// whose fan-out freezes a delivery set, with functions that do and do not
+// edit the interest buckets inside the frozen window.
+package delivfreeze
+
+type medium struct {
+	allIDs     []int
+	bands      map[int][]int
+	bandsTough map[int][]int
+	scratch    [][]int
+}
+
+func (m *medium) deliverySet(f int) []int { return m.getIDScratch() }
+
+func (m *medium) getIDScratch() []int {
+	if n := len(m.scratch); n > 0 {
+		s := m.scratch[n-1]
+		m.scratch = m.scratch[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+func (m *medium) putIDScratch(s []int) { m.scratch = append(m.scratch, s) }
+
+func (m *medium) addInterest(id, band int) {
+	m.bands[band] = append(m.bands[band], id)
+}
+
+func (m *medium) dropInterest(id, band int) {}
+
+func insertID(ids []int, id int) []int { return append(ids, id) }
+
+// cleanFanout mutates nothing while the set is frozen: handlers may
+// re-file themselves, but the freezing function does not.
+func (m *medium) cleanFanout(f int, deliver func(int)) {
+	ids := m.deliverySet(f)
+	for _, id := range ids {
+		deliver(id)
+	}
+	m.putIDScratch(ids)
+}
+
+// cleanRefileBeforeFreeze edits buckets before acquiring the set — the
+// mutation is sequenced ahead of the freeze and is fine.
+func (m *medium) cleanRefileBeforeFreeze(f, id int) {
+	m.addInterest(id, f)
+	ids := m.deliverySet(f)
+	for _, v := range ids {
+		_ = v
+	}
+	m.putIDScratch(ids)
+}
+
+// mutatorCallsInsideWindow re-files interests mid-fan-out.
+func (m *medium) mutatorCallsInsideWindow(f, id int) {
+	ids := m.deliverySet(f)
+	m.addInterest(id, f)  // want "addInterest between deliverySet/getIDScratch and putIDScratch"
+	m.dropInterest(id, f) // want "dropInterest between deliverySet/getIDScratch and putIDScratch"
+	m.putIDScratch(ids)
+}
+
+// helperMutatorInsideWindow goes through the free function helper.
+func (m *medium) helperMutatorInsideWindow(f, id int) {
+	ids := m.getIDScratch()
+	m.allIDs = insertID(m.allIDs, id) // want "insertID between deliverySet/getIDScratch and putIDScratch" "write to bucket field allIDs"
+	m.putIDScratch(ids)
+}
+
+// bucketFieldWriteInsideWindow edits the raw bucket storage directly.
+func (m *medium) bucketFieldWriteInsideWindow(f, id int) {
+	ids := m.deliverySet(f)
+	m.bands[f] = append(m.bands[f], id)           // want "write to bucket field bands"
+	m.bandsTough[f] = append(m.bandsTough[f], id) // want "write to bucket field bandsTough"
+	m.putIDScratch(ids)
+}

@@ -1,0 +1,171 @@
+package medium
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+	"nonortho/internal/topology"
+)
+
+// The far-field fold's constructor contract, mirroring the PER table's
+// budget pattern: exact by default, and an opt-in budget that Reset
+// enforces by panicking on any configuration that cannot honour it.
+
+// farTestSnapshot builds a near-field snapshot of n single-node networks
+// on a line with the given spacing, so the far/near split is easy to
+// reason about.
+func farTestSnapshot(t *testing.T, n int, spacing, lossBound float64) *topology.Snapshot {
+	t.Helper()
+	nets := make([]topology.NetworkSpec, n)
+	for i := range nets {
+		nets[i] = topology.NetworkSpec{
+			Freq: 2458,
+			Sink: topology.NodeSpec{Pos: phy.Position{X: float64(i) * spacing}},
+		}
+	}
+	snap, err := topology.SnapshotFromSpecsNear(nets, nil, lossBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// mustPanic asserts fn panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T); want a string containing %q", r, r, want)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestFarFieldBudgetContract(t *testing.T) {
+	sparse := farTestSnapshot(t, 10, 40, 95) // ~22 m near range: line neighbours only
+
+	t.Run("negative budget panics", func(t *testing.T) {
+		mustPanic(t, "negative far-field error budget", func() {
+			New(sim.NewKernel(1), WithLossProvider(sparse), WithFarField(-1))
+		})
+	})
+	t.Run("no provider panics", func(t *testing.T) {
+		mustPanic(t, "needs a FarFieldProvider", func() {
+			New(sim.NewKernel(1), WithFarField(1))
+		})
+	})
+	t.Run("dense provider panics", func(t *testing.T) {
+		dense, err := topology.NewSnapshot(topology.Config{Plan: phy.ChannelPlan{
+			Start: 2458, Bandwidth: 15, CFD: 3, Centers: []phy.MHz{2458, 2461}}},
+			sim.NewRNG(1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustPanic(t, "provider is dense", func() {
+			New(sim.NewKernel(1), WithLossProvider(dense), WithFarField(1))
+		})
+	})
+	t.Run("exceeded budget panics", func(t *testing.T) {
+		// At bound 95 dB the worst-case fold error over 9 far sources is
+		// ~10·log10(1+9·10^-9.5/10^-10) ≈ 14.7 dB — far over a 1 dB budget.
+		mustPanic(t, "exceeds the", func() {
+			New(sim.NewKernel(1), WithLossProvider(sparse), WithFarField(1))
+		})
+	})
+	t.Run("zero budget means exact", func(t *testing.T) {
+		m := New(sim.NewKernel(1), WithLossProvider(sparse))
+		if got := m.FarFieldErrorDB(); got != 0 {
+			t.Fatalf("FarFieldErrorDB() = %v without a budget, want 0", got)
+		}
+		if m.spatial {
+			t.Fatal("medium folded without a budget")
+		}
+		if m.farProvider == nil {
+			t.Fatal("exact mode lost the far provider: the far-pair cull certificate is gone")
+		}
+	})
+	t.Run("honoured budget reports its error", func(t *testing.T) {
+		m := New(sim.NewKernel(1), WithLossProvider(sparse), WithFarField(15))
+		_, maxFar, ok := sparse.FarField()
+		if !ok {
+			t.Fatal("sparse snapshot reports dense")
+		}
+		unit := (phy.MaxTxPower - phy.DBm(95)).Milliwatts()
+		want := 10 * math.Log10(1+float64(maxFar)*unit/noiseFloorMW)
+		got := m.FarFieldErrorDB()
+		if math.Abs(got-want) > 1e-12 || got <= 0 || got > 15 {
+			t.Fatalf("FarFieldErrorDB() = %v, want %v (within the 15 dB budget)", got, want)
+		}
+	})
+}
+
+// TestFoldedUnbackedFallbacks pins the demotion paths: a moved listener, a
+// detached one, and a late attacher all leave the folded fast path and get
+// exact sums, while untouched listeners stay folded.
+func TestFoldedUnbackedFallbacks(t *testing.T) {
+	snap := farTestSnapshot(t, 10, 40, 95)
+	k := sim.NewKernel(1)
+	m := New(k, WithLossProvider(snap), WithFarField(15),
+		WithFadingSigma(0), WithStaticFadingSigma(0))
+
+	probes := make([]*probe, 10)
+	ids := make([]int, 10)
+	for i := range probes {
+		probes[i] = &probe{pos: phy.Position{X: float64(i) * 40}}
+		ids[i] = m.Attach(probes[i])
+	}
+	for _, id := range ids {
+		if !m.folded(id) {
+			t.Fatalf("listener %d not folded after attach at captured geometry", id)
+		}
+	}
+
+	// A mover is demoted and sensed exactly from then on.
+	probes[3].pos = phy.Position{X: 3*40 + 1}
+	m.Moved(ids[3])
+	if m.folded(ids[3]) {
+		t.Fatal("moved listener still folded: its near row no longer matches its geometry")
+	}
+	if m.folded(ids[2]) != true {
+		t.Fatal("neighbour of the mover lost its fold; Moved must demote only the mover")
+	}
+
+	// Its sums are exact: compare against a brute-force walk while a far
+	// node transmits.
+	tx := m.Transmit(ids[9], probes[9].pos, 0, 2458, testFrame(16))
+	want := phy.FromMilliwatts(noiseFloorMW + m.InChannelPower(tx, ids[3], 2458).Milliwatts())
+	if got := m.SensedPower(ids[3], 2458, nil); got != want {
+		t.Fatalf("unbacked SensedPower = %v, want exact %v", got, want)
+	}
+	// A folded listener's reading sits above the exact truth by at most
+	// the declared error.
+	exact := phy.FromMilliwatts(noiseFloorMW + m.InChannelPower(tx, ids[5], 2458).Milliwatts())
+	folded := m.SensedPower(ids[5], 2458, nil)
+	if float64(folded) < float64(exact) || float64(folded) > float64(exact)+m.FarFieldErrorDB()+1e-9 {
+		t.Fatalf("folded SensedPower = %v, want within [%v, +%v dB]", folded, exact, m.FarFieldErrorDB())
+	}
+
+	// Detach clears the fold flag; a late attacher never gets one.
+	m.Detach(ids[7])
+	if m.folded(ids[7]) {
+		t.Fatal("detached listener still folded")
+	}
+	late := m.Attach(&probe{pos: phy.Position{X: -500}})
+	if m.folded(late) {
+		t.Fatal("late attacher folded despite being outside the snapshot")
+	}
+	if got := m.SensedPower(late, 2458, nil); got == phy.Silent {
+		t.Fatal("late attacher cannot sense")
+	}
+}

@@ -58,19 +58,24 @@ type InterestedListener interface {
 	Interest() Interest
 }
 
-// reachMarginDB is the conservative slack of the reachable-power cull. A
-// pair is culled only when max transmit power minus the precomputed path
-// loss is still this far below the listener's floor. The per-link
-// shadowing and per-transmission jitter draws are unbounded Gaussians, so
-// the cull is probabilistic in the strictest sense — but 40 dB is more
-// than 11 standard deviations of the default combined σ=√(3²+2²) dB
-// distribution (exceedance ~2e-28 per draw), far beyond anything a
-// simulation of any length can observe.
-const reachMarginDB = 40
+// reachMarginDB is the conservative slack of the reachable-power cull: a
+// pair is culled only when the bounding power minus the pair's path loss
+// is still this far below the listener's floor. The constant itself lives
+// in phy (phy.ReachMarginDB) so the spatial tier's far-pair certificates
+// use the identical slack; see its comment for the 11σ exceedance
+// argument.
+const reachMarginDB = phy.ReachMarginDB
+
+// widebandRxWindowMHz is the ~2 MHz window an 802.15.4 receiver integrates;
+// the width InChannelPower's flat-PSD overlap model spreads wideband energy
+// over, and the minimum occupied bandwidth at which that model provably
+// never concentrates energy above the raw received power — the condition
+// the wideband reachable-power cull relies on.
+const widebandRxWindowMHz = 2
 
 // widebandGuardMHz widens the band range a wideband emitter is delivered
-// to, covering the ~2 MHz receiver window an 802.15.4 radio integrates on
-// either side of the occupied bandwidth.
+// to, covering the receiver window an 802.15.4 radio integrates on either
+// side of the occupied bandwidth.
 const widebandGuardMHz = 2
 
 // DisseminationStats counts dissemination work: Events is the number of
@@ -182,6 +187,12 @@ func (m *Medium) addInterest(id int, in Interest) {
 			m.bands = make(map[phy.MHz][]int)
 		}
 		m.bands[in.Band] = insertID(m.bands[in.Band], id)
+		if m.spatial && m.farTough(in.Floor) {
+			if m.bandsTough == nil {
+				m.bandsTough = make(map[phy.MHz][]int)
+			}
+			m.bandsTough[in.Band] = insertID(m.bandsTough[in.Band], id)
+		}
 	}
 	// ScopeOwn listeners live in no bucket: the source of a transmission
 	// is always part of its delivery set.
@@ -200,7 +211,24 @@ func (m *Medium) dropInterest(id int, in Interest) {
 		} else {
 			m.bands[in.Band] = b
 		}
+		if m.spatial && m.farTough(in.Floor) {
+			if b := removeID(m.bandsTough[in.Band], id); len(b) == 0 {
+				delete(m.bandsTough, in.Band)
+			} else {
+				m.bandsTough[in.Band] = b
+			}
+		}
 	}
+}
+
+// farTough reports whether a ScopeBand floor is beyond the far-field
+// certificate's reach: no floor at all, or one so low that a legal-power
+// transmitter at the certified loss bound could still clear it (margin
+// included). Such listeners join every same-band delivery set — the
+// spatial fast path cannot prove anything about them from the near row
+// alone.
+func (m *Medium) farTough(floor phy.DBm) bool {
+	return floor >= 0 || floor <= m.farCullThresh
 }
 
 // insertID adds id to an ascending ID slice, keeping it sorted.
@@ -227,11 +255,21 @@ func removeID(s []int, id int) []int {
 
 // Reachable reports whether tx could conceivably register at listenerID
 // above the listener's declared interest floor. It is conservative: false
-// only when a maximum-power narrowband transmission across the pair's
-// precomputed path loss would still sit reachMarginDB below the floor.
-// Radios consult the same predicate in their idle lock-on path, so the
-// event filter and the handlers agree by construction and filtered runs
-// stay bit-identical to unfiltered ones.
+// only when a bounding transmission across the pair's precomputed path
+// loss would still sit reachMarginDB below the floor. The bounding power
+// is the 802.15.4 spec maximum for narrowband signals, and the emitter's
+// own frozen transmit power for wideband signals at least as wide as the
+// receiver window — the flat-PSD overlap model never concentrates such a
+// signal above its raw received power, so Wi-Fi-class interferers and
+// jammers are culled too. Radios consult the same predicate in their idle
+// lock-on path, so the event filter and the handlers agree by construction
+// and filtered runs stay bit-identical to unfiltered ones.
+//
+// Over a near-field snapshot a pair outside the matrix is first tested
+// against the snapshot's certified loss floor; when that bound alone
+// cannot decide, the exact model loss — the same expression a dense
+// matrix holds — is computed, so dense and near-field snapshots take
+// bit-identical delivery decisions.
 func (m *Medium) Reachable(tx *Transmission, listenerID int) bool {
 	if listenerID < 0 || listenerID >= len(m.interests) {
 		return true
@@ -240,8 +278,14 @@ func (m *Medium) Reachable(tx *Transmission, listenerID int) bool {
 	if floor >= 0 || m.lossProvider == nil {
 		return true // no floor declared, or no precomputed matrix to prove anything with
 	}
-	if tx.Bandwidth != 0 || tx.Power > phy.MaxTxPower {
-		return true // wideband or over-spec emitters are outside the cull's power bound
+	power := phy.MaxTxPower
+	if tx.Bandwidth != 0 {
+		if tx.Bandwidth < widebandRxWindowMHz {
+			return true // narrower than the receiver window: dilution could exceed 0 dB
+		}
+		power = tx.Power
+	} else if tx.Power > phy.MaxTxPower {
+		return true // over-spec narrowband emitter: outside the cull's power bound
 	}
 	l := m.listeners[listenerID]
 	if l == nil {
@@ -249,9 +293,20 @@ func (m *Medium) Reachable(tx *Transmission, listenerID int) bool {
 	}
 	loss, ok := m.lossProvider.PairLoss(tx.Src, listenerID, tx.Pos, l.Position())
 	if !ok {
-		return true // pair outside the matrix (late attach, moved): no proof, deliver
+		if m.farProvider == nil {
+			return true // pair outside the matrix (late attach, moved): no proof, deliver
+		}
+		bound, okf := m.farProvider.PairLossFloor(tx.Src, listenerID, tx.Pos, l.Position())
+		if !okf {
+			return true // outside the snapshot geometry: no proof, deliver
+		}
+		if power-phy.DBm(bound)+reachMarginDB < floor {
+			return false // even the certified floor loss rules the pair out
+		}
+		// The floor alone cannot decide; fall back to the exact model loss.
+		loss = m.pathLoss.Loss(tx.Pos.DistanceTo(l.Position()))
 	}
-	return phy.MaxTxPower-phy.DBm(loss)+reachMarginDB >= floor
+	return power-phy.DBm(loss)+reachMarginDB >= floor
 }
 
 // deliverySet computes the ascending attach-ID list of listeners an event
@@ -271,8 +326,16 @@ func (m *Medium) deliverySet(tx *Transmission) []int {
 
 // mergeNarrow merges the all-scope and single-band buckets with the source
 // in one ascending pass, applying the reachable-power cull to band-bucket
-// members.
+// members. With the spatial tier folded in, a snapshot-backed source takes
+// the near-field fast path instead: the bucket walk — O(population/bands)
+// — is replaced by a scan of the source's near row, so fan-out cost is
+// bounded by neighbourhood size.
 func (m *Medium) mergeNarrow(dst []int, tx *Transmission) []int {
+	if m.spatial && tx.Power <= phy.MaxTxPower {
+		if set, ok := m.mergeNarrowSpatial(dst, tx); ok {
+			return set
+		}
+	}
 	a, b := m.allIDs, m.bands[tx.Freq]
 	srcDone := false
 	take := func(id int, cullable bool) {
@@ -310,17 +373,77 @@ func (m *Medium) mergeNarrow(dst []int, tx *Transmission) []int {
 	return dst
 }
 
+// mergeNarrowSpatial computes a narrowband delivery set in O(k): all-scope
+// listeners, the source's snapshot near row filtered to the event's band
+// (with the exact per-pair cull, using the loss straight from the row),
+// every unbacked same-band listener (no certificate applies to them), the
+// band's tough listeners (floors the far-field certificate can never rule
+// out), and the source. ok=false — caller falls back to the bucket walk —
+// when the source itself is not snapshot-backed.
+//
+// The set never under-delivers relative to Reachable, which is what
+// bit-identity requires: a backed near pair uses the identical loss bits
+// Reachable reads through PairLoss, a backed far pair is dropped only when
+// its floor certificate decides — exactly Reachable's first test — and
+// everything the certificate cannot cover is delivered. It may
+// over-deliver where Reachable's exact-loss fallback would have culled
+// (far pair, tough floor); the skipped handler is a guaranteed no-op, only
+// the callback count differs.
+func (m *Medium) mergeNarrowSpatial(dst []int, tx *Transmission) ([]int, bool) {
+	if !m.farProvider.Backed(tx.Src, tx.Pos) {
+		return dst, false
+	}
+	nearIDs, nearLoss := m.farProvider.NearRow(tx.Src)
+	dst = append(dst, m.allIDs...)
+	dst = append(dst, m.bandsTough[tx.Freq]...)
+	for r, id32 := range nearIDs {
+		id := int(id32)
+		if id >= len(m.interests) || m.listeners[id] == nil || !m.farBacked[id] {
+			continue // unbacked listeners are handled below, detached never
+		}
+		in := m.interests[id]
+		if in.Scope != ScopeBand || in.Band != tx.Freq {
+			continue
+		}
+		if in.Floor < 0 && phy.MaxTxPower-phy.DBm(nearLoss[r])+reachMarginDB < in.Floor {
+			continue // same decision, same bits as Reachable's PairLoss path
+		}
+		dst = append(dst, id)
+	}
+	for _, id := range m.unbackedIDs {
+		if in := m.interests[id]; in.Scope == ScopeBand && in.Band == tx.Freq {
+			dst = append(dst, id)
+		}
+	}
+	dst = append(dst, tx.Src)
+	sort.Ints(dst)
+	w := 0
+	for i, id := range dst {
+		if i == 0 || id != dst[w-1] {
+			dst[w] = id
+			w++
+		}
+	}
+	return dst[:w], true
+}
+
 // mergeWide gathers every band bucket the wideband signal (plus receiver
 // guard) overlaps, the all-scope bucket and the source, then sorts and
 // dedups. Map iteration order does not matter: the sorted result is the
-// delivery order. No power cull — wideband emitter powers are not bounded
-// by the 802.15.4 spec the cull's proof relies on.
+// delivery order. Bucket members pass through the reachable-power cull —
+// Reachable bounds a wideband emitter by its own frozen transmit power, so
+// dense coexistence cells no longer fan every Wi-Fi burst out to the whole
+// population.
 func (m *Medium) mergeWide(dst []int, tx *Transmission) []int {
 	half := tx.Bandwidth/2 + widebandGuardMHz
 	dst = append(dst, m.allIDs...)
 	for f, bucket := range m.bands {
 		if f >= tx.Freq-half && f <= tx.Freq+half {
-			dst = append(dst, bucket...)
+			for _, id := range bucket {
+				if m.Reachable(tx, id) {
+					dst = append(dst, id)
+				}
+			}
 		}
 	}
 	dst = append(dst, tx.Src)

@@ -56,6 +56,10 @@ type Transmission struct {
 	// activeIdx is the transmission's current index in Medium.active
 	// (maintained across swap-removes), or -1 when off the air.
 	activeIdx int
+	// farBounded marks a transmission the far-field fold's certificate
+	// covers (narrowband, legal power, source backed by the snapshot);
+	// maintained only while folding is active (farfield.go).
+	farBounded bool
 }
 
 // txListenerCache holds one listener's per-transmission fading draw. The
@@ -182,6 +186,32 @@ type Medium struct {
 	filterMode uint8
 	indexLive  bool
 	dstats     DisseminationStats
+
+	// Spatial tier (farfield.go). farProvider is the lossProvider when it
+	// also certifies far-pair loss floors — resolved once per reset so the
+	// cull's hot path never type-asserts. The remaining fields exist only
+	// while folding is active (farBudgetDB > 0): spatial flags the folded
+	// mode, farUnitMW/farMaxCount/farN/farCullThresh are derived constants,
+	// farBacked tracks (in lockstep with listeners) whether each listener's
+	// position is snapshot-backed, unbackedIDs lists the ones that are not
+	// (ascending), bySrc/unbounded index the active set for the folded
+	// sums, bandsTough holds the per-band listeners the far cull can never
+	// skip, spill backs link slots outside the rank-indexed rows, and
+	// nearScratch is the folded sums' reusable gather buffer.
+	farBudgetDB   float64
+	farProvider   FarFieldProvider
+	spatial       bool
+	farUnitMW     float64
+	farMaxCount   int
+	farN          int
+	farCullThresh phy.DBm
+	farBacked     []bool
+	unbackedIDs   []int
+	bySrc         [][]*Transmission
+	unbounded     []*Transmission
+	bandsTough    map[phy.MHz][]int
+	spill         map[int64]*linkSlot
+	nearScratch   []*Transmission
 }
 
 // sumCache is one listener's memoized SensedPower (or co-channel) result:
@@ -307,6 +337,31 @@ func (m *Medium) reset(keepLinks bool, opts ...Option) {
 	for f := range m.bands {
 		delete(m.bands, f)
 	}
+	// Spatial-tier state: drop transmission references so parked objects
+	// can recycle, keep the slabs warm.
+	wasSpatial := m.spatial
+	m.farBacked = m.farBacked[:0]
+	m.unbackedIDs = m.unbackedIDs[:0]
+	for i := range m.bySrc {
+		for j := range m.bySrc[i] {
+			m.bySrc[i][j] = nil
+		}
+		m.bySrc[i] = m.bySrc[i][:0]
+	}
+	for i := range m.unbounded {
+		m.unbounded[i] = nil
+	}
+	m.unbounded = m.unbounded[:0]
+	for i := range m.nearScratch {
+		m.nearScratch[i] = nil
+	}
+	m.nearScratch = m.nearScratch[:0]
+	for f := range m.bandsTough {
+		delete(m.bandsTough, f)
+	}
+	for k := range m.spill {
+		delete(m.spill, k)
+	}
 	// Zero the link rows across their full capacity but keep the slabs:
 	// the next cell re-fills the same memory. Slots beyond a row's length
 	// were zeroed when last parked, so re-extension never exposes stale
@@ -341,10 +396,30 @@ func (m *Medium) reset(keepLinks bool, opts ...Option) {
 	m.staticSigma = 3
 	m.lossProvider = nil
 	m.filterMode = filterAuto
+	m.farBudgetDB = 0
+	m.farProvider = nil
+	m.spatial = false
+	m.farUnitMW = 0
+	m.farMaxCount = 0
+	m.farN = 0
+	m.farCullThresh = 0
 	m.fadingRNG = m.kernel.Stream("medium.fading")
 	m.staticRNG = m.kernel.Stream("medium.static")
 	for _, o := range opts {
 		o(m)
+	}
+	m.resolveFarField()
+	if keepLinks && m.spatial != wasSpatial {
+		// Rank-indexed and source-indexed rows are not interchangeable:
+		// a mode flip invalidates every retained loss. Callers key
+		// retention on (snapshot, budget) so this is purely defensive.
+		for i := 0; i < cap(m.rows); i++ {
+			row := m.rows[:cap(m.rows)][i]
+			row = row[:cap(row)]
+			for j := range row {
+				row[j] = linkSlot{}
+			}
+		}
 	}
 	// Forced-on starts with a live (empty) index; auto stays dormant until
 	// the population warrants it; forced-off never builds one.
@@ -369,6 +444,13 @@ func (m *Medium) Attach(l Listener) int {
 		m.rows = append(m.rows, nil)
 	}
 	id := len(m.listeners) - 1
+	if m.spatial {
+		backed := m.farProvider.Backed(id, l.Position())
+		m.farBacked = append(m.farBacked, backed)
+		if !backed {
+			m.unbackedIDs = insertID(m.unbackedIDs, id)
+		}
+	}
 	m.registerInterest(id, l)
 	return id
 }
@@ -403,6 +485,10 @@ func (m *Medium) Detach(id int) {
 			tx.perL[id] = txListenerCache{}
 		}
 	}
+	if m.spatial {
+		m.farBacked[id] = false
+		m.unbackedIDs = removeID(m.unbackedIDs, id)
+	}
 	// The departed listener now measures Silent where a cached sum holds
 	// its old landscape; invalidate every cached sum.
 	m.epoch++
@@ -424,11 +510,21 @@ func (m *Medium) Moved(id int) {
 			row[j].stale = true
 		}
 	}
-	// Source side: the moved node's column in every other row.
-	for i := range m.rows {
-		if r := m.rows[i]; id < len(r) && r[id].known {
-			r[id].stale = true
+	// Source side: the moved node's column in every other row. In folded
+	// mode rows are rank-indexed, not source-indexed, so the column sweep
+	// is skipped: link() revalidates recorded geometry against the caller's
+	// live positions on every use, and the mover is additionally demoted to
+	// unbacked — its future pairs route through the spill map and its power
+	// sums through the exact full loop.
+	if !m.spatial {
+		for i := range m.rows {
+			if r := m.rows[i]; id < len(r) && r[id].known {
+				r[id].stale = true
+			}
 		}
+	} else if id < len(m.farBacked) && m.farBacked[id] {
+		m.farBacked[id] = false
+		m.unbackedIDs = insertID(m.unbackedIDs, id)
 	}
 	// Defensive: cached sums of in-flight transmissions are actually
 	// unaffected (their per-transmission powers are frozen), but a moved
@@ -472,6 +568,9 @@ func (m *Medium) TransmitShaped(src int, pos phy.Position, power phy.DBm, freq, 
 	m.fanout(tx, false)
 	tx.activeIdx = len(m.active)
 	m.active = append(m.active, tx)
+	if m.spatial {
+		m.trackActive(tx)
+	}
 	m.epoch++ // after the OnAir fan-out: listeners sensing there see the pre-change landscape
 	m.kernel.At(tx.End, func() { m.finish(tx) })
 	return tx
@@ -549,6 +648,9 @@ func (m *Medium) finish(tx *Transmission) {
 		m.active[last] = nil
 		m.active = m.active[:last]
 		tx.activeIdx = -1
+		if m.spatial {
+			m.untrackActive(tx)
+		}
 		m.epoch++ // after the OffAir fan-out: receivers closing segments see tx still on the air
 		// Park the transmission for reuse. Fields stay readable until the
 		// object is actually reused — callers may still inspect Start/End
@@ -573,6 +675,14 @@ func (m *Medium) RxPower(tx *Transmission, listenerID int) phy.DBm {
 	base := tx.Power - phy.DBm(lb.loss)
 	return base + phy.DBm(lb.static) + phy.DBm(m.fade(tx, listenerID))
 }
+
+// Slot resolution is branch-open-coded in link and powerSlot rather than
+// shared through a helper: a helper that can call spatialSlot is too big
+// for the inliner, and the call it leaves behind costs dense-mode setup
+// ~20% on whole-cell benchmarks. Dense mode indexes the listener's row by
+// source ID; folded mode routes through the rank-indexed spatial layout
+// (farfield.go), whose per-listener memory follows the snapshot's
+// near-row length instead of the population.
 
 // linkRow returns the listener's dense link row grown to cover src,
 // re-extending into zeroed slab capacity when possible. Growth past the
@@ -605,7 +715,12 @@ func (m *Medium) linkRow(listenerID, src int) []linkSlot {
 // recomputes the loss; the shadowing draw persists — it models the pair,
 // not the path.
 func (m *Medium) link(src, listenerID int, from, to phy.Position) *linkSlot {
-	s := &m.linkRow(listenerID, src)[src]
+	var s *linkSlot
+	if m.spatial {
+		s = m.spatialSlot(listenerID, src)
+	} else {
+		s = &m.linkRow(listenerID, src)[src]
+	}
 	if !s.known {
 		// A lossValid slot carried its loss across ResetKeepLinks; reuse
 		// it when the geometry still matches, else fall through to a
@@ -681,7 +796,7 @@ func (m *Medium) InChannelPower(tx *Transmission, listenerID int, freq phy.MHz) 
 	if tx.Bandwidth > 0 {
 		// Wideband emitter: flat-PSD overlap model (an 802.15.4 receiver
 		// window is ~2 MHz wide).
-		return phy.WidebandInterference(m.rejection, rx, tx.Freq-freq, tx.Bandwidth, 2)
+		return phy.WidebandInterference(m.rejection, rx, tx.Freq-freq, tx.Bandwidth, widebandRxWindowMHz)
 	}
 	if rx <= phy.Silent {
 		return phy.Silent
@@ -708,7 +823,12 @@ func (m *Medium) rejectionDB(deltaF phy.MHz) float64 {
 // transmission-pinned fading draw, so recomputing after turnover yields
 // the same bits.
 func (m *Medium) powerSlot(tx *Transmission, listenerID int) *linkSlot {
-	s := &m.linkRow(listenerID, tx.Src)[tx.Src]
+	var s *linkSlot
+	if m.spatial {
+		s = m.spatialSlot(listenerID, tx.Src)
+	} else {
+		s = &m.linkRow(listenerID, tx.Src)[tx.Src]
+	}
 	if s.txID != tx.ID {
 		s.txID = tx.ID
 		s.hasRx = false
@@ -799,7 +919,12 @@ func (m *Medium) SensedPower(listenerID int, freq phy.MHz, exclude *Transmission
 }
 
 // sensedPowerDirect is the reference ID-ordered sum behind SensedPower.
+// With the far-field fold active a backed listener sums only its near
+// field (farfield.go); both paths visit their transmissions in ID order.
 func (m *Medium) sensedPowerDirect(listenerID int, freq phy.MHz, exclude *Transmission) phy.DBm {
+	if m.folded(listenerID) {
+		return m.sensedPowerFolded(listenerID, freq, exclude)
+	}
 	total := noiseFloorMW
 	for _, tx := range m.orderedActive() {
 		if exclude != nil && tx.ID == exclude.ID {
@@ -842,6 +967,9 @@ func (m *Medium) SensedCoChannelPower(listenerID int, freq phy.MHz, exclude *Tra
 // sensedCoChannelDirect is the reference ID-ordered sum behind
 // SensedCoChannelPower.
 func (m *Medium) sensedCoChannelDirect(listenerID int, freq phy.MHz, exclude *Transmission) phy.DBm {
+	if m.folded(listenerID) {
+		return m.sensedCoChannelFolded(listenerID, freq, exclude)
+	}
 	total := noiseFloorMW
 	for _, tx := range m.orderedActive() {
 		if exclude != nil && tx.ID == exclude.ID {
@@ -876,6 +1004,9 @@ func (m *Medium) Interference(wanted *Transmission, listenerID int, freq phy.MHz
 
 // interferenceDirect is the reference ID-ordered sum behind Interference.
 func (m *Medium) interferenceDirect(wanted *Transmission, listenerID int, freq phy.MHz) phy.DBm {
+	if m.folded(listenerID) {
+		return m.interferenceFolded(wanted, listenerID, freq)
+	}
 	total := 0.0
 	for _, tx := range m.orderedActive() {
 		if tx.ID == wanted.ID || tx.Src == listenerID {

@@ -8,16 +8,21 @@ import (
 
 	"nonortho/internal/phy"
 	"nonortho/internal/sim"
+	"nonortho/internal/topology"
 )
 
 // The differential oracle: the cached sensing accessors must return values
 // bit-identical to a brute-force sum the test maintains itself, under a
 // randomized churn of transmissions starting and ending, listeners
 // detaching, attaching and moving, receivers retuning across channels,
-// and radios excluding their own signal. The oracle tracks the on-air set through the
-// public OnAir/OffAir listener callbacks and sums per-transmission powers
-// through the public InChannelPower/RxPower accessors in ID order — it
-// never touches the medium's active slice, epoch counter, or sum caches.
+// wideband and over-spec emitters, and radios excluding their own signal.
+// The oracle tracks the on-air set through the public OnAir/OffAir listener
+// callbacks and sums per-transmission powers through the public
+// InChannelPower/RxPower accessors in ID order — it never touches the
+// medium's active slice, epoch counter, or sum caches. The same churn runs
+// against a dense medium, a near-field snapshot provider in exact mode
+// (bit-identical by construction), and the far-field fold (bounded
+// one-sided error).
 
 // trackerListener forwards air events to the test's own bookkeeping. Its
 // zero interest is ScopeAll, so undeclared trackers hear everything like
@@ -40,11 +45,35 @@ func (l *trackerListener) OffAir(tx *Transmission) {
 	}
 }
 
+// oracleConfig parameterises one churn run.
+type oracleConfig struct {
+	seed     int64
+	filterOn bool
+	// record, when set, accumulates every sampled value for cross-run
+	// bit-identity comparisons.
+	record *[]phy.DBm
+	// nearBound, when positive, installs a near-field topology snapshot
+	// with this loss bound as the medium's loss provider. The field is
+	// sized so a small bound certifies many pairs far.
+	nearBound float64
+	// farBudget, when positive, additionally enables the far-field fold
+	// under this error budget (requires nearBound). Sampled sums are then
+	// compared against the brute force with a one-sided bounded error
+	// instead of bit equality.
+	farBudget float64
+	// area is the field side in meters (default 40).
+	area float64
+	// noFading zeroes both fading sigmas. The folded runs need it: the
+	// fold's certificate is fade-free, so only the fade-free landscape is
+	// provably one-sided against the brute force.
+	noFading bool
+}
+
 func TestCachedSumsMatchBruteForce(t *testing.T) {
 	for _, seed := range []int64{1, 2, 7, 42} {
 		for _, filtered := range []bool{true, false} {
 			t.Run(fmt.Sprintf("seed=%d/filtered=%v", seed, filtered), func(t *testing.T) {
-				testCachedSumsMatchBruteForce(t, seed, filtered, nil)
+				testOracleChurn(t, oracleConfig{seed: seed, filterOn: filtered})
 			})
 		}
 	}
@@ -55,31 +84,119 @@ func TestCachedSumsMatchBruteForce(t *testing.T) {
 // SensedCoChannelPower and Interference value to be bit-identical between
 // the two runs. The filter may only skip deliveries whose handlers would
 // have been no-ops, so the sampled history (including the shared-stream
-// fading draws it triggers) must not move by a single bit.
+// fading draws it triggers) must not move by a single bit. The churn
+// includes wideband and over-spec emitters, so the mergeWide per-member
+// cull is pinned by the same invariant.
 func TestFilteredChurnBitIdentical(t *testing.T) {
 	for _, seed := range []int64{1, 2, 7, 42} {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			var filtered, unfiltered []phy.DBm
-			testCachedSumsMatchBruteForce(t, seed, true, &filtered)
-			testCachedSumsMatchBruteForce(t, seed, false, &unfiltered)
-			if len(filtered) != len(unfiltered) {
-				t.Fatalf("sample counts differ: %d filtered, %d unfiltered", len(filtered), len(unfiltered))
-			}
-			for i := range filtered {
-				if filtered[i] != unfiltered[i] {
-					t.Fatalf("sample %d differs: %v filtered, %v unfiltered", i, filtered[i], unfiltered[i])
-				}
-			}
+			testOracleChurn(t, oracleConfig{seed: seed, filterOn: true, record: &filtered})
+			testOracleChurn(t, oracleConfig{seed: seed, filterOn: false, record: &unfiltered})
+			compareSampleHistories(t, filtered, unfiltered, "filtered", "unfiltered")
 		})
 	}
 }
 
-func testCachedSumsMatchBruteForce(t *testing.T, seed int64, filterOn bool, record *[]phy.DBm) {
-	k := sim.NewKernel(seed)
-	// Default fading + shadowing: exercise the lazy RNG draws.
-	m := New(k, WithInterestFilter(filterOn))
-	rng := sim.NewRNG(seed * 977)
+// TestSpatialExactChurnBitIdentical replays the churn with and without a
+// near-field snapshot provider in exact mode (no error budget) and
+// requires bit-identical sample histories: materialised near losses are
+// computed with the medium's own expression, certified-far pairs fall back
+// to the exact model, so the spatial tier in exact mode must be
+// observationally invisible. The small bound certifies a large fraction of
+// the field's pairs far, so the far fallback actually runs.
+func TestSpatialExactChurnBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for _, filtered := range []bool{true, false} {
+			t.Run(fmt.Sprintf("seed=%d/filtered=%v", seed, filtered), func(t *testing.T) {
+				var dense, near []phy.DBm
+				testOracleChurn(t, oracleConfig{seed: seed, filterOn: filtered, record: &dense,
+					area: 120})
+				testOracleChurn(t, oracleConfig{seed: seed, filterOn: filtered, record: &near,
+					area: 120, nearBound: 95})
+				compareSampleHistories(t, dense, near, "dense", "near-field")
+			})
+		}
+	}
+}
+
+// TestFoldedChurnBoundedError runs the churn with the far-field fold
+// enabled and a fade-free landscape: every sampled sensing value must sit
+// at or above the brute-force truth and within the medium's declared
+// FarFieldErrorDB of it. The in-run check() asserts this per sample; the
+// run here only needs to complete.
+func TestFoldedChurnBoundedError(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for _, filtered := range []bool{true, false} {
+			t.Run(fmt.Sprintf("seed=%d/filtered=%v", seed, filtered), func(t *testing.T) {
+				testOracleChurn(t, oracleConfig{seed: seed, filterOn: filtered,
+					area: 120, nearBound: 95, farBudget: 15, noFading: true})
+			})
+		}
+	}
+}
+
+func compareSampleHistories(t *testing.T, a, b []phy.DBm, an, bn string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("sample counts differ: %d %s, %d %s", len(a), an, len(b), bn)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v %s, %v %s", i, a[i], an, b[i], bn)
+		}
+	}
+}
+
+func testOracleChurn(t *testing.T, cfg oracleConfig) {
+	if cfg.area == 0 {
+		cfg.area = 40
+	}
+	k := sim.NewKernel(cfg.seed)
+	rng := sim.NewRNG(cfg.seed * 977)
 	channels := []phy.MHz{2458, 2460, 2461, 2463}
+
+	// Pre-draw the six initial positions (the draw order matches the old
+	// inline attach loop, keeping the churn identical across modes) so a
+	// snapshot can be built before the medium.
+	initPos := make([]phy.Position, 6)
+	for i := range initPos {
+		initPos[i] = phy.Position{
+			X: rng.Float64()*cfg.area - cfg.area/2,
+			Y: rng.Float64()*cfg.area - cfg.area/2,
+		}
+	}
+	mopts := []Option{WithInterestFilter(cfg.filterOn)}
+	if cfg.noFading {
+		mopts = append(mopts, WithFadingSigma(0), WithStaticFadingSigma(0))
+	}
+	var farUnitMW float64
+	if cfg.nearBound > 0 {
+		// One single-node network per initial listener: snapshot attach IDs
+		// 0..5 line up with the medium's.
+		nets := make([]topology.NetworkSpec, len(initPos))
+		for i, p := range initPos {
+			nets[i] = topology.NetworkSpec{Freq: channels[0], Sink: topology.NodeSpec{Pos: p}}
+		}
+		snap, err := topology.SnapshotFromSpecsNear(nets, nil, cfg.nearBound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Dense() {
+			t.Fatal("near-field snapshot reports Dense")
+		}
+		mopts = append(mopts, WithLossProvider(snap))
+		if cfg.farBudget > 0 {
+			mopts = append(mopts, WithFarField(cfg.farBudget))
+			farUnitMW = (phy.MaxTxPower - phy.DBm(cfg.nearBound)).Milliwatts()
+		}
+	}
+	// Default fading + shadowing unless disabled: exercise the lazy RNG draws.
+	m := New(k, mopts...)
+	folded := cfg.farBudget > 0
+	if folded && m.FarFieldErrorDB() <= 0 {
+		t.Fatal("FarFieldErrorDB() not positive with the fold enabled")
+	}
 
 	// The test's own view of the air, maintained purely from listener
 	// callbacks.
@@ -158,16 +275,59 @@ func testCachedSumsMatchBruteForce(t *testing.T, seed int64, filterOn bool, reco
 		ids = append(ids, id)
 		return id
 	}
-	for i := 0; i < 6; i++ {
-		attach(phy.Position{
-			X: rng.Float64()*40 - 20,
-			Y: rng.Float64()*40 - 20,
-		}, i == 0)
+	for i, p := range initPos {
+		attach(p, i == 0)
 	}
 	victim := ids[len(ids)-1] // detached mid-run, never transmits
 
+	// compare checks one sampled value against its brute-force reference.
+	// Exact modes demand bit equality. The folded mode demands the
+	// documented one-sided bounded error: the fold only ever ADDS the
+	// certified worst-case far aggregate, so got ∈ [want, want+errDB] in
+	// the noise-floored sums (a 1e-9 dB slack absorbs summation-order
+	// rounding).
+	errDB := 0.0
+	if folded {
+		errDB = m.FarFieldErrorDB()
+	}
+	compare := func(what string, lid int, got, want phy.DBm) {
+		t.Helper()
+		if !folded {
+			if got != want {
+				t.Fatalf("t=%v listener %d: %s = %v, want %v", k.Now(), lid, what, got, want)
+			}
+			return
+		}
+		const eps = 1e-9
+		if float64(got) < float64(want)-eps || float64(got) > float64(want)+errDB+eps {
+			t.Fatalf("t=%v listener %d: folded %s = %v, want within [%v, %v+%v dB]",
+				k.Now(), lid, what, got, want, want, errDB)
+		}
+	}
+	// compareMW is the interference variant: with no noise-floor term the
+	// dB error is unbounded near silence, but the fold's absolute overshoot
+	// is still at most the whole far aggregate in milliwatts.
+	compareMW := func(lid int, got, want phy.DBm) {
+		t.Helper()
+		if !folded {
+			compare("Interference", lid, got, want)
+			return
+		}
+		gotMW, wantMW := got.Milliwatts(), want.Milliwatts()
+		bound := float64(m.farN) * farUnitMW
+		const eps = 1e-15
+		if gotMW < wantMW-eps || gotMW > wantMW+bound+bound*1e-9+eps {
+			t.Fatalf("t=%v listener %d: folded Interference = %v mW, want within [%v, %v+%v mW]",
+				k.Now(), lid, gotMW, wantMW, wantMW, bound)
+		}
+	}
+
+	foldedSamples := 0
 	check := func() {
 		for _, lid := range ids {
+			if m.Attached(lid) && m.folded(lid) {
+				foldedSamples++
+			}
 			if !m.Attached(lid) {
 				if got := m.SensedPower(lid, channels[0], nil); got != phy.Silent {
 					t.Fatalf("detached listener %d: SensedPower = %v, want Silent", lid, got)
@@ -188,28 +348,19 @@ func testCachedSumsMatchBruteForce(t *testing.T, seed int64, filterOn bool, reco
 			// Sample twice: the first call fills the per-listener cache,
 			// the second must hit it and return the identical bits.
 			sample := func(v phy.DBm) phy.DBm {
-				if record != nil {
-					*record = append(*record, v)
+				if cfg.record != nil {
+					*cfg.record = append(*cfg.record, v)
 				}
 				return v
 			}
 			for pass := 0; pass < 2; pass++ {
 				for _, excl := range []*Transmission{nil, own, foreign} {
-					if got, want := sample(m.SensedPower(lid, freq, excl)), bruteSensed(lid, freq, excl); got != want {
-						t.Fatalf("t=%v listener %d freq %v excl %v pass %d: SensedPower = %v, want %v",
-							k.Now(), lid, freq, excl, pass, got, want)
-					}
-					if got, want := sample(m.SensedCoChannelPower(lid, freq, excl)), bruteCoChannel(lid, freq, excl); got != want {
-						t.Fatalf("t=%v listener %d freq %v excl %v pass %d: SensedCoChannelPower = %v, want %v",
-							k.Now(), lid, freq, excl, pass, got, want)
-					}
+					compare("SensedPower", lid, sample(m.SensedPower(lid, freq, excl)), bruteSensed(lid, freq, excl))
+					compare("SensedCoChannelPower", lid, sample(m.SensedCoChannelPower(lid, freq, excl)), bruteCoChannel(lid, freq, excl))
 				}
 				if len(active) > 0 {
 					wanted := active[0]
-					if got, want := sample(m.Interference(wanted, lid, freq)), bruteInterference(wanted, lid, freq); got != want {
-						t.Fatalf("t=%v listener %d freq %v wanted %d pass %d: Interference = %v, want %v",
-							k.Now(), lid, freq, wanted.ID, pass, got, want)
-					}
+					compareMW(lid, sample(m.Interference(wanted, lid, freq)), bruteInterference(wanted, lid, freq))
 				}
 			}
 		}
@@ -218,7 +369,10 @@ func testCachedSumsMatchBruteForce(t *testing.T, seed int64, filterOn bool, reco
 	// Churn: transmissions start at random times on random channels from
 	// random sources, and end whenever their airtime runs out. Samples are
 	// interleaved throughout; retunes are the samples' changing freq
-	// argument.
+	// argument. Every sixth emitter is wideband — alternating between
+	// narrower than the receiver window (never culled) and wider (culled by
+	// its actual power) — and every tenth narrowband one runs over spec,
+	// outside the cull's power bound.
 	const span = 2 * time.Second
 	for i := 0; i < 120; i++ {
 		at := time.Duration(rng.Intn(int(span)))
@@ -226,8 +380,14 @@ func testCachedSumsMatchBruteForce(t *testing.T, seed int64, filterOn bool, reco
 		freq := channels[rng.Intn(len(channels))]
 		power := phy.DBm(rng.Float64()*25 - 25)
 		payload := 8 + rng.Intn(112)
+		var bandwidth phy.MHz
+		if i%6 == 5 {
+			bandwidth = phy.MHz(1 + 3*(i%2)) // 1 MHz or 4 MHz occupied
+		} else if i%10 == 9 {
+			power = phy.MaxTxPower + phy.DBm(rng.Float64()*3) // over-spec
+		}
 		k.After(at, func() {
-			m.Transmit(src, pos[src], power, freq, testFrame(payload))
+			m.TransmitShaped(src, pos[src], power, freq, bandwidth, testFrame(payload))
 		})
 	}
 	for i := 0; i < 250; i++ {
@@ -257,7 +417,9 @@ func testCachedSumsMatchBruteForce(t *testing.T, seed int64, filterOn bool, reco
 	// shadowing draws and per-transmission fading stay put — and
 	// invalidates the cached sums, so every sample after a move compares a
 	// freshly resummed value against the brute-force walk over the same
-	// recomputed links.
+	// recomputed links. Under a snapshot provider a mover's geometry no
+	// longer matches, so its pairs take the verify-and-fall-back path; in
+	// folded mode the mover is demoted to unbacked exact sums.
 	for i := 0; i < 40; i++ {
 		id := ids[rng.Intn(len(ids))]
 		dx := rng.Float64()*8 - 4
@@ -279,4 +441,10 @@ func testCachedSumsMatchBruteForce(t *testing.T, seed int64, filterOn bool, reco
 		t.Fatalf("tracked set not empty after run: %d left", len(active))
 	}
 	check() // quiescent air: pure noise floor everywhere
+	// The fold must actually have been live for a meaningful share of the
+	// samples (motion churn demotes movers to unbacked exact sums, so the
+	// count decays over the run — but it must not start at zero).
+	if folded && foldedSamples == 0 {
+		t.Fatal("folded run sampled no folded listener — the fold path was never exercised")
+	}
 }

@@ -19,6 +19,19 @@ type PathLossModel interface {
 	Loss(distanceMeters float64) float64
 }
 
+// RangeInverter is the optional PathLossModel extension the spatial tier
+// needs: mapping a loss bound back to a distance bound. Models that
+// implement it can back tiled (near-field) topology snapshots, whose far
+// pairs carry only a certified loss floor instead of a computed loss.
+type RangeInverter interface {
+	PathLossModel
+	// RangeForLoss returns a distance R such that Loss(d) >= lossDB for
+	// every d > R. The model must be monotone non-decreasing in distance
+	// for such an R to exist; implementations nudge the result upward so
+	// the guarantee holds bit-exactly under floating-point rounding.
+	RangeForLoss(lossDB float64) float64
+}
+
 // LogDistance is the classic log-distance path-loss model
 //
 //	PL(d) = PL0 + 10·n·log10(d / d0)
@@ -47,6 +60,26 @@ func (m *LogDistance) Loss(d float64) float64 {
 		d = m.MinDistance
 	}
 	return m.ReferenceLoss + 10*m.Exponent*math.Log10(d)
+}
+
+// RangeForLoss implements RangeInverter by inverting the log-distance
+// curve: d = d0·10^((L−PL0)/(10n)). The raw inverse can round to a
+// distance whose Loss lands a few ULPs below L, so the result is nudged
+// upward until Loss(R) >= L holds exactly — the certified-far guarantee
+// tiled snapshots rely on.
+func (m *LogDistance) RangeForLoss(lossDB float64) float64 {
+	r := math.Pow(10, (lossDB-m.ReferenceLoss)/(10*m.Exponent))
+	if r < m.MinDistance {
+		r = m.MinDistance
+	}
+	// Loss is monotone non-decreasing in d, so Loss(R) >= L alone implies
+	// the guarantee for every d > R; the loop terminates after a handful of
+	// ULPs (log10's rounding error), with the infinity check as a backstop
+	// against unrepresentable bounds.
+	for m.Loss(r) < lossDB && !math.IsInf(r, 1) {
+		r = math.Nextafter(r, math.Inf(1))
+	}
+	return r
 }
 
 // ReceivedPower applies the model to a transmit power and a tx→rx geometry.

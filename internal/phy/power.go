@@ -32,6 +32,17 @@ const (
 	CCARegisterMax DBm = 0
 )
 
+// ReachMarginDB is the conservative slack every reachable-power proof in
+// the simulator carries: a pair is ruled out only when the bounding
+// computation still sits this far below the listener's floor. The per-link
+// shadowing and per-transmission jitter draws are unbounded Gaussians, so
+// any such proof is probabilistic in the strictest sense — but 40 dB is
+// more than 11 standard deviations of the default combined σ=√(3²+2²) dB
+// distribution (exceedance ~2e-28 per draw), far beyond anything a
+// simulation of any length can observe. Shared by the medium's interest
+// cull and the spatial tier's far-pair bounds so the two always agree.
+const ReachMarginDB DBm = 40
+
 // ClampCCAThreshold confines a requested CCA threshold to the CC2420's
 // programmable register range and reports whether clamping was needed.
 func ClampCCAThreshold(t DBm) (DBm, bool) {

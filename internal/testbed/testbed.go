@@ -82,6 +82,14 @@ type Options struct {
 	// model becomes the medium's model; when both are set they must
 	// describe the same propagation or the snapshot is ignored.
 	Topology *topology.Snapshot
+	// FarFieldBudget, when positive, enables the medium's far-field fold
+	// over a near-field Topology snapshot: power sums skip certified-far
+	// transmitters and add their worst-case aggregate to the noise floor
+	// instead, with at most this many dB of sensed-power error (enforced —
+	// the medium panics when the snapshot's loss bound cannot honour the
+	// budget; see medium.WithFarField). Zero keeps sums exact. Requires a
+	// near-field Topology whose model is in force.
+	FarFieldBudget float64
 	// Arena, when set, supplies the testbed's kernel, medium and radios
 	// from a cross-cell pool instead of fresh allocations; call Close when
 	// the cell's results have been read to return them. Results are
@@ -207,6 +215,13 @@ type Testbed struct {
 	started   bool
 }
 
+// topoKey is the arena topology-identity key: cells share link-loss slabs
+// only when both the snapshot and the far-field budget match.
+type topoKey struct {
+	snap   *topology.Snapshot
+	budget float64
+}
+
 // New builds an empty testbed.
 func New(opts Options) *Testbed {
 	opts = opts.withDefaults()
@@ -219,14 +234,20 @@ func New(opts Options) *Testbed {
 	// with; a conflicting explicit PathLoss wins and the matrix is skipped.
 	if opts.Topology != nil && opts.PathLoss == opts.Topology.Model() {
 		mopts = append(mopts, medium.WithLossProvider(opts.Topology))
+		if opts.FarFieldBudget > 0 {
+			mopts = append(mopts, medium.WithFarField(opts.FarFieldBudget))
+		}
 	}
 	if opts.Arena != nil {
 		// The snapshot doubles as the arena's topology-identity key: two
 		// cells sharing it (with its model in force) have bit-identical
-		// loss matrices, so a recycled core keeps its link-loss slabs.
+		// loss matrices, so a recycled core keeps its link-loss slabs. The
+		// far-field budget is part of the key: folded media index link rows
+		// by near-row rank, not source ID, so slabs must never survive a
+		// dense↔folded mode flip.
 		var topo any
 		if opts.Topology != nil && opts.PathLoss == opts.Topology.Model() {
-			topo = opts.Topology
+			topo = topoKey{snap: opts.Topology, budget: opts.FarFieldBudget}
 		}
 		core := opts.Arena.LeaseTopo(opts.Seed, topo, mopts...)
 		// After Lease: Reset has already cleared any previous cell's budget.

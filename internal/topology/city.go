@@ -1,0 +1,83 @@
+package topology
+
+import (
+	"fmt"
+
+	"nonortho/internal/phy"
+	"nonortho/internal/sim"
+)
+
+// CityConfig parameterises a city-scale deployment: many small
+// sender-to-sink networks scattered over a large square, cycling through
+// the channel plan. Unlike Config — which generates exactly one network
+// per channel and presumes a single interfering region — a city cell holds
+// hundreds of networks whose mutual interference is governed by distance,
+// which is what the spatial tier (near-field snapshots, far-field folding)
+// exists to exploit.
+type CityConfig struct {
+	// Plan supplies the channels; network i uses Centers[i % NumChannels].
+	Plan phy.ChannelPlan
+	// Networks is the number of networks to place.
+	Networks int
+	// SendersPerNetwork defaults to 4, the paper's network size.
+	SendersPerNetwork int
+	// AreaSide is the side of the square deployment area in meters
+	// (default 2000). Sinks are placed uniformly in the square.
+	AreaSide float64
+	// LinkRadius bounds the sender-to-sink distance: senders sit in the
+	// ring [LinkRadius/2, LinkRadius] around their sink (default 1 m, the
+	// shelf-testbed geometry of Config).
+	LinkRadius float64
+	// Power assigns transmit powers. Defaults to FixedPower(0 dBm).
+	Power PowerPolicy
+}
+
+func (c CityConfig) withDefaults() CityConfig {
+	if c.SendersPerNetwork == 0 {
+		c.SendersPerNetwork = 4
+	}
+	if c.AreaSide == 0 {
+		c.AreaSide = 2000
+	}
+	if c.LinkRadius == 0 {
+		c.LinkRadius = 1
+	}
+	if c.Power == nil {
+		c.Power = FixedPower(phy.MaxTxPower)
+	}
+	return c
+}
+
+// NumNodes reports the node count the configuration generates.
+func (c CityConfig) NumNodes() int {
+	c = c.withDefaults()
+	return c.Networks * (c.SendersPerNetwork + 1)
+}
+
+// GenerateCity builds the network specifications for a city-scale
+// configuration, deterministically from the supplied RNG.
+func GenerateCity(cfg CityConfig, rng *sim.RNG) ([]NetworkSpec, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Plan.NumChannels() == 0 {
+		return nil, fmt.Errorf("topology: channel plan has no channels")
+	}
+	if cfg.Networks <= 0 {
+		return nil, fmt.Errorf("topology: city config needs at least one network, got %d", cfg.Networks)
+	}
+	nets := make([]NetworkSpec, cfg.Networks)
+	half := cfg.AreaSide / 2
+	for i := range nets {
+		center := randomInSquare(rng, half)
+		nets[i] = NetworkSpec{
+			Freq: cfg.Plan.Centers[i%cfg.Plan.NumChannels()],
+			Sink: NodeSpec{Pos: center, TxPower: cfg.Power(rng)},
+		}
+		for s := 0; s < cfg.SendersPerNetwork; s++ {
+			nets[i].Senders = append(nets[i].Senders, NodeSpec{
+				Pos:     randomInRing(rng, center, cfg.LinkRadius/2, cfg.LinkRadius),
+				TxPower: cfg.Power(rng),
+			})
+		}
+	}
+	return nets, nil
+}

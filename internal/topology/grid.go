@@ -1,0 +1,120 @@
+package topology
+
+import (
+	"math"
+
+	"nonortho/internal/phy"
+)
+
+// Grid is a bucketed spatial index over a fixed set of node positions: the
+// deployment plane is cut into square cells and each node is filed under
+// the cell containing it. Range queries then touch only the cells
+// overlapping the query disc instead of the whole population, which is what
+// turns snapshot construction from O(n²) into O(n·k) for city-scale cells.
+//
+// The index is immutable after construction and safe for concurrent reads.
+// Within a cell, node IDs ascend (nodes are filed in ID order); across
+// cells a query visits buckets in row-major cell order, so callers needing
+// a globally ID-sorted result must sort what they collect — the snapshot
+// does, keeping every consumer deterministic.
+type Grid struct {
+	pos        []phy.Position
+	minX, minY float64
+	cell       float64 // cell side, meters
+	cols, rows int
+	buckets    [][]int32
+}
+
+// maxGridDim caps the cell count per axis so a sparse deployment over a
+// huge bounding box cannot allocate an absurd bucket table; queries stay
+// correct with oversized cells, just less selective.
+const maxGridDim = 512
+
+// NewGrid indexes the positions with the given cell size (meters). Cell
+// size is typically the query radius the caller intends to use, so a range
+// query inspects at most the 3×3 cell neighbourhood of its center.
+func NewGrid(pos []phy.Position, cellSize float64) *Grid {
+	g := &Grid{pos: pos, cell: cellSize}
+	if len(pos) == 0 {
+		return g
+	}
+	if !(g.cell > 0) {
+		g.cell = 1
+	}
+	g.minX, g.minY = pos[0].X, pos[0].Y
+	maxX, maxY := pos[0].X, pos[0].Y
+	for _, p := range pos[1:] {
+		g.minX = math.Min(g.minX, p.X)
+		g.minY = math.Min(g.minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	dim := func(span float64) (int, float64) {
+		n := int(span/g.cell) + 1
+		if n > maxGridDim {
+			n = maxGridDim
+		}
+		return n, span
+	}
+	var spanX, spanY float64
+	g.cols, spanX = dim(maxX - g.minX)
+	g.rows, spanY = dim(maxY - g.minY)
+	// With capped dimensions the effective cell must cover the span; keep
+	// it square so both axes use the same index arithmetic.
+	if need := math.Max(spanX/float64(g.cols), spanY/float64(g.rows)); need >= g.cell {
+		g.cell = math.Nextafter(need, math.Inf(1))
+	}
+	g.buckets = make([][]int32, g.cols*g.rows)
+	for id, p := range pos {
+		g.buckets[g.cellIndex(p)] = append(g.buckets[g.cellIndex(p)], int32(id))
+	}
+	return g
+}
+
+func (g *Grid) cellIndex(p phy.Position) int {
+	cx := int((p.X - g.minX) / g.cell)
+	cy := int((p.Y - g.minY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// VisitWithin calls visit for every indexed node within radius of p
+// (inclusive), with its distance. Visit order is row-major over the cells
+// overlapping the disc, ascending ID within a cell — deterministic, but not
+// globally ID-sorted.
+func (g *Grid) VisitWithin(p phy.Position, radius float64, visit func(id int32, d float64)) {
+	if len(g.pos) == 0 || radius < 0 {
+		return
+	}
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	cx0 := clamp(int((p.X-radius-g.minX)/g.cell), g.cols-1)
+	cx1 := clamp(int((p.X+radius-g.minX)/g.cell), g.cols-1)
+	cy0 := clamp(int((p.Y-radius-g.minY)/g.cell), g.rows-1)
+	cy1 := clamp(int((p.Y+radius-g.minY)/g.cell), g.rows-1)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, id := range g.buckets[cy*g.cols+cx] {
+				if d := p.DistanceTo(g.pos[id]); d <= radius {
+					visit(id, d)
+				}
+			}
+		}
+	}
+}

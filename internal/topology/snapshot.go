@@ -1,6 +1,9 @@
 package topology
 
 import (
+	"fmt"
+	"sort"
+
 	"nonortho/internal/phy"
 	"nonortho/internal/sim"
 )
@@ -21,12 +24,31 @@ import (
 // verifies positions before answering and reports ok=false for nodes that
 // moved or attached outside the snapshot (e.g. a late-added interferer),
 // letting the medium fall back to its own model.
+// A snapshot has two representations. The dense form (NewSnapshot,
+// SnapshotFromSpecs) materialises the full n×n matrix. The near-field form
+// (NewSnapshotNear, SnapshotFromSpecsNear) stores only the pairs within a
+// certified loss bound, in compressed sparse rows built through a Grid
+// range query — O(n·k) construction and memory for neighbourhood size k —
+// and answers far pairs with the bound itself via PairLossFloor. Both
+// forms return bit-identical losses for the pairs they do hold.
 type Snapshot struct {
 	nets  []NetworkSpec
 	pos   []phy.Position
-	loss  []float64 // n×n, row-major: loss[src*n+dst]
+	loss  []float64 // dense: n×n, row-major loss[src*n+dst]; nil in near-field form
 	n     int
 	model phy.PathLossModel
+
+	// Near-field form: lossBound certifies that every pair absent from the
+	// rows has path loss >= lossBound (nearRange is the matching distance
+	// bound). Row i holds the ascending node IDs within nearRange of node i
+	// (always including i itself) and their losses, CSR-packed:
+	// nearIDs[nearOff[i]:nearOff[i+1]].
+	lossBound float64
+	nearRange float64
+	nearOff   []int32
+	nearIDs   []int32
+	nearLoss  []float64
+	maxFar    int // max over listeners of (n - row length)
 }
 
 // NewSnapshot generates a deployment from cfg and rng (consuming exactly
@@ -63,6 +85,69 @@ func SnapshotFromSpecs(nets []NetworkSpec, model phy.PathLossModel) *Snapshot {
 	return s
 }
 
+// NewSnapshotNear is NewSnapshot in the near-field form: the deployment is
+// generated identically (consuming exactly the draws Generate would) but
+// only pair losses below lossBoundDB are materialised.
+func NewSnapshotNear(cfg Config, rng *sim.RNG, model phy.PathLossModel, lossBoundDB float64) (*Snapshot, error) {
+	nets, err := Generate(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return SnapshotFromSpecsNear(nets, model, lossBoundDB)
+}
+
+// SnapshotFromSpecsNear captures an explicit set of network specifications
+// in the near-field form: pairs whose path loss is certified to reach
+// lossBoundDB or more never enter the matrix. The model (nil =
+// phy.DefaultPathLoss) must implement phy.RangeInverter so the loss bound
+// converts to a distance bound; losses for retained pairs are computed with
+// exactly the expression the medium uses, so lookups stay bit-identical to
+// lazy computation.
+func SnapshotFromSpecsNear(nets []NetworkSpec, model phy.PathLossModel, lossBoundDB float64) (*Snapshot, error) {
+	if model == nil {
+		model = phy.DefaultPathLoss()
+	}
+	inv, ok := model.(phy.RangeInverter)
+	if !ok {
+		return nil, fmt.Errorf("topology: near-field snapshot needs a phy.RangeInverter path-loss model, got %T", model)
+	}
+	if !(lossBoundDB > 0) {
+		return nil, fmt.Errorf("topology: near-field loss bound must be positive, got %g dB", lossBoundDB)
+	}
+	s := &Snapshot{nets: copySpecs(nets), model: model, lossBound: lossBoundDB}
+	for _, net := range s.nets {
+		s.pos = append(s.pos, net.Sink.Pos)
+		for _, nd := range net.Senders {
+			s.pos = append(s.pos, nd.Pos)
+		}
+	}
+	s.n = len(s.pos)
+	s.nearRange = inv.RangeForLoss(lossBoundDB)
+	grid := NewGrid(s.pos, s.nearRange)
+	s.nearOff = make([]int32, s.n+1)
+	type nearEntry struct {
+		id int32
+		d  float64
+	}
+	var row []nearEntry
+	for i := 0; i < s.n; i++ {
+		row = row[:0]
+		grid.VisitWithin(s.pos[i], s.nearRange, func(id int32, d float64) {
+			row = append(row, nearEntry{id, d})
+		})
+		sort.Slice(row, func(a, b int) bool { return row[a].id < row[b].id })
+		for _, e := range row {
+			s.nearIDs = append(s.nearIDs, e.id)
+			s.nearLoss = append(s.nearLoss, model.Loss(e.d))
+		}
+		s.nearOff[i+1] = int32(len(s.nearIDs))
+		if far := s.n - len(row); far > s.maxFar {
+			s.maxFar = far
+		}
+	}
+	return s, nil
+}
+
 // Networks returns a deep copy of the captured network specifications.
 // Callers mutate their copy freely (per-cell power overrides, extra nodes)
 // without corrupting the snapshot shared across cells; PairLoss's position
@@ -89,7 +174,92 @@ func (s *Snapshot) PairLoss(src, listener int, from, to phy.Position) (float64, 
 	if s.pos[src] != from || s.pos[listener] != to {
 		return 0, false
 	}
-	return s.loss[src*s.n+listener], true
+	if s.loss != nil {
+		return s.loss[src*s.n+listener], true
+	}
+	if r := s.nearRank(listener, int32(src)); r >= 0 {
+		return s.nearLoss[r], true
+	}
+	return 0, false // far pair: only the floor is known (PairLossFloor)
+}
+
+// PairLossFloor is the near-field counterpart of PairLoss for pairs the
+// matrix deliberately omits: when both nodes match the captured geometry
+// and the pair is certified far, it returns the snapshot's loss bound — a
+// floor every such pair's true loss provably reaches. ok=false for dense
+// snapshots, near pairs (use PairLoss), and unmatched geometry.
+func (s *Snapshot) PairLossFloor(src, listener int, from, to phy.Position) (float64, bool) {
+	if s.loss != nil || src < 0 || src >= s.n || listener < 0 || listener >= s.n {
+		return 0, false
+	}
+	if s.pos[src] != from || s.pos[listener] != to {
+		return 0, false
+	}
+	if s.nearRank(listener, int32(src)) >= 0 {
+		return 0, false
+	}
+	return s.lossBound, true
+}
+
+// nearRank returns src's index into the CSR arrays of listener's near row,
+// or -1 when the pair is far (or the snapshot is dense).
+func (s *Snapshot) nearRank(listener int, src int32) int {
+	lo, hi := int(s.nearOff[listener]), int(s.nearOff[listener+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		switch v := s.nearIDs[mid]; {
+		case v < src:
+			lo = mid + 1
+		case v > src:
+			hi = mid
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// NearRow returns listener's near-field row: the ascending node IDs within
+// the snapshot's distance bound (including listener itself) and their pair
+// losses. The slices are views into the snapshot's CSR arrays — read-only.
+// Nil for dense snapshots. Rows are symmetric: src ∈ NearRow(listener) iff
+// listener ∈ NearRow(src), with the identical loss value.
+func (s *Snapshot) NearRow(listener int) (ids []int32, loss []float64) {
+	if s.loss != nil || listener < 0 || listener >= s.n {
+		return nil, nil
+	}
+	lo, hi := s.nearOff[listener], s.nearOff[listener+1]
+	return s.nearIDs[lo:hi], s.nearLoss[lo:hi]
+}
+
+// Backed reports whether attach ID id is captured in the snapshot at
+// exactly the given position — the self-verification PairLoss applies,
+// exposed so the medium can classify listeners once instead of per pair.
+func (s *Snapshot) Backed(id int, pos phy.Position) bool {
+	return id >= 0 && id < s.n && s.pos[id] == pos
+}
+
+// FarField describes the near-field form: the certified loss floor of
+// omitted pairs and the worst per-listener count of omitted sources.
+// ok=false for dense snapshots.
+func (s *Snapshot) FarField() (lossBoundDB float64, maxFarCount int, ok bool) {
+	if s.loss != nil || s.nearOff == nil {
+		return 0, 0, false
+	}
+	return s.lossBound, s.maxFar, true
+}
+
+// Dense reports whether the full n×n matrix is materialised.
+func (s *Snapshot) Dense() bool { return s.loss != nil }
+
+// NearPairs reports the number of materialised pair losses — n² for the
+// dense form, the CSR population (including self pairs) for the near-field
+// form. The O(n·k) memory guarantee tests pin down is this count.
+func (s *Snapshot) NearPairs() int {
+	if s.loss != nil {
+		return s.n * s.n
+	}
+	return len(s.nearIDs)
 }
 
 // copySpecs deep-copies network specifications (the Senders slices are the
