@@ -24,7 +24,8 @@ vet:
 	$(GO) vet ./...
 
 ## lint: the project-specific go/analysis suite (detsource, maporder,
-## dbmunits, confinedgo, resetcomplete, seedtaint, deliveryfreeze).
+## dbmunits, confinedgo, resetcomplete, seedtaint, deliveryfreeze,
+## leasepair, snapfreeze) with the interprocedural call-graph engine.
 ## Offline: stdlib-only driver.
 lint:
 	$(GO) run ./cmd/dcnlint ./...
@@ -62,6 +63,8 @@ benchsmoke:
 		-benchtime 1x -pkgs ./internal/testbed -out /dev/null
 	$(GO) run ./cmd/dcnbench -bench 'SensedPower5kNodes|OnAirFanout5kNodes' \
 		-benchtime 1x -pkgs ./internal/medium -out /dev/null
+	$(GO) run ./cmd/dcnbench -bench 'LintModule' \
+		-benchtime 1x -pkgs ./internal/lint -out /dev/null
 
 ## bench-compare: run the benchmarks into $(BENCH_OUT), then fail if any
 ## shared benchmark's ns/op regressed >20% against $(BENCH_BASE).

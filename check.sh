@@ -6,7 +6,7 @@ cd "$(dirname "$0")"
 
 echo "== go vet ./..."
 go vet ./...
-echo "== dcnlint ./... (determinism + unit-safety analyzers)"
+echo "== dcnlint ./... (determinism, unit-safety, lifecycle + immutability analyzers)"
 go run ./cmd/dcnlint ./...
 if [ "${LINT_FULL:-0}" = "1" ]; then
 	# Pinned third-party analyzers, fetched with `go run pkg@version`.
@@ -55,6 +55,10 @@ go run ./cmd/dcnbench -bench 'CellSetupArena' \
 # culled fan-out) without paying measurement time.
 go run ./cmd/dcnbench -bench 'SensedPower5kNodes|OnAirFanout5kNodes' \
 	-benchtime 1x -pkgs ./internal/medium -out /dev/null
+# Lint-gate smoke: one iteration of the whole-module analyzer run keeps
+# the interprocedural engine's cost visible in the bench artifacts.
+go run ./cmd/dcnbench -bench 'LintModule' \
+	-benchtime 1x -pkgs ./internal/lint -out /dev/null
 echo "== bench compare smoke (vs BENCH_PR7.json)"
 # The medium sensing benchmarks (sped up severalfold in PR 3, again via
 # the SoA link rows in PR 7) plus the PR 4 dissemination fan-out: all

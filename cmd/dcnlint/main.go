@@ -10,6 +10,7 @@
 //	dcnlint ./...                 # whole module (the make check invocation)
 //	dcnlint ./internal/medium     # one package
 //	dcnlint -list                 # print the suite and each invariant
+//	dcnlint -json ./...           # machine-readable findings (CI tooling)
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
 // Suppress a deliberate exception at its line (reason mandatory):
@@ -18,23 +19,39 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nonortho/internal/lint"
 )
 
+// jsonFinding is the -json shape of one diagnostic. Path carries the
+// interprocedural call chain (outermost callee first, sink last) when
+// the finding was derived through helper summaries.
+type jsonFinding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Sink     string   `json:"sink,omitempty"`
+	Path     []string `json:"path,omitempty"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out, errOut *os.File) int {
+func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("dcnlint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		list = fs.Bool("list", false, "list the analyzers and exit")
-		only = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list   = fs.Bool("list", false, "list the analyzers and exit")
+		only   = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		asJSON = fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,8 +93,29 @@ func run(args []string, out, errOut *os.File) int {
 		fmt.Fprintln(errOut, "dcnlint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(out, d)
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Sink:     d.Sink,
+				Path:     d.CallPath,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(errOut, "dcnlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(errOut, "dcnlint: %d finding(s)\n", len(diags))

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nonortho/internal/lint"
+)
+
+// TestListNamesEveryAnalyzer pins -list as the registry's user-facing
+// mirror: every registered analyzer appears with its doc line.
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit %d, stderr %s", code, errOut.String())
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %q", a.Name)
+		}
+	}
+}
+
+func TestUnknownOnlyIsUsageError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("-only nosuch exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Fatalf("stderr %q lacks the unknown-analyzer hint", errOut.String())
+	}
+}
+
+// TestJSONFindings runs the driver over a throwaway module with one
+// detsource violation and checks the machine-readable output shape.
+func TestJSONFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fixmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "internal", "simx", "simx.go"), `package simx
+
+import "time"
+
+func Tick() int64 { return time.Now().UnixNano() }
+`)
+	defer chdir(t, dir)()
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %s", code, errOut.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded from -json output")
+	}
+	f := findings[0]
+	if f.Analyzer != "detsource" || f.Line == 0 ||
+		!strings.HasSuffix(f.File, "simx.go") {
+		t.Fatalf("unexpected first finding %+v", f)
+	}
+}
+
+// TestJSONCleanIsEmptyArray pins the clean-run contract consumers rely
+// on: a JSON array, never null.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fixmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "pkg", "pkg.go"), "package pkg\n\nfunc Clean() {}\n")
+	defer chdir(t, dir)()
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("clean -json output = %q, want []", got)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chdir switches into dir and returns the restore func to defer.
+func chdir(t *testing.T, dir string) func() {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -45,6 +45,7 @@ func newCellTestbed(opts Options, o testbed.Options) *testbed.Testbed {
 func leaseCore(opts Options, seed int64, mopts ...medium.Option) *arena.Core {
 	core := cellArena.Lease(seed, mopts...)
 	core.Kernel.SetBudget(opts.Budget)
+	//lint:ignore leasepair deliberate hand-off: every driver binds this and defers Core.Release
 	return core
 }
 

@@ -7,9 +7,11 @@ func All() []*Analyzer {
 		Dbmunits,
 		Deliveryfreeze,
 		Detsource,
+		Leasepair,
 		Maporder,
 		Resetcomplete,
 		Seedtaint,
+		Snapfreeze,
 	}
 }
 

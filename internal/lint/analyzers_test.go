@@ -42,6 +42,45 @@ func TestSeedtaint(t *testing.T) {
 	linttest.Run(t, lint.Seedtaint, "internal/seedt", "internal/sim")
 }
 
+func TestDetsourceInterprocedural(t *testing.T) {
+	linttest.Run(t, lint.Detsource, "internal/deepdet", "dethelp")
+}
+
+func TestSeedtaintInterprocedural(t *testing.T) {
+	linttest.Run(t, lint.Seedtaint, "internal/deepseed", "seedhelp")
+}
+
+func TestDbmunitsSummaries(t *testing.T) {
+	linttest.Run(t, lint.Dbmunits, "dbmhelp")
+}
+
+func TestLeasepair(t *testing.T) {
+	linttest.Run(t, lint.Leasepair, "internal/leasefix", "internal/arena",
+		"internal/testbed")
+}
+
+func TestSnapfreeze(t *testing.T) {
+	linttest.Run(t, lint.Snapfreeze, "snapuse", "internal/topology")
+}
+
+// TestRegistryComplete pins the registry: adding or renaming an
+// analyzer must update this list (and the README table it mirrors).
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"confinedgo", "dbmunits", "deliveryfreeze", "detsource",
+		"leasepair", "maporder", "resetcomplete", "seedtaint", "snapfreeze",
+	}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("All()[%d].Name = %q, want %q", i, all[i].Name, name)
+		}
+	}
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range lint.All() {
 		if got := lint.ByName(a.Name); got != a {

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nonortho/internal/lint"
+)
+
+// BenchmarkLintModule measures the full dcnlint gate — loading and
+// type-checking the whole module, building the interprocedural call
+// graph and summaries, and running every analyzer — so the cost of the
+// gate stays visible in the committed bench artifacts as the engine
+// grows.
+func BenchmarkLintModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loader, err := lint.NewModuleLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.Load("./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags, err := lint.RunAnalyzers(pkgs, lint.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("repository not clean: %v", diags[0])
+		}
+	}
+}

@@ -2,9 +2,17 @@ package lint_test
 
 import (
 	"testing"
+	"time"
 
 	"nonortho/internal/lint"
 )
+
+// lintGateCeiling bounds the wall-clock cost of the whole-module lint
+// gate. The interprocedural engine is a fixed point over the call
+// graph; if a change makes it super-linear (a summary that never
+// converges, an indirect-dispatch explosion), this fails long before
+// CI times out.
+const lintGateCeiling = 90 * time.Second
 
 // TestRepositoryIsClean runs the full suite over the whole module —
 // the `go run ./cmd/dcnlint ./...` gate as a test, so `go test ./...`
@@ -14,6 +22,7 @@ func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole repository; skipped under -short")
 	}
+	start := time.Now()
 	loader, err := lint.NewModuleLoader(".")
 	if err != nil {
 		t.Fatal(err)
@@ -31,5 +40,9 @@ func TestRepositoryIsClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("%s", d)
+	}
+	if elapsed := time.Since(start); elapsed > lintGateCeiling {
+		t.Errorf("lint gate took %v, over the %v ceiling; the engine has stopped scaling",
+			elapsed, lintGateCeiling)
 	}
 }

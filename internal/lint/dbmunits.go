@@ -20,7 +20,10 @@ import (
 // floats, from the repository's naming discipline: *Dbm/*DBm/
 // *dbm-suffixed names are dBm; *MW/*Mw/*mw-suffixed and *Milliwatt*
 // names are linear. Conversions (float64(x), phy.DBm(x)) propagate the
-// taint of their operand when the target type is unit-less.
+// taint of their operand when the target type is unit-less. When the
+// whole module is loaded, a neutral-named helper whose return
+// expressions carry a unit taints arithmetic in its callers through a
+// fixed-point return-unit summary.
 var Dbmunits = &Analyzer{
 	Name: "dbmunits",
 	Doc: "flag +/- arithmetic mixing dBm-domain (logarithmic) and mW-domain (linear) " +
@@ -47,6 +50,10 @@ func (u unit) String() string {
 }
 
 func runDbmunits(pass *Pass) error {
+	env := unitEnv{info: pass.TypesInfo}
+	if pass.Module != nil {
+		env.ret = pass.Module.unitSummaries()
+	}
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
 			continue
@@ -56,12 +63,12 @@ func runDbmunits(pass *Pass) error {
 			case *ast.BinaryExpr:
 				if n.Op == token.ADD || n.Op == token.SUB {
 					reportMix(pass, n.OpPos, n.Op.String(),
-						exprUnit(pass.TypesInfo, n.X), exprUnit(pass.TypesInfo, n.Y), n.X, n.Y)
+						env.exprUnit(n.X), env.exprUnit(n.Y), n.X, n.Y)
 				}
 			case *ast.AssignStmt:
 				if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
 					reportMix(pass, n.TokPos, n.Tok.String(),
-						exprUnit(pass.TypesInfo, n.Lhs[0]), exprUnit(pass.TypesInfo, n.Rhs[0]), n.Lhs[0], n.Rhs[0])
+						env.exprUnit(n.Lhs[0]), env.exprUnit(n.Rhs[0]), n.Lhs[0], n.Rhs[0])
 				}
 			}
 			return true
@@ -86,11 +93,19 @@ func domain(u unit) string {
 	return "linear"
 }
 
+// unitEnv is the classification context: the package's type info plus,
+// when the whole module is loaded, the return-unit summaries of
+// module-local helpers (see Module.unitSummaries).
+type unitEnv struct {
+	info *types.Info
+	ret  map[string]unit
+}
+
 // exprUnit classifies an expression's power domain.
-func exprUnit(info *types.Info, e ast.Expr) unit {
+func (env unitEnv) exprUnit(e ast.Expr) unit {
 	e = ast.Unparen(e)
 	// A named type carrying the unit wins over any identifier spelling.
-	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+	if tv, ok := env.info.Types[e]; ok && tv.Type != nil {
 		if u := typeUnit(tv.Type); u != unitUnknown {
 			return u
 		}
@@ -101,9 +116,16 @@ func exprUnit(info *types.Info, e ast.Expr) unit {
 	case *ast.SelectorExpr:
 		return nameUnit(x.Sel.Name)
 	case *ast.IndexExpr:
-		return exprUnit(info, x.X)
+		return env.exprUnit(x.X)
 	case *ast.UnaryExpr:
-		return exprUnit(info, x.X)
+		return env.exprUnit(x.X)
+	case *ast.BinaryExpr:
+		// Same-domain sums keep their domain; dBm-dBm is a dB offset,
+		// which carries no absolute unit.
+		ux, uy := env.exprUnit(x.X), env.exprUnit(x.Y)
+		if ux == uy && (x.Op == token.ADD || (x.Op == token.SUB && ux == unitMW)) {
+			return ux
+		}
 	case *ast.CallExpr:
 		// Conversions to a unit-less type (float64(sigDbm)) and calls are
 		// classified by the callee name (Milliwatts() -> mW); a conversion
@@ -121,8 +143,16 @@ func exprUnit(info *types.Info, e ast.Expr) unit {
 			}
 		}
 		// A pure conversion propagates its operand's taint.
-		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
-			return exprUnit(info, x.Args[0])
+		if tv, ok := env.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return env.exprUnit(x.Args[0])
+		}
+		// A neutral-named helper is classified by what it returns.
+		if env.ret != nil {
+			if fn, ok := calleeObj(env.info, x).(*types.Func); ok {
+				if u := env.ret[fn.FullName()]; u != unitUnknown {
+					return u
+				}
+			}
 		}
 	}
 	return unitUnknown

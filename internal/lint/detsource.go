@@ -20,6 +20,13 @@ import (
 //     NewPCG, NewChaCha8);
 //   - rand.New whose source is not a direct rand.NewSource/NewPCG/
 //     NewChaCha8 call — an unseeded or ambient source.
+//
+// Interprocedurally (when the whole module is loaded): a call from
+// simulation code into a module-local helper chain that transitively
+// reaches one of the sinks above is flagged at the call site, with the
+// path printed. Facts never propagate out of simulation packages (the
+// sink is flagged directly there) or out of the quarantine
+// (internal/watchdog and friends use the wall clock by charter).
 var Detsource = &Analyzer{
 	Name: "detsource",
 	Doc: "forbid wall-clock time and global math/rand state in simulation packages; " +
@@ -65,7 +72,7 @@ func runDetsource(pass *Pass) error {
 						"time.%s reads the wall clock, which breaks simulation determinism; use the kernel clock (sim.Kernel.Now / Kernel.At)",
 						obj.Name())
 				case isRandPkg(obj.Pkg().Path()) && obj.Name() == "New":
-					if !seededCall(pass, n) {
+					if !seededCall(pass.TypesInfo, n) {
 						pass.Reportf(n.Pos(),
 							"rand.New with a source not built inline by rand.NewSource is not provably seeded; derive randomness from a named kernel stream (sim.Kernel.Stream)")
 					}
@@ -88,12 +95,80 @@ func runDetsource(pass *Pass) error {
 			return true
 		})
 	}
+	reportTransitiveSources(pass, map[srcKind]bool{
+		srcWallClock: true, srcGlobalRand: true, srcUnseededNew: true,
+	}, false)
 	return nil
+}
+
+// reportTransitiveSources flags calls out of this (simulation) package
+// into module-local helper chains whose summaries carry facts of the
+// given kinds, attributing each finding to the call site with the path
+// to the sink. Shared by detsource and seedtaint, which own disjoint
+// fact kinds.
+func reportTransitiveSources(pass *Pass, kinds map[srcKind]bool, skipTests bool) {
+	if pass.Module == nil {
+		return
+	}
+	summaries := pass.Module.sourceSummaries()
+	for _, f := range pass.Files {
+		if skipTests && pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			mf := pass.Module.funcOf(pass.TypesInfo, fd)
+			if mf == nil {
+				continue
+			}
+			for _, e := range mf.edges {
+				seen := map[string]bool{}
+				for _, callee := range e.callees {
+					cs := summaries[callee]
+					if cs == nil {
+						continue
+					}
+					for _, fact := range cs.facts {
+						if !kinds[fact.kind] || seen[fact.sink] {
+							continue
+						}
+						seen[fact.sink] = true
+						path, elems := pathString(pass.Fset, callee, fact.chain, fact.sink, fact.pos)
+						switch fact.kind {
+						case srcUnseededCtor:
+							pass.reportSink(e.call.Pos(), fact.sink, elems,
+								"call to %s transitively constructs %s with no seed-derived input (path: %s); thread the cell's (config, seed) tuple through the helper",
+								callee.name, fact.sink, path)
+						default:
+							pass.reportSink(e.call.Pos(), fact.sink, elems,
+								"call to %s transitively reaches %s, which breaks simulation determinism (path: %s); use the kernel clock (sim.Kernel.Now) or a named kernel stream (sim.Kernel.Stream)",
+								callee.name, fact.sink, path)
+						}
+					}
+					if kinds[srcUnseededCtor] && cs.needSeed != nil &&
+						!seen[cs.needSeed.sink] && !anySeedDerived(e.call.Args) {
+						// At the simulation boundary the seed obligation
+						// must be met visibly: an argument spelled from
+						// the cell's seed.
+						seen[cs.needSeed.sink] = true
+						need := cs.needSeed
+						path, elems := pathString(pass.Fset, callee, need.chain, need.sink, need.pos)
+						pass.reportSink(e.call.Pos(), need.sink, elems,
+							"%s builds a generator from caller input via %s, but this call passes no seed-derived argument (path: %s); pass the cell's (config, seed) tuple",
+							callee.name, need.sink, path)
+					}
+				}
+			}
+		}
+	}
 }
 
 // seededCall reports whether the single argument of rand.New is a direct
 // call to one of the seeded source constructors.
-func seededCall(pass *Pass, call *ast.CallExpr) bool {
+func seededCall(info *types.Info, call *ast.CallExpr) bool {
 	if len(call.Args) == 0 {
 		return false
 	}
@@ -101,7 +176,7 @@ func seededCall(pass *Pass, call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
-	obj := calleeObj(pass.TypesInfo, inner)
+	obj := calleeObj(info, inner)
 	return obj != nil && obj.Pkg() != nil && isRandPkg(obj.Pkg().Path()) &&
 		seededRandCtors[obj.Name()] && obj.Name() != "New"
 }

@@ -1,0 +1,569 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Leasepair enforces the arena lease lifecycle: every Core handed out by
+// arena.Arena.Lease / LeaseTopo (or by a module-local helper that
+// visibly passes a lease through, see Module.leaseReturners) must reach
+// Core.Release on every path out of the binding scope — a defer or an
+// explicit call on each branch — must not be touched after Release, and
+// must not escape the leasing function through returns, globals,
+// composite literals, goroutines or channel sends. internal/testbed is
+// the one package allowed to retain a Core in a struct: it is the
+// harness that owns cell lifetime. A deliberate hand-off (a helper that
+// returns the Core for its caller to Release) is annotated at the
+// return with //lint:ignore leasepair and a reason naming Core.Release;
+// the helper's call sites are then checked like direct lease calls.
+//
+// The analysis is a per-lease abstract interpretation over the binding
+// block: branch states merge conservatively (released only if released
+// on all branches), loop bodies are analyzed for reports but their
+// effects discarded (a release only inside a loop is not a release),
+// and a path that panics is exempt from the leak check — the arena's
+// own double-release panic keeps the failure loud. Test files are
+// exempt: tests exercise failure paths deliberately.
+var Leasepair = &Analyzer{
+	Name: "leasepair",
+	Doc: "require every arena.Lease/LeaseTopo Core to reach Core.Release on all paths, " +
+		"forbid use after Release, and forbid Cores escaping outside internal/testbed",
+	Run: runLeasepair,
+}
+
+func runLeasepair(pass *Pass) error {
+	if isArenaPkg(pass.Path) {
+		return nil
+	}
+	sc := &lpScope{
+		pass:      pass,
+		info:      pass.TypesInfo,
+		inTestbed: isTestbedPkg(pass.Path),
+	}
+	if pass.Module != nil {
+		sc.returners = pass.Module.leaseReturners()
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sc.fd = fd
+			for _, list := range allStmtLists(fd.Body) {
+				sc.visitList(list)
+			}
+		}
+	}
+	return nil
+}
+
+// lpScope is the per-function context of the lease walk.
+type lpScope struct {
+	pass      *Pass
+	info      *types.Info
+	returners map[string]bool
+	inTestbed bool
+	fd        *ast.FuncDecl
+}
+
+// isLeaseSite matches direct arena lease calls and calls to recognized
+// lease hand-off helpers.
+func (sc *lpScope) isLeaseSite(call *ast.CallExpr) bool {
+	if isLeaseCall(sc.info, call) {
+		return true
+	}
+	fn, ok := calleeObj(sc.info, call).(*types.Func)
+	return ok && sc.returners[fn.FullName()]
+}
+
+// allStmtLists collects every statement list in the body — blocks, case
+// and comm clause bodies, closure bodies — so bindings are classified in
+// the list that scopes them.
+func allStmtLists(body *ast.BlockStmt) [][]ast.Stmt {
+	var lists [][]ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			lists = append(lists, n.List)
+		case *ast.CaseClause:
+			lists = append(lists, n.Body)
+		case *ast.CommClause:
+			lists = append(lists, n.Body)
+		}
+		return true
+	})
+	return lists
+}
+
+// visitList classifies the lease sites appearing directly in each
+// statement of one list (nested blocks and closures belong to their own
+// lists) and tracks each bound lease through the rest of the list.
+func (sc *lpScope) visitList(list []ast.Stmt) {
+	for i, st := range list {
+		calls := sc.shallowLeaseCalls(st)
+		if len(calls) == 0 {
+			continue
+		}
+		switch n := st.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && sc.isLeaseSite(call) {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						if id.Name == "_" {
+							sc.unbound(call.Pos())
+						} else if obj := sc.info.ObjectOf(id); obj != nil {
+							sc.trackLease(list, i, call, obj)
+						}
+						continue
+					}
+					// Leased straight into a field or element: retention
+					// outside a local variable.
+					if !sc.inTestbed {
+						sc.pass.reportSink(n.Pos(), "Core.Release", nil,
+							"leased Core escapes via assignment; bind it to a local, Release it on every path, and confine retention to internal/testbed")
+					}
+					continue
+				}
+			}
+			sc.unboundAll(calls)
+		case *ast.ExprStmt:
+			sc.unboundAll(calls)
+		case *ast.ReturnStmt:
+			if !sc.inTestbed {
+				for _, call := range calls {
+					sc.pass.reportSink(call.Pos(), "Core.Release", nil,
+						"leased Core escapes via return; the Release obligation moves to the caller — annotate a deliberate hand-off with //lint:ignore leasepair and a reason naming Core.Release")
+				}
+			}
+		default:
+			sc.unboundAll(calls)
+		}
+	}
+}
+
+func (sc *lpScope) unbound(pos token.Pos) {
+	sc.pass.reportSink(pos, "Core.Release", nil,
+		"leased Core is not bound to a variable, so Core.Release cannot be verified; bind it and defer core.Release()")
+}
+
+func (sc *lpScope) unboundAll(calls []*ast.CallExpr) {
+	for _, call := range calls {
+		sc.unbound(call.Pos())
+	}
+}
+
+// shallowLeaseCalls finds the lease calls directly in one statement,
+// not descending into nested statement lists or closures.
+func (sc *lpScope) shallowLeaseCalls(st ast.Stmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit, *ast.CaseClause, *ast.CommClause:
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && sc.isLeaseSite(call) {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// trackLease runs the abstract interpretation for one bound lease over
+// the remainder of its list.
+func (sc *lpScope) trackLease(list []ast.Stmt, i int, call *ast.CallExpr, obj types.Object) {
+	tr := &lpTrack{sc: sc, objs: map[types.Object]bool{obj: true}, leasePos: call.Pos()}
+	st := &lpState{}
+	if !tr.scanStmts(list, i+1, st) &&
+		!st.released && !st.deferred && !st.escaped {
+		tr.leak(call.Pos())
+	}
+}
+
+// lpState is the abstract state of one lease along one path.
+type lpState struct {
+	released bool
+	deferred bool
+	escaped  bool
+}
+
+type lpTrack struct {
+	sc          *lpScope
+	objs        map[types.Object]bool // the lease variable and bare aliases
+	leasePos    token.Pos
+	reportedUse bool
+}
+
+// scanStmts interprets list[from:]; true means every path through it
+// left the list (return, panic, branch).
+func (tr *lpTrack) scanStmts(list []ast.Stmt, from int, st *lpState) bool {
+	for i := from; i < len(list); i++ {
+		if tr.scanStmt(list[i], st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (tr *lpTrack) scanStmt(s ast.Stmt, st *lpState) bool {
+	switch n := s.(type) {
+	case *ast.DeferStmt:
+		if tr.releasesVar(n.Call) {
+			st.deferred = true
+			return false
+		}
+		tr.checkUse(n, st)
+		return false
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			if tr.isReleaseCall(call) {
+				if st.released {
+					tr.reportUse(call.Pos())
+				}
+				st.released = true
+				return false
+			}
+			if obj, ok := calleeObj(tr.sc.info, call).(*types.Builtin); ok && obj.Name() == "panic" {
+				return true
+			}
+		}
+		tr.checkUse(n, st)
+		tr.checkEscapeExpr(n.X, st)
+		return false
+	case *ast.AssignStmt:
+		tr.checkUse(n, st)
+		tr.handleAssign(n, st)
+		return false
+	case *ast.DeclStmt:
+		tr.checkUse(n, st)
+		tr.handleDecl(n, st)
+		return false
+	case *ast.ReturnStmt:
+		tr.checkUse(n, st)
+		if tr.usesNode(n) {
+			tr.escape(n.Pos(), "return", st)
+			return true
+		}
+		if !st.released && !st.deferred && !st.escaped {
+			tr.leak(n.Pos())
+		}
+		return true
+	case *ast.IfStmt:
+		if n.Init != nil {
+			tr.scanStmt(n.Init, st)
+		}
+		tr.checkUseExpr(n.Cond, st)
+		thenSt := *st
+		thenTerm := tr.scanStmts(n.Body.List, 0, &thenSt)
+		elseSt := *st
+		elseTerm := false
+		switch e := n.Else.(type) {
+		case *ast.BlockStmt:
+			elseTerm = tr.scanStmts(e.List, 0, &elseSt)
+		case *ast.IfStmt:
+			elseTerm = tr.scanStmt(e, &elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = elseSt
+		case elseTerm:
+			*st = thenSt
+		default:
+			st.released = thenSt.released && elseSt.released
+			st.deferred = thenSt.deferred && elseSt.deferred
+			st.escaped = thenSt.escaped || elseSt.escaped
+		}
+		return false
+	case *ast.BlockStmt:
+		return tr.scanStmts(n.List, 0, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return tr.scanBranches(s, st)
+	case *ast.ForStmt:
+		body := *st
+		tr.scanStmts(n.Body.List, 0, &body)
+		st.escaped = st.escaped || body.escaped
+		return false
+	case *ast.RangeStmt:
+		tr.checkUseExpr(n.X, st)
+		body := *st
+		tr.scanStmts(n.Body.List, 0, &body)
+		st.escaped = st.escaped || body.escaped
+		return false
+	case *ast.GoStmt:
+		if tr.usesNode(n) {
+			tr.escape(n.Pos(), "goroutine", st)
+		}
+		return false
+	case *ast.SendStmt:
+		if tr.usesNode(n) {
+			tr.escape(n.Pos(), "channel send", st)
+		}
+		return false
+	case *ast.BranchStmt:
+		return true
+	case *ast.LabeledStmt:
+		return tr.scanStmt(n.Stmt, st)
+	default:
+		tr.checkUse(s, st)
+		return false
+	}
+}
+
+// scanBranches merges the clause bodies of a switch/type-switch/select:
+// released only if released in every reachable clause, plus the
+// no-clause-taken path when there is no default. A select always takes
+// some branch, so it is exhaustive by construction.
+func (tr *lpTrack) scanBranches(s ast.Stmt, st *lpState) bool {
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	switch n := s.(type) {
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			tr.scanStmt(n.Init, st)
+		}
+		tr.checkUseExpr(n.Tag, st)
+		for _, c := range n.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			bodies = append(bodies, cc.Body)
+		}
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			tr.scanStmt(n.Init, st)
+		}
+		tr.checkUse(n.Assign, st)
+		for _, c := range n.Body.List {
+			cc := c.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			bodies = append(bodies, cc.Body)
+		}
+	case *ast.SelectStmt:
+		hasDefault = len(n.Body.List) > 0
+		for _, c := range n.Body.List {
+			cc := c.(*ast.CommClause)
+			body := cc.Body
+			if cc.Comm != nil {
+				body = append([]ast.Stmt{cc.Comm}, body...)
+			}
+			bodies = append(bodies, body)
+		}
+	}
+	allTerm := len(bodies) > 0
+	var merged *lpState
+	merge := func(bs lpState) {
+		if merged == nil {
+			cp := bs
+			merged = &cp
+			return
+		}
+		merged.released = merged.released && bs.released
+		merged.deferred = merged.deferred && bs.deferred
+		merged.escaped = merged.escaped || bs.escaped
+	}
+	for _, b := range bodies {
+		bs := *st
+		if tr.scanStmts(b, 0, &bs) {
+			continue
+		}
+		allTerm = false
+		merge(bs)
+	}
+	if !hasDefault {
+		allTerm = false
+		merge(*st)
+	}
+	if allTerm {
+		return true
+	}
+	if merged != nil {
+		*st = *merged
+	}
+	return false
+}
+
+// handleAssign propagates bare aliases to locals and reports escapes:
+// a bare lease variable (or an expression capturing it in a composite
+// literal) flowing anywhere that is not a local variable.
+func (tr *lpTrack) handleAssign(n *ast.AssignStmt, st *lpState) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, rhs := range n.Rhs {
+		rhs = ast.Unparen(rhs)
+		if id, ok := rhs.(*ast.Ident); ok && tr.objs[tr.sc.info.ObjectOf(id)] {
+			if lid, ok := n.Lhs[i].(*ast.Ident); ok {
+				if lid.Name == "_" {
+					continue
+				}
+				if tr.isLocal(lid) {
+					if obj := tr.sc.info.ObjectOf(lid); obj != nil {
+						tr.objs[obj] = true
+					}
+					continue
+				}
+			}
+			tr.escape(n.Pos(), "assignment", st)
+			continue
+		}
+		tr.checkCapture(rhs, n.Lhs[i], st)
+	}
+}
+
+// handleDecl is handleAssign for `var x = core` declarations.
+func (tr *lpTrack) handleDecl(n *ast.DeclStmt, st *lpState) {
+	gd, ok := n.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) != len(vs.Names) {
+			continue
+		}
+		for i, v := range vs.Values {
+			v = ast.Unparen(v)
+			if id, ok := v.(*ast.Ident); ok && tr.objs[tr.sc.info.ObjectOf(id)] {
+				if obj := tr.sc.info.ObjectOf(vs.Names[i]); obj != nil {
+					tr.objs[obj] = true
+				}
+				continue
+			}
+			tr.checkCapture(v, vs.Names[i], st)
+		}
+	}
+}
+
+// checkCapture flags the lease variable captured by a composite literal
+// anywhere, or by a closure stored somewhere non-local. A closure bound
+// to a local (a cell-scoped callback) is legal.
+func (tr *lpTrack) checkCapture(rhs ast.Expr, lhs ast.Expr, st *lpState) {
+	if !tr.usesNode(rhs) {
+		return
+	}
+	if tr.capturedByComposite(rhs) {
+		tr.escape(rhs.Pos(), "composite literal", st)
+		return
+	}
+	if _, isLit := ast.Unparen(rhs).(*ast.FuncLit); isLit {
+		if lid, ok := lhs.(*ast.Ident); !ok || !tr.isLocal(lid) {
+			tr.escape(rhs.Pos(), "closure", st)
+		}
+	}
+}
+
+// checkEscapeExpr flags composite-literal captures inside an expression
+// statement (e.g. a call argument wrapping the Core in a struct).
+func (tr *lpTrack) checkEscapeExpr(e ast.Expr, st *lpState) {
+	if tr.capturedByComposite(e) {
+		tr.escape(e.Pos(), "composite literal", st)
+	}
+}
+
+func (tr *lpTrack) capturedByComposite(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if cl, ok := n.(*ast.CompositeLit); ok && tr.usesNode(cl) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isLocal reports whether the identifier names a variable declared
+// inside the enclosing function.
+func (tr *lpTrack) isLocal(id *ast.Ident) bool {
+	obj := tr.sc.info.ObjectOf(id)
+	return obj != nil && obj.Pos() >= tr.sc.fd.Pos() && obj.Pos() < tr.sc.fd.End()
+}
+
+// usesNode reports whether the node mentions the lease variable or an
+// alias.
+func (tr *lpTrack) usesNode(n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && tr.objs[tr.sc.info.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isReleaseCall matches <leaseVar>.Release() on the tracked variable or
+// a bare alias of it.
+func (tr *lpTrack) isReleaseCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && tr.objs[tr.sc.info.ObjectOf(id)]
+}
+
+// releasesVar matches a deferred Release: defer core.Release() or a
+// deferred closure whose body releases the variable.
+func (tr *lpTrack) releasesVar(call *ast.CallExpr) bool {
+	if tr.isReleaseCall(call) {
+		return true
+	}
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && tr.isReleaseCall(c) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (tr *lpTrack) checkUse(s ast.Stmt, st *lpState) {
+	if st.released && !tr.reportedUse && tr.usesNode(s) {
+		tr.reportUse(s.Pos())
+	}
+}
+
+func (tr *lpTrack) checkUseExpr(e ast.Expr, st *lpState) {
+	if e != nil && st.released && !tr.reportedUse && tr.usesNode(e) {
+		tr.reportUse(e.Pos())
+	}
+}
+
+func (tr *lpTrack) reportUse(pos token.Pos) {
+	tr.reportedUse = true
+	tr.sc.pass.reportSink(pos, "Core.Release", nil,
+		"use of leased Core after Release; Core.Release must be the last touch — the arena may already have re-leased the slabs")
+}
+
+func (tr *lpTrack) escape(pos token.Pos, how string, st *lpState) {
+	st.escaped = true
+	if tr.sc.inTestbed {
+		return
+	}
+	tr.sc.pass.reportSink(pos, "Core.Release", nil,
+		"leased Core escapes via %s; a Core is single-cell state owned by the leasing function — Release it on every path (retention is confined to internal/testbed)", how)
+}
+
+func (tr *lpTrack) leak(pos token.Pos) {
+	tr.sc.pass.reportSink(pos, "Core.Release", nil,
+		"leased Core does not reach Core.Release on this path; pair every arena lease with defer core.Release() or an explicit Release on all branches")
+}

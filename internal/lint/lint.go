@@ -6,12 +6,29 @@
 // no mixing of dBm and milliwatt quantities in arithmetic (dbmunits),
 // concurrency confined to internal/parallel (confinedgo),
 // constructor/Reset parity for every arena-recycled type (resetcomplete),
-// and every RNG seeded from the cell's (config, seed) tuple (seedtaint).
+// every RNG seeded from the cell's (config, seed) tuple (seedtaint),
+// every arena lease paired with Core.Release (leasepair), and
+// topology.Snapshot immutability after construction (snapfreeze).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer owns a Run function over a type-checked Pass — but is
 // built on the standard library alone (go/parser, go/types and the
 // source importer), so the gate needs no module downloads.
+//
+// # Interprocedural analysis
+//
+// RunAnalyzers builds one Module over every loaded package: a
+// conservative call graph (static calls exact through go/types;
+// interface and function-value calls over-approximated by signature,
+// pruned to the caller's import closure) plus per-function summaries
+// computed to fixed point. detsource and seedtaint flag sim-package
+// calls into helper chains that transitively reach a nondeterminism
+// sink, printing the path; dbmunits classifies neutral-named helpers by
+// their return units; leasepair treats helpers that visibly hand a
+// lease through as lease sites. Summaries never propagate out of
+// simulation packages (the sink is flagged there directly), the
+// quarantined packages (internal/watchdog and friends use the wall
+// clock by charter), or test files.
 //
 // # Suppression
 //
@@ -21,7 +38,11 @@
 //	//lint:ignore <analyzer> <reason>
 //
 // The reason is mandatory; an ignore directive without one is itself
-// reported. resetcomplete additionally honours a field-level annotation:
+// reported, as is one naming an unknown analyzer or one that suppresses
+// nothing. An interprocedural finding is suppressed at the call site it
+// is reported at, and its reason must name the sink being waived
+// (time.Now, rand.NewSource, Core.Release, ...) so annotations state
+// what they exempt. resetcomplete additionally honours a field-level annotation:
 // a struct field whose declaration carries a "//lint:keep <reason>"
 // comment is deliberately retained across Reset and exempt from the
 // constructor/reset parity check.
@@ -60,6 +81,11 @@ type Pass struct {
 	// analysis (test variants keep the base package's path, so
 	// path-scoped analyzers treat a package and its tests alike).
 	Path string
+	// Module is the whole-program call graph over every package in the
+	// run, for the interprocedural checks. It only spans the loaded
+	// packages: a partial load degrades gracefully to intra-procedural
+	// analysis.
+	Module *Module
 
 	diags *[]Diagnostic
 }
@@ -69,6 +95,14 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Sink, when set, names the root cause an interprocedural finding
+	// bottoms out in (time.Now, rand.NewSource, Core.Release, NearRow).
+	// A //lint:ignore suppressing such a finding must name the sink in
+	// its reason, so annotations state what they are waiving.
+	Sink string
+	// CallPath is the printed helper chain of an interprocedural
+	// finding, outermost callee first, for machine consumers (-json).
+	CallPath []string
 }
 
 func (d Diagnostic) String() string {
@@ -84,6 +118,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// reportSink records a violation rooted in a named sink, optionally
+// with the call path that reaches it. Suppressing it requires the
+// //lint:ignore reason to name the sink.
+func (p *Pass) reportSink(pos token.Pos, sink string, callPath []string, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Sink:     sink,
+		CallPath: callPath,
+	})
+}
+
 // InTestFile reports whether pos lies in a _test.go file.
 func (p *Pass) InTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
@@ -93,6 +140,7 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 type ignoreDirective struct {
 	analyzers []string // empty means the directive was malformed
 	hasReason bool
+	reason    string
 	pos       token.Pos
 	used      bool
 }
@@ -122,6 +170,7 @@ func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
 				if len(fields) > 0 {
 					d.analyzers = strings.Split(fields[0], ",")
 					d.hasReason = len(fields) > 1
+					d.reason = strings.Join(fields[1:], " ")
 				}
 				s.all = append(s.all, d)
 				pos := fset.Position(c.Pos())
@@ -136,13 +185,25 @@ func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
 func key(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
 
 // filter drops suppressed diagnostics and appends a finding for every
-// malformed or unused directive, so suppressions can never silently rot.
+// malformed, unknown-analyzer or unused directive, so suppressions can
+// never silently rot.
 func (s *suppressor) filter(diags []Diagnostic) []Diagnostic {
 	kept := diags[:0]
 	for _, d := range diags {
 		dir := s.byLine[key(d.Pos.Filename, d.Pos.Line)]
 		if dir != nil && dir.hasReason && contains(dir.analyzers, d.Analyzer) {
 			dir.used = true
+			if d.Sink == "" || strings.Contains(dir.reason, d.Sink) {
+				continue
+			}
+			// The directive matches but its reason does not say what it
+			// waives: keep the finding and flag the vague annotation.
+			kept = append(kept, d, Diagnostic{
+				Pos:      s.fset.Position(dir.pos),
+				Analyzer: "lintdirective",
+				Message: fmt.Sprintf("//lint:ignore %s must name the suppressed sink %q in its reason",
+					d.Analyzer, d.Sink),
+			})
 			continue
 		}
 		kept = append(kept, d)
@@ -155,6 +216,13 @@ func (s *suppressor) filter(diags []Diagnostic) []Diagnostic {
 				Analyzer: "lintdirective",
 				Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <reason>\"",
 			})
+		case unknownAnalyzer(dir.analyzers) != "":
+			kept = append(kept, Diagnostic{
+				Pos:      s.fset.Position(dir.pos),
+				Analyzer: "lintdirective",
+				Message: fmt.Sprintf("//lint:ignore names unknown analyzer %q (see dcnlint -list)",
+					unknownAnalyzer(dir.analyzers)),
+			})
 		case !dir.used:
 			kept = append(kept, Diagnostic{
 				Pos:      s.fset.Position(dir.pos),
@@ -165,6 +233,17 @@ func (s *suppressor) filter(diags []Diagnostic) []Diagnostic {
 		}
 	}
 	return kept
+}
+
+// unknownAnalyzer returns the first name that resolves to no registered
+// analyzer ("lintdirective" itself is addressable), or "".
+func unknownAnalyzer(names []string) string {
+	for _, name := range names {
+		if name != "lintdirective" && ByName(name) == nil {
+			return name
+		}
+	}
+	return ""
 }
 
 func contains(ss []string, s string) bool {
@@ -179,6 +258,7 @@ func contains(ss []string, s string) bool {
 // RunAnalyzers applies every analyzer to every package and returns the
 // surviving (non-suppressed) diagnostics in file/line order.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	module := newModule(pkgs)
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
@@ -190,6 +270,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
 				Path:      pkg.Path,
+				Module:    module,
 				diags:     &diags,
 			}
 			if err := a.Run(pass); err != nil {

@@ -30,7 +30,9 @@ import (
 
 var wantRe = regexp.MustCompile(`// want (.*)$`)
 
-// Run loads each fixture package under testdata/src and checks the
+// Run loads the fixture packages under testdata/src in one shared
+// module — so the interprocedural analyzers see helper packages' code,
+// exactly as a whole-module dcnlint run does — and checks the
 // analyzer's diagnostics against the fixtures' want comments.
 func Run(t *testing.T, a *lint.Analyzer, pkgPaths ...string) {
 	t.Helper()
@@ -38,22 +40,20 @@ func Run(t *testing.T, a *lint.Analyzer, pkgPaths ...string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range pkgPaths {
-		path := path
-		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
-			t.Helper()
-			loader := lint.NewLoader(root, "")
-			pkgs, err := loader.Load("./" + path)
-			if err != nil {
-				t.Fatalf("loading fixture %s: %v", path, err)
-			}
-			diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
-			if err != nil {
-				t.Fatalf("running %s on %s: %v", a.Name, path, err)
-			}
-			checkWants(t, pkgs, diags)
-		})
+	patterns := make([]string, len(pkgPaths))
+	for i, path := range pkgPaths {
+		patterns[i] = "./" + path
 	}
+	loader := lint.NewLoader(root, "")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", pkgPaths, err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %v: %v", a.Name, pkgPaths, err)
+	}
+	checkWants(t, pkgs, diags)
 }
 
 // wantKey addresses one fixture line.

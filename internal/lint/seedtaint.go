@@ -15,6 +15,12 @@ import (
 // paper's tables assume independent, and a replay under a different root
 // seed silently reproduces the stale stream.
 //
+// Interprocedurally (when the whole module is loaded): a helper that
+// bakes an unseeded constructor into its body is flagged at every
+// sim-package call site, and a helper that builds a generator from its
+// own parameters obliges every sim-package caller to pass a visibly
+// seed-derived argument.
+//
 // Flagged inside simulation packages (see isSimPackage), test files
 // exempt: calls to rand.NewSource / rand.NewPCG / rand.NewChaCha8
 // (math/rand and math/rand/v2) and to the kernel's own sim.NewRNG whose
@@ -77,6 +83,7 @@ func runSeedtaint(pass *Pass) error {
 			return true
 		})
 	}
+	reportTransitiveSources(pass, map[srcKind]bool{srcUnseededCtor: true}, true)
 	return nil
 }
 

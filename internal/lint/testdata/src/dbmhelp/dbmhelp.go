@@ -1,0 +1,34 @@
+// Package dbmhelp is the return-unit summary fixture for dbmunits:
+// neutral-named helpers whose results carry a power domain only visible
+// through what they return. Without the module summaries, floor and
+// margin classify as unknown and the mixes below go unflagged.
+package dbmhelp
+
+type config struct {
+	floorDbm float64
+	txMW     float64
+}
+
+// floor returns a dBm quantity under a unit-neutral name: only the
+// return-unit summary can classify it.
+func floor(cfg config) float64 { return cfg.floorDbm }
+
+// margin forwards floor — the summary must propagate two calls deep.
+func margin(cfg config) float64 { return floor(cfg) }
+
+func budget(rxMW float64, cfg config) float64 {
+	return rxMW + floor(cfg) // want "mixes mW operand rxMW"
+}
+
+func headroom(totalMW float64, cfg config) float64 {
+	totalMW -= margin(cfg) // want "mixes mW operand totalMW"
+	return totalMW
+}
+
+// offset is a dBm difference — a dB ratio with no absolute unit — so
+// combining it with a linear value is legal.
+func offset(cfg config) float64 { return floor(cfg) - floor(cfg) }
+
+func slack(rxMW float64, cfg config) float64 {
+	return rxMW + offset(cfg) // dB offsets are unit-less: not flagged
+}

@@ -1,0 +1,23 @@
+// Package dethelp is the interprocedural detsource fixture's helper
+// layer: a module-local, non-simulation package whose functions reach
+// nondeterminism sinks one and two calls deep. Nothing is flagged here
+// — drivers may read clocks — but the summaries built over this package
+// flag the sim-package call sites in internal/deepdet.
+package dethelp
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock one call deep.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// StampVia hides the wall clock two calls deep.
+func StampVia() int64 { return Stamp() }
+
+// Jitter draws from the process-global source one call deep.
+func Jitter() float64 { return rand.Float64() }
+
+// Pure is a clean helper: calling it from simulation code is legal.
+func Pure(x int64) int64 { return x + 1 }

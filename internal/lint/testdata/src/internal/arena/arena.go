@@ -1,0 +1,18 @@
+// Package arena is the leasepair fixture stand-in for the real slab
+// arena: just enough surface for the analyzer — Lease/LeaseTopo hand
+// out a Core, Release returns it to the free list.
+package arena
+
+type Topo struct{ N int }
+
+type Arena struct{ leased int }
+
+type Core struct{ N int }
+
+func (a *Arena) Lease(seed int64) *Core { a.leased++; return &Core{} }
+
+func (a *Arena) LeaseTopo(seed int64, t *Topo) *Core { a.leased++; return &Core{N: t.N} }
+
+func (c *Core) Release() {}
+
+func (c *Core) Run() {}

@@ -1,0 +1,33 @@
+// Package deepdet is the interprocedural detsource fixture: simulation
+// code (internal/ path) calling into dethelp helper chains. The sink is
+// never in this package — the diagnostics land at the call sites, with
+// the path to the sink printed.
+package deepdet
+
+import "dethelp"
+
+func useOne() int64 {
+	return dethelp.Stamp() // want "transitively reaches time.Now"
+}
+
+func useTwo() int64 {
+	return dethelp.StampVia() // want "StampVia -> dethelp.Stamp -> time.Now"
+}
+
+func useRand() float64 {
+	return dethelp.Jitter() // want "transitively reaches rand.Float64"
+}
+
+func clean() int64 {
+	return dethelp.Pure(7) // a source-free helper: legal
+}
+
+func suppressed() int64 {
+	//lint:ignore detsource boot banner only, reaches time.Now outside any cell
+	return dethelp.Stamp()
+}
+
+func vagueReason() int64 {
+	//lint:ignore detsource because I said so // want "must name the suppressed sink"
+	return dethelp.Stamp() // want "transitively reaches time.Now"
+}

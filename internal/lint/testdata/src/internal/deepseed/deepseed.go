@@ -1,0 +1,28 @@
+// Package deepseed is the interprocedural seedtaint fixture: simulation
+// code constructing generators through seedhelp. The constructors are
+// never in this package — the obligation is resolved at the call sites.
+package deepseed
+
+import "seedhelp"
+
+type opts struct{ Seed int64 }
+
+func good(o opts) {
+	_ = seedhelp.NewRNG(o.Seed) // seed-derived argument: obligation met
+}
+
+func goodVia(o opts) {
+	_ = seedhelp.NewRNGVia(o.Seed + 3)
+}
+
+func bad() {
+	_ = seedhelp.NewRNG(77) // want "passes no seed-derived argument"
+}
+
+func badVia() {
+	_ = seedhelp.NewRNGVia(9) // want "passes no seed-derived argument"
+}
+
+func fixed() {
+	_ = seedhelp.FixedRNG() // want "transitively constructs rand.NewSource"
+}

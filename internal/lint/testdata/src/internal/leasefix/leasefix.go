@@ -1,0 +1,156 @@
+// Package leasefix is the leasepair fixture: every lease lifecycle
+// shape the analyzer accepts and rejects. The clean functions double as
+// negative cases — any diagnostic on them fails the test.
+package leasefix
+
+import (
+	"errors"
+	"internal/arena"
+)
+
+var global *arena.Core
+
+var errNope = errors.New("boom")
+
+type holder struct{ core *arena.Core }
+
+func okDefer(ar *arena.Arena, seed int64) {
+	core := ar.Lease(seed)
+	defer core.Release()
+	core.Run()
+}
+
+func okDeferTopo(ar *arena.Arena, seed int64, t *arena.Topo) {
+	core := ar.LeaseTopo(seed, t)
+	defer core.Release()
+	core.Run()
+}
+
+func okExplicitBranches(ar *arena.Arena, seed int64, short bool) {
+	core := ar.Lease(seed)
+	if short {
+		core.Release()
+		return
+	}
+	core.Run()
+	core.Release()
+}
+
+func okDeferClosure(ar *arena.Arena, seed int64) {
+	core := ar.Lease(seed)
+	defer func() {
+		core.Run()
+		core.Release()
+	}()
+}
+
+func okAliasRelease(ar *arena.Arena, seed int64) {
+	core := ar.Lease(seed)
+	c2 := core
+	defer c2.Release()
+}
+
+func okPanicPath(ar *arena.Arena, seed int64, n int) {
+	core := ar.Lease(seed)
+	if n < 0 {
+		panic("negative cell count")
+	}
+	core.Release()
+}
+
+func okSwitch(ar *arena.Arena, seed int64, mode int) {
+	core := ar.Lease(seed)
+	switch mode {
+	case 0:
+		core.Release()
+	default:
+		core.Run()
+		core.Release()
+	}
+}
+
+func okLocalClosure(ar *arena.Arena, seed int64) {
+	core := ar.Lease(seed)
+	defer core.Release()
+	run := func() { core.Run() }
+	run()
+}
+
+func leakErrorPath(ar *arena.Arena, seed int64, fail bool) error {
+	core := ar.Lease(seed)
+	if fail {
+		return errNope // want "does not reach Core.Release"
+	}
+	core.Release()
+	return nil
+}
+
+func leakFallthrough(ar *arena.Arena, seed int64) {
+	core := ar.Lease(seed) // want "does not reach Core.Release"
+	core.Run()
+}
+
+func useAfterRelease(ar *arena.Arena, seed int64) {
+	core := ar.Lease(seed)
+	core.Release()
+	core.Run() // want "use of leased Core after Release"
+}
+
+func doubleRelease(ar *arena.Arena, seed int64) {
+	core := ar.Lease(seed)
+	core.Release()
+	core.Release() // want "use of leased Core after Release"
+}
+
+func directReturn(ar *arena.Arena, seed int64) *arena.Core {
+	return ar.Lease(seed) // want "escapes via return"
+}
+
+func escapeReturn(ar *arena.Arena, seed int64) *arena.Core {
+	core := ar.Lease(seed)
+	core.Run()
+	return core // want "escapes via return"
+}
+
+func escapeGlobal(ar *arena.Arena, seed int64) {
+	core := ar.Lease(seed)
+	global = core // want "escapes via assignment"
+}
+
+func escapeStruct(ar *arena.Arena, seed int64) holder {
+	core := ar.Lease(seed)
+	return holder{core: core} // want "escapes via return"
+}
+
+func escapeGoroutine(ar *arena.Arena, seed int64) {
+	core := ar.Lease(seed)
+	go core.Run() // want "escapes via goroutine"
+}
+
+func escapeSend(ar *arena.Arena, seed int64, ch chan *arena.Core) {
+	core := ar.Lease(seed)
+	ch <- core // want "escapes via channel send"
+}
+
+func discard(ar *arena.Arena, seed int64) {
+	ar.Lease(seed) // want "not bound"
+}
+
+// acquire is a deliberate hand-off: the annotation names Core.Release,
+// and the leaseReturners summary makes acquire's call sites lease sites.
+func acquire(ar *arena.Arena, seed int64) *arena.Core {
+	core := ar.Lease(seed)
+	//lint:ignore leasepair handed off to the caller, which must defer Core.Release
+	return core
+}
+
+func viaHelper(ar *arena.Arena, seed int64) {
+	core := acquire(ar, seed)
+	defer core.Release()
+	core.Run()
+}
+
+func viaHelperLeak(ar *arena.Arena, seed int64) {
+	core := acquire(ar, seed) // want "does not reach Core.Release"
+	core.Run()
+}

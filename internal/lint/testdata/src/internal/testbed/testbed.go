@@ -1,0 +1,17 @@
+// Package testbed is the leasepair exemption fixture: the one package
+// allowed to retain a leased Core in a struct, because the harness owns
+// cell lifetime. Nothing here is flagged — a negative case proving the
+// internal/testbed carve-out.
+package testbed
+
+import "internal/arena"
+
+// TB retains a Core across calls: the harness owns cell lifetime.
+type TB struct{ core *arena.Core }
+
+func New(ar *arena.Arena, seed int64) *TB {
+	core := ar.Lease(seed)
+	return &TB{core: core}
+}
+
+func (tb *TB) Close() { tb.core.Release() }

@@ -1,0 +1,41 @@
+// Package topology is the snapfreeze fixture stand-in for the real
+// spatial tier: a CSR-backed Snapshot, its constructor (where field
+// writes are legal) and a non-constructor method that mutates it (every
+// write flagged).
+package topology
+
+type Snapshot struct {
+	nearOff  []int32
+	nearIDs  []int32
+	nearLoss []float64
+	n        int
+}
+
+// NewSnapshot is a constructor — its results include *Snapshot — so the
+// field writes below are legal.
+func NewSnapshot(n int) *Snapshot {
+	s := &Snapshot{n: n}
+	s.nearOff = make([]int32, n+1)
+	s.nearIDs = append(s.nearIDs, 0)
+	s.nearLoss = append(s.nearLoss, 0)
+	return s
+}
+
+// NearRow returns the frozen CSR row views for network i. Reading
+// offsets out of the fields copies values, not views: legal.
+func (s *Snapshot) NearRow(i int) ([]int32, []float64) {
+	lo, hi := s.nearOff[i], s.nearOff[i+1]
+	return s.nearIDs[lo:hi], s.nearLoss[lo:hi]
+}
+
+// Count only reads: legal outside constructors.
+func (s *Snapshot) Count() int { return s.n }
+
+// Renumber is not a constructor: every field write is a mutation of a
+// published snapshot.
+func (s *Snapshot) Renumber() {
+	s.n++            // want "write to topology.Snapshot field"
+	s.nearIDs[0] = 1 // want "write to topology.Snapshot field"
+	loss := s.nearLoss
+	loss[0] = 0 // want "write to topology.Snapshot field"
+}

@@ -1,0 +1,19 @@
+// Package seedhelp is the interprocedural seedtaint fixture's helper
+// layer: RNG constructors wrapped in module-local functions. NewRNG and
+// NewRNGVia are legal in themselves — they build the generator from
+// caller input — but oblige every simulation call site to pass a
+// seed-derived argument. FixedRNG bakes in a constant seed: every sim
+// call site is a violation.
+package seedhelp
+
+import "math/rand"
+
+// NewRNG builds a generator from its parameter (obligation: callers
+// must feed it the cell's seed).
+func NewRNG(s int64) *rand.Rand { return rand.New(rand.NewSource(s)) }
+
+// NewRNGVia forwards the obligation one more level.
+func NewRNGVia(s int64) *rand.Rand { return NewRNG(s) }
+
+// FixedRNG is definitively unseeded, however it is called.
+func FixedRNG() *rand.Rand { return rand.New(rand.NewSource(42)) }

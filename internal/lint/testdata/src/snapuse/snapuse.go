@@ -1,0 +1,50 @@
+// Package snapuse is the consumer-side snapfreeze fixture: NearRow
+// views read, copied out of (legal), and written through directly, via
+// aliases and re-slices, as append destinations and copy targets (all
+// flagged).
+package snapuse
+
+import "internal/topology"
+
+func readOnly(s *topology.Snapshot) float64 {
+	ids, loss := s.NearRow(0)
+	var t float64
+	for i := range ids {
+		t += loss[i]
+	}
+	return t
+}
+
+func copyOut(s *topology.Snapshot) []float64 {
+	_, loss := s.NearRow(1)
+	out := make([]float64, len(loss))
+	copy(out, loss)
+	return out
+}
+
+func mutateRow(s *topology.Snapshot) {
+	_, loss := s.NearRow(2)
+	loss[0] = 0 // want "writing into"
+}
+
+func mutateAlias(s *topology.Snapshot) {
+	ids, _ := s.NearRow(3)
+	a := ids
+	a[1] = 9 // want "writing into"
+}
+
+func mutateSlice(s *topology.Snapshot) {
+	_, loss := s.NearRow(4)
+	sub := loss[1:]
+	sub[0] = 3 // want "writing into"
+}
+
+func appendRow(s *topology.Snapshot) []int32 {
+	ids, _ := s.NearRow(5)
+	return append(ids, 7) // want "append to"
+}
+
+func copyInto(s *topology.Snapshot, src []float64) {
+	_, loss := s.NearRow(6)
+	copy(loss, src) // want "copy into"
+}
